@@ -1,0 +1,26 @@
+//! # gcnp-autograd
+//!
+//! A reverse-mode tape automatic-differentiation engine over dense `f32`
+//! matrices — the training substrate that the paper gets from PyTorch.
+//!
+//! Design: a [`Tape`] records operations as they execute; [`Var`] is an index
+//! into the tape. Parameters live *outside* the tape (plain
+//! [`gcnp_tensor::Matrix`] values in model structs) and are re-registered
+//! each step with [`Tape::param`]; after [`Tape::backward`], gradients are
+//! read back via [`Tape::grad`] and applied by an optimizer from [`optim`].
+//! Rebuilding the tape every step keeps the engine define-by-run, which the
+//! GraphSAINT trainer needs (every step uses a different subgraph adjacency).
+//!
+//! The op set is exactly what GNN training + LASSO channel pruning require:
+//! GEMM, sparse aggregation (`Ã·H`), concat, ReLU/LeakyReLU, bias, dropout,
+//! row gather, the channel mask `X ⊙ β` (Eq. 4 of the paper), softmax
+//! cross-entropy, BCE-with-logits, MSE, an L1 penalty, and a fused
+//! attention-aggregation op for the GAT baseline. Every backward formula is
+//! validated against central differences in [`gradcheck`].
+
+pub mod gradcheck;
+pub mod optim;
+pub mod tape;
+
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use tape::{SharedAdj, Tape, Var};

@@ -1,0 +1,111 @@
+//! End-to-end inference benchmarks: full inference at each pruning budget
+//! and batched inference with/without the hidden-feature store. These back
+//! the throughput and latency columns of Tables 3–4 with criterion-grade
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcnp_core::{prune_model, PrunerConfig, Scheme};
+use gcnp_datasets::{Dataset, SynthConfig};
+use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_models::{zoo, GnnModel};
+use gcnp_sparse::Normalization;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    SynthConfig {
+        name: "bench-graph",
+        nodes: 4000,
+        avg_degree: 15.0,
+        attr_dim: 256,
+        classes: 10,
+        communities: 10,
+        ..Default::default()
+    }
+    .generate(7)
+}
+
+fn pruned(model: &GnnModel, data: &Dataset, budget: f32, scheme: Scheme) -> GnnModel {
+    let (tadj, tnodes) = data.train_adj();
+    let tadj = tadj.normalized(Normalization::Row);
+    let tx = data.features.gather_rows(&tnodes);
+    let cfg = PrunerConfig { beta_epochs: 5, w_epochs: 5, ..Default::default() };
+    prune_model(model, &tadj, &tx, budget, scheme, &cfg).0
+}
+
+fn bench_full_inference(c: &mut Criterion) {
+    let data = dataset();
+    let adj = data.adj.normalized(Normalization::Row);
+    let model = zoo::graphsage(data.attr_dim(), 128, data.n_classes(), 1);
+    let mut g = c.benchmark_group("full_inference");
+    g.sample_size(10);
+    for (budget, label) in [(1.0f32, "1x"), (0.25, "4x")] {
+        let m = if budget >= 1.0 {
+            model.clone()
+        } else {
+            pruned(&model, &data, budget, Scheme::FullInference)
+        };
+        g.bench_function(label, |bench| {
+            let engine = FullEngine::new(&m, Some(&adj));
+            bench.iter(|| black_box(engine.logits(&data.features)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched_inference(c: &mut Criterion) {
+    let data = dataset();
+    let model = zoo::graphsage(data.attr_dim(), 128, data.n_classes(), 1);
+    let m4 = pruned(&model, &data, 0.25, Scheme::BatchedInference);
+    let batch: Vec<usize> = data.test.iter().take(512).copied().collect();
+    let mut g = c.benchmark_group("batched_inference");
+    g.sample_size(10);
+
+    g.bench_function("1x_no_store_b512", |bench| {
+        let mut engine = BatchedEngine::new(
+            &model,
+            &data.adj,
+            &data.features,
+            vec![None, Some(32)],
+            None,
+            StorePolicy::None,
+            0,
+        );
+        bench.iter(|| black_box(engine.infer(&batch)))
+    });
+    g.bench_function("4x_no_store_b512", |bench| {
+        let mut engine = BatchedEngine::new(
+            &m4,
+            &data.adj,
+            &data.features,
+            vec![None, Some(32)],
+            None,
+            StorePolicy::None,
+            0,
+        );
+        bench.iter(|| black_box(engine.infer(&batch)))
+    });
+    g.bench_function("4x_with_store_b512", |bench| {
+        let adj = data.adj.normalized(Normalization::Row);
+        let engine = FullEngine::new(&m4, Some(&adj));
+        let hs = engine.hidden(&data.features);
+        let store = FeatureStore::new(data.n_nodes(), m4.n_layers() - 1);
+        let all: Vec<usize> = (0..data.n_nodes()).collect();
+        for level in 1..m4.n_layers() {
+            store.put_rows(level, &all, &hs[level - 1]);
+        }
+        let mut engine = BatchedEngine::new(
+            &m4,
+            &data.adj,
+            &data.features,
+            vec![None, Some(32)],
+            Some(&store),
+            StorePolicy::None,
+            0,
+        );
+        bench.iter(|| black_box(engine.infer(&batch)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_inference, bench_batched_inference);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the compute kernels behind every experiment:
+//! GEMM (the three backprop orientations), SpMM, CSR transpose, and one
+//! LASSO β-step epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcnp_core::{lasso_prune, PruneMethod, PrunerConfig};
+use gcnp_sparse::{CsrMatrix, Normalization};
+use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::Matrix;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn random_graph(n: usize, deg: usize, seed: u64) -> CsrMatrix {
+    let mut rng = seeded_rng(seed);
+    let mut edges = Vec::with_capacity(n * deg);
+    for v in 0..n as u32 {
+        for _ in 0..deg {
+            let u = rng.random_range(0..n as u32);
+            if u != v {
+                edges.push((v, u));
+            }
+        }
+    }
+    CsrMatrix::adjacency(n, &edges)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let a = Matrix::rand_uniform(2048, 602, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(602, 128, -1.0, 1.0, &mut rng);
+    let y = Matrix::rand_uniform(2048, 128, -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    g.bench_function("a_b_2048x602x128", |bench| bench.iter(|| black_box(a.matmul(&b))));
+    g.bench_function("at_b_2048x602_x_2048x128", |bench| {
+        bench.iter(|| black_box(a.matmul_at_b(&y)))
+    });
+    g.bench_function("a_bt_2048x128", |bench| {
+        bench.iter(|| black_box(y.matmul_a_bt(&y)))
+    });
+    g.bench_function("transpose_2048x602", |bench| bench.iter(|| black_box(a.transpose())));
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let adj = random_graph(12_000, 25, 2).normalized(Normalization::Row);
+    let mut rng = seeded_rng(3);
+    let h = Matrix::rand_uniform(12_000, 128, -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("spmm");
+    g.sample_size(10);
+    g.bench_function("12k_deg25_f128", |bench| bench.iter(|| black_box(adj.spmm(&h))));
+    g.bench_function("csr_transpose_12k", |bench| bench.iter(|| black_box(adj.transpose())));
+    g.finish();
+}
+
+fn bench_lasso(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let x = Matrix::rand_uniform(2048, 128, -1.0, 1.0, &mut rng);
+    let w = Matrix::rand_uniform(128, 64, -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("lasso");
+    g.sample_size(10);
+    g.bench_function("lasso_prune_128ch_to_32", |bench| {
+        bench.iter(|| {
+            let cfg = PrunerConfig {
+                method: PruneMethod::Lasso,
+                beta_epochs: 3,
+                w_epochs: 3,
+                batch_size: 1024,
+                ..Default::default()
+            };
+            black_box(lasso_prune(&[x.clone()], &[w.clone()], 32, &cfg))
+        })
+    });
+    g.bench_function("max_response_128ch_to_32", |bench| {
+        bench.iter(|| {
+            let cfg = PrunerConfig {
+                method: PruneMethod::MaxResponse,
+                w_epochs: 3,
+                ..Default::default()
+            };
+            black_box(lasso_prune(&[x.clone()], &[w.clone()], 32, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_spmm, bench_lasso);
+criterion_main!(benches);

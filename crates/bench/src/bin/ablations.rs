@@ -1,0 +1,219 @@
+//! Ablations beyond the paper's tables (DESIGN.md §5):
+//!
+//! 1. Ŵ-step optimizer: minibatch ADAM (the paper §3.3.3) vs the
+//!    closed-form ridge solution of Eq. 7.
+//! 2. Joint shared-β multi-branch pruning (Eq. 9) vs pruning each branch
+//!    independently and intersecting the channels (why §3.2 is needed).
+//! 3. Store policy: none / train+val / +roots / all-visited — the d→1
+//!    spectrum of Eq. 3.
+//! 4. Hop-2 fan-out cap sweep: accuracy vs work.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin ablations
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{lasso_prune, ridge_solve, select_channels, PruneMethod, PrunerConfig, Scheme};
+use gcnp_datasets::DatasetKind;
+use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_models::Metrics;
+use gcnp_sparse::Normalization;
+use gcnp_tensor::Matrix;
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct Out {
+    wstep: Vec<(String, f64, f64)>,          // (variant, rel_error, seconds)
+    branch: Vec<(String, f64)>,              // (variant, rel_error)
+    store_policy: Vec<(String, f64, f64)>,   // (policy, macs/target, f1)
+    fanout: Vec<(usize, f64, f64)>,          // (cap, macs/target, f1)
+}
+
+fn main() {
+    let ctx = Ctx::new("ablations");
+    let kind = DatasetKind::RedditSim;
+    let data = pipeline::dataset(&ctx, kind);
+    let reference = pipeline::reference_model(&ctx, kind, &data);
+    let (tadj, tnodes) = data.train_adj();
+    let tadj = tadj.normalized(Normalization::Row);
+    let tx = data.features.gather_rows(&tnodes);
+    let mut out = Out::default();
+
+    // Common single-layer problem: layer 1 (the paper's layer-2), both
+    // branches, prune 128 -> 32.
+    let hs = reference.model.forward_collect(Some(&tadj), &tx);
+    let input = &hs[0];
+    let agg = tadj.spmm(input);
+    let xs = [input.clone(), agg.clone()];
+    let ws: Vec<Matrix> = reference.model.layers[1]
+        .branches
+        .iter()
+        .map(|b| b.weight.clone())
+        .collect();
+    let n_keep = 32;
+
+    // ---- 1. Ŵ-step: SGD vs ridge --------------------------------------
+    println!("-- ablation 1: W-step optimizer --");
+    {
+        let cfg = pipeline::prune_cfg(PruneMethod::Lasso, ctx.seed);
+        let t0 = std::time::Instant::now();
+        let sgd = lasso_prune(&xs, &ws, n_keep, &cfg);
+        let sgd_secs = t0.elapsed().as_secs_f64();
+        out.wstep.push(("adam-sgd".into(), sgd.rel_error as f64, sgd_secs));
+
+        // Ridge on the same selected channels.
+        let t0 = std::time::Instant::now();
+        let (keep, beta, ..) = select_channels(&xs, &ws, n_keep, &cfg);
+        let beta_kept: Vec<f32> = keep.iter().map(|&j| beta[j]).collect();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (x, w) in xs.iter().zip(&ws) {
+            let xhat = x.select_cols(&keep).scale_cols(&beta_kept);
+            let y = x.matmul(w);
+            let w_hat = ridge_solve(&xhat, &y, 1e-3);
+            num += xhat.matmul(&w_hat).sub(&y).frobenius_sq() as f64;
+            den += y.frobenius_sq() as f64;
+        }
+        let ridge_secs = t0.elapsed().as_secs_f64();
+        out.wstep.push(("ridge-closed-form".into(), num / den, ridge_secs));
+    }
+    print_table(
+        &["W-step", "rel error", "seconds"],
+        &out.wstep
+            .iter()
+            .map(|(n, e, s)| vec![n.clone(), fnum(*e, 4), fnum(*s, 2)])
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- 2. joint shared-β vs independent per-branch --------------------
+    println!("-- ablation 2: joint vs independent branch pruning --");
+    {
+        let cfg = pipeline::prune_cfg(PruneMethod::Lasso, ctx.seed);
+        let joint = lasso_prune(&xs, &ws, n_keep, &cfg);
+        out.branch.push(("joint shared beta".into(), joint.rel_error as f64));
+
+        // Independent: prune each branch alone, then force the UNION of the
+        // two keeps truncated to budget (a naive composition) on both.
+        let a = lasso_prune(&xs[..1], &ws[..1], n_keep, &cfg);
+        let b = lasso_prune(&xs[1..], &ws[1..], n_keep, &cfg);
+        let mut union: Vec<usize> = a.keep.iter().chain(&b.keep).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        union.truncate(n_keep);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (x, w) in xs.iter().zip(&ws) {
+            let xhat = x.select_cols(&union);
+            let y = x.matmul(w);
+            let w_hat = ridge_solve(&xhat, &y, 1e-3);
+            num += xhat.matmul(&w_hat).sub(&y).frobenius_sq() as f64;
+            den += y.frobenius_sq() as f64;
+        }
+        out.branch.push(("independent + union".into(), num / den));
+    }
+    print_table(
+        &["Branch handling", "rel error"],
+        &out.branch.iter().map(|(n, e)| vec![n.clone(), fnum(*e, 4)]).collect::<Vec<_>>(),
+    );
+
+    // ---- 3. store policies ----------------------------------------------
+    println!("-- ablation 3: store policy spectrum --");
+    let pruned = pipeline::pruned_model(
+        &ctx,
+        kind,
+        &data,
+        &reference,
+        0.25,
+        Scheme::BatchedInference,
+        PruneMethod::Lasso,
+    );
+    let model = &pruned.model;
+    let n_levels = model.n_layers() - 1;
+    let adj_norm = data.adj.normalized(Normalization::Row);
+    let full = FullEngine::new(model, Some(&adj_norm));
+    let hs_full = full.hidden(&data.features);
+    for (name, offline_all, offline_trainval, policy) in [
+        ("none", false, false, StorePolicy::None),
+        ("train+val", false, true, StorePolicy::None),
+        ("train+val+roots", false, true, StorePolicy::Roots),
+        ("all-visited", false, false, StorePolicy::AllVisited),
+        ("all-precomputed", true, false, StorePolicy::None),
+    ] {
+        let store = FeatureStore::new(data.n_nodes(), n_levels);
+        if offline_all {
+            let all: Vec<usize> = (0..data.n_nodes()).collect();
+            for level in 1..=n_levels {
+                store.put_rows(level, &all, &hs_full[level - 1]);
+            }
+        } else if offline_trainval {
+            let mut off: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+            off.sort_unstable();
+            for level in 1..=n_levels {
+                store.put_rows(level, &off, &hs_full[level - 1].gather_rows(&off));
+            }
+        }
+        let use_store = name != "none";
+        let mut engine = BatchedEngine::new(
+            model,
+            &data.adj,
+            &data.features,
+            vec![None, Some(32)],
+            if use_store { Some(&store) } else { None },
+            policy,
+            ctx.seed,
+        );
+        let mut macs = 0u64;
+        let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
+        for chunk in data.test.chunks(512) {
+            let res = engine.infer(chunk);
+            macs += res.macs;
+            for (i, &t) in res.targets.iter().enumerate() {
+                preds.push((t, res.logits.row(i).to_vec()));
+            }
+        }
+        let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+        let mut logits = Matrix::zeros(preds.len(), data.n_classes());
+        for (r, (_, row)) in preds.iter().enumerate() {
+            logits.row_mut(r).copy_from_slice(row);
+        }
+        let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
+        let mpt = macs as f64 / data.test.len() as f64 / 1e3;
+        println!("  {name:<18} {mpt:>9.0} kMACs/target, F1 {f1:.3}");
+        out.store_policy.push((name.into(), mpt, f1));
+    }
+
+    // ---- 4. hop-2 fan-out cap sweep ---------------------------------------
+    println!("-- ablation 4: hop-2 fan-out cap --");
+    for cap in [4usize, 8, 16, 32, 64] {
+        let mut engine = BatchedEngine::new(
+            model,
+            &data.adj,
+            &data.features,
+            vec![None, Some(cap)],
+            None,
+            StorePolicy::None,
+            ctx.seed,
+        );
+        let mut macs = 0u64;
+        let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
+        for chunk in data.test.chunks(512) {
+            let res = engine.infer(chunk);
+            macs += res.macs;
+            for (i, &t) in res.targets.iter().enumerate() {
+                preds.push((t, res.logits.row(i).to_vec()));
+            }
+        }
+        let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+        let mut logits = Matrix::zeros(preds.len(), data.n_classes());
+        for (r, (_, row)) in preds.iter().enumerate() {
+            logits.row_mut(r).copy_from_slice(row);
+        }
+        let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
+        let mpt = macs as f64 / data.test.len() as f64 / 1e3;
+        println!("  cap {cap:<4} {mpt:>9.0} kMACs/target, F1 {f1:.3}");
+        out.fanout.push((cap, mpt, f1));
+    }
+
+    ctx.write_json(&out);
+}

@@ -1,0 +1,219 @@
+//! Figure 1: accuracy vs full-inference throughput of nine GNN
+//! architectures on the Reddit-sim dataset.
+//!
+//! GCN, GraphSAGE, GAT, MixHop, JK, SGC, SIGN, PPRGo, TinyGNN, and the
+//! 4×-pruned GraphSAGE ("ours-4x"). Throughput excludes each method's
+//! pre-processing (SGC/SIGN propagation), as in the paper's figure.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin fig1_arch_comparison
+//! ```
+
+use gcnp_autograd::SharedAdj;
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{PruneMethod, Scheme};
+use gcnp_datasets::DatasetKind;
+use gcnp_infer::{time_it, FullEngine};
+use gcnp_models::{zoo, GatModel, Metrics, PprgoModel, Trainer};
+use gcnp_sparse::ppr::PprConfig;
+use gcnp_sparse::Normalization;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    arch: String,
+    f1_micro: f64,
+    thpt_kn_s: f64,
+    train_seconds: f64,
+}
+
+fn main() {
+    let ctx = Ctx::new("fig1_arch_comparison");
+    let kind = DatasetKind::RedditSim;
+    let data = pipeline::dataset(&ctx, kind);
+    let n = data.n_nodes();
+    let hidden = kind.hidden_dim();
+    let (fin, classes) = (data.attr_dim(), data.n_classes());
+    let adj_row = data.adj.normalized(Normalization::Row);
+    let adj_sym = data.adj.with_self_loops().normalized(Normalization::Symmetric);
+    let tcfg = pipeline::train_cfg(ctx.seed);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Eq.(1)-family models trained with GraphSAINT ---------------------
+    let reference = pipeline::reference_model(&ctx, kind, &data);
+    {
+        let engine = FullEngine::new(&reference.model, Some(&adj_row));
+        let res = engine.run(&data.features, 1, 3);
+        rows.push(Row {
+            arch: "GraphSAGE".into(),
+            f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+            thpt_kn_s: res.throughput / 1e3,
+            train_seconds: reference.seconds,
+        });
+    }
+    for (name, mut model, adj) in [
+        ("GCN", zoo::gcn(fin, hidden, classes, ctx.seed), &adj_sym),
+        ("MixHop", zoo::mixhop(fin, hidden, classes, ctx.seed), &adj_row),
+        ("JK", zoo::jk(fin, hidden, classes, ctx.seed), &adj_row),
+    ] {
+        println!("  training {name} ...");
+        let stats = Trainer::train_saint(&mut model, &data, &tcfg);
+        let engine = FullEngine::new(&model, Some(adj));
+        let res = engine.run(&data.features, 1, 3);
+        rows.push(Row {
+            arch: name.into(),
+            f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+            thpt_kn_s: res.throughput / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    // --- ours: 4x pruned GraphSAGE ----------------------------------------
+    {
+        let pruned = pipeline::pruned_model(
+            &ctx,
+            kind,
+            &data,
+            &reference,
+            0.25,
+            Scheme::FullInference,
+            PruneMethod::Lasso,
+        );
+        let engine = FullEngine::new(&pruned.model, Some(&adj_row));
+        let res = engine.run(&data.features, 1, 3);
+        rows.push(Row {
+            arch: "ours-4x".into(),
+            f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+            thpt_kn_s: res.throughput / 1e3,
+            train_seconds: pruned.prune_seconds + pruned.retrain_seconds,
+        });
+    }
+
+    // --- GAT ----------------------------------------------------------------
+    {
+        println!("  training GAT ...");
+        let mut gat = GatModel::new(fin, hidden, classes, ctx.seed);
+        let gat_cfg =
+            gcnp_models::TrainConfig { steps: 30, eval_every: 10, lr: 0.02, patience: 2, ..tcfg.clone() };
+        let stats = gat.train(&data, &gat_cfg);
+        let shared = SharedAdj::new(data.adj.with_self_loops());
+        let logits = gat.forward_full(&shared, &data.features);
+        let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+        let secs = time_it(1, 3, || gat.forward_full(&shared, &data.features));
+        rows.push(Row {
+            arch: "GAT".into(),
+            f1_micro: f1,
+            thpt_kn_s: n as f64 / secs / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    // --- SGC: propagate twice, one linear layer ----------------------------
+    {
+        println!("  training SGC ...");
+        let z = zoo::sgc_features(&adj_sym, &data.features, 2);
+        let mut head = zoo::sgc_model(fin, classes, ctx.seed);
+        let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let stats = Trainer::train_full_batch(
+            &mut head, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+        );
+        // Full inference includes the propagation (no pre-processing).
+        let infer = || {
+            let z = zoo::sgc_features(&adj_sym, &data.features, 2);
+            head.forward_full(None, &z)
+        };
+        let logits = infer();
+        let secs = time_it(1, 3, infer);
+        rows.push(Row {
+            arch: "SGC".into(),
+            f1_micro: Metrics::f1_micro_full(&logits, &data.labels, &data.test),
+            thpt_kn_s: n as f64 / secs / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    // --- SIGN(2,0,0): concat propagated features, wide MLP ------------------
+    {
+        println!("  training SIGN ...");
+        let z = zoo::sign_features(&adj_sym, &data.features, 2);
+        // SIGN uses wide feed-forward layers (460 in the paper).
+        let mut head = zoo::sign_model(z.cols(), hidden * 3, classes, ctx.seed);
+        let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let stats = Trainer::train_full_batch(
+            &mut head, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+        );
+        let infer = || {
+            let z = zoo::sign_features(&adj_sym, &data.features, 2);
+            head.forward_full(None, &z)
+        };
+        let logits = infer();
+        let secs = time_it(1, 3, infer);
+        rows.push(Row {
+            arch: "SIGN".into(),
+            f1_micro: Metrics::f1_micro_full(&logits, &data.labels, &data.test),
+            thpt_kn_s: n as f64 / secs / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    // --- PPRGo ---------------------------------------------------------------
+    {
+        println!("  training PPRGo ...");
+        let mut m = PprgoModel::new(fin, hidden, classes, PprConfig::default(), ctx.seed);
+        let cfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, lr: 0.02, patience: 3, ..tcfg.clone() };
+        let stats = m.train(&data, &cfg);
+        let all: Vec<usize> = (0..n).collect();
+        let logits = m.predict(&data.adj, &data.features, &all);
+        let secs = time_it(0, 1, || m.predict(&data.adj, &data.features, &all));
+        rows.push(Row {
+            arch: "PPRGo".into(),
+            f1_micro: Metrics::f1_micro_full(&logits, &data.labels, &data.test),
+            thpt_kn_s: n as f64 / secs / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    // --- TinyGNN: 1-layer student distilled from the reference teacher ------
+    {
+        println!("  distilling TinyGNN student ...");
+        let teacher_logits = reference.model.forward_full(Some(&adj_row), &data.features);
+        let mut student = zoo::tinygnn_student(fin, hidden, classes, ctx.seed);
+        let cfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let stats = Trainer::train_full_batch(
+            &mut student,
+            Some(&adj_row),
+            &data.features,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            Some((&teacher_logits, 1.0)),
+        );
+        let engine = FullEngine::new(&student, Some(&adj_row));
+        let res = engine.run(&data.features, 1, 3);
+        rows.push(Row {
+            arch: "TinyGNN".into(),
+            f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+            thpt_kn_s: res.throughput / 1e3,
+            train_seconds: stats.seconds,
+        });
+    }
+
+    rows.sort_by(|a, b| b.thpt_kn_s.partial_cmp(&a.thpt_kn_s).unwrap());
+    print_table(
+        &["Architecture", "F1-Micro", "Thpt(kN/s)", "Train(s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.arch.clone(),
+                    fnum(r.f1_micro, 3),
+                    fnum(r.thpt_kn_s, 2),
+                    fnum(r.train_seconds, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

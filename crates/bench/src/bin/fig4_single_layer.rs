@@ -1,0 +1,82 @@
+//! Figure 4: single-layer pruning quality on Reddit-sim — reconstruction
+//! loss and F1-Micro as a function of the number of pruned channels in
+//! layer 2, for LASSO vs Max-Response vs Random selection (all with the
+//! layer-wise Ŵ reconstruction step), plus the fraction of β that shrinks
+//! to zero for LASSO.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin fig4_single_layer
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{prune_single_layer, PruneMethod};
+use gcnp_datasets::DatasetKind;
+use gcnp_models::Metrics;
+use gcnp_sparse::Normalization;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    pruned_channels: usize,
+    total_channels: usize,
+    rel_loss: f64,
+    f1_micro: f64,
+    beta_zero_frac: f64,
+}
+
+fn main() {
+    let ctx = Ctx::new("fig4_single_layer");
+    let kind = DatasetKind::RedditSim;
+    let data = pipeline::dataset(&ctx, kind);
+    let reference = pipeline::reference_model(&ctx, kind, &data);
+    let adj = data.adj.normalized(Normalization::Row);
+    let (tadj, tnodes) = data.train_adj();
+    let tadj = tadj.normalized(Normalization::Row);
+    let tx = data.features.gather_rows(&tnodes);
+
+    // Layer index 1 = the paper's "layer-2" (both branches share β).
+    let c = kind.hidden_dim();
+    let mut rows: Vec<Row> = Vec::new();
+    for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
+        for frac_pruned in [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875] {
+            let n_keep = ((c as f64 * (1.0 - frac_pruned)) as usize).max(1);
+            let cfg = pipeline::prune_cfg(method, ctx.seed);
+            let (pruned, outcome) =
+                prune_single_layer(&reference.model, &tadj, &tx, 1, n_keep, &cfg);
+            let logits = pruned.forward_full(Some(&adj), &data.features);
+            let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+            rows.push(Row {
+                method: format!("{method:?}"),
+                pruned_channels: c - n_keep,
+                total_channels: c,
+                rel_loss: outcome.rel_error as f64,
+                f1_micro: f1,
+                beta_zero_frac: outcome.beta_zero_frac as f64,
+            });
+            println!(
+                "  {method:?}: pruned {}/{c} -> rel loss {:.4}, F1 {:.3}",
+                c - n_keep,
+                outcome.rel_error,
+                f1
+            );
+        }
+    }
+    print_table(
+        &["Method", "Pruned", "RelLoss", "F1-Micro", "beta->0"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.method.clone(),
+                    format!("{}/{}", r.pruned_channels, r.total_channels),
+                    fnum(r.rel_loss, 4),
+                    fnum(r.f1_micro, 3),
+                    if r.method == "Lasso" { fnum(r.beta_zero_frac, 2) } else { "-".into() },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

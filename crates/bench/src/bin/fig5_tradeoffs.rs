@@ -1,0 +1,200 @@
+//! Figure 5: batched-inference trade-offs on Reddit-sim with the 4× model.
+//!
+//! (a) median latency vs batch size, with and without the feature store;
+//! (b) maximum extra latency and F1 drop vs the percentage of nodes whose
+//!     hidden features are stored. Accuracy degradation from *stale* stored
+//!     features (the paper's evolving-graph concern) is simulated by
+//!     computing the stored features from perturbed node attributes —
+//!     see DESIGN.md §1.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin fig5_tradeoffs
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{PruneMethod, Scheme};
+use gcnp_datasets::Dataset;
+use gcnp_datasets::DatasetKind;
+use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_models::{GnnModel, Metrics};
+use gcnp_sparse::Normalization;
+use gcnp_tensor::init::{sample_normal, seeded_rng};
+use gcnp_tensor::Matrix;
+use serde::Serialize;
+
+const HOP2_CAP: usize = 32;
+
+#[derive(Serialize)]
+struct LatencyRow {
+    batch_size: usize,
+    latency_ms_no_store: f64,
+    latency_ms_with_store: f64,
+}
+
+#[derive(Serialize)]
+struct StoreRow {
+    store_pct: usize,
+    max_extra_latency_ms: f64,
+    f1_drop: f64,
+    store_mb: f64,
+}
+
+#[derive(Serialize)]
+struct Out {
+    latency_vs_batch: Vec<LatencyRow>,
+    store_tradeoff: Vec<StoreRow>,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn serve_latencies(
+    model: &GnnModel,
+    data: &Dataset,
+    store: Option<&FeatureStore>,
+    batch: usize,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let mut engine = BatchedEngine::new(
+        model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(HOP2_CAP)],
+        store,
+        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        seed,
+    );
+    let mut lat = Vec::new();
+    let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
+    for chunk in data.test.chunks(batch) {
+        let res = engine.infer(chunk);
+        lat.push(res.seconds * 1e3);
+        for (i, &t) in res.targets.iter().enumerate() {
+            preds.push((t, res.logits.row(i).to_vec()));
+        }
+    }
+    let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+    let mut logits = Matrix::zeros(preds.len(), data.n_classes());
+    for (r, (_, row)) in preds.iter().enumerate() {
+        logits.row_mut(r).copy_from_slice(row);
+    }
+    let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
+    (lat, f1)
+}
+
+fn main() {
+    let ctx = Ctx::new("fig5_tradeoffs");
+    let kind = DatasetKind::RedditSim;
+    let data = pipeline::dataset(&ctx, kind);
+    let reference = pipeline::reference_model(&ctx, kind, &data);
+    let pruned = pipeline::pruned_model(
+        &ctx,
+        kind,
+        &data,
+        &reference,
+        0.25,
+        Scheme::BatchedInference,
+        PruneMethod::Lasso,
+    );
+    let model = &pruned.model;
+    let adj = data.adj.normalized(Normalization::Row);
+    let n_levels = model.n_layers() - 1;
+
+    // ---- (a) latency vs batch size ---------------------------------------
+    println!("-- Fig 5a: latency vs batch size --");
+    let mut latency_rows = Vec::new();
+    for batch in [64usize, 128, 256, 512, 1024, 2048] {
+        let (lat_plain, _) = serve_latencies(model, &data, None, batch, ctx.seed);
+        // Fresh pre-populated store (train+val) per batch-size run.
+        let engine = FullEngine::new(model, Some(&adj));
+        let hs = engine.hidden(&data.features);
+        let store = FeatureStore::new(data.n_nodes(), n_levels);
+        let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+        offline.sort_unstable();
+        for level in 1..=n_levels {
+            store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        }
+        let (lat_store, _) = serve_latencies(model, &data, Some(&store), batch, ctx.seed);
+        let row = LatencyRow {
+            batch_size: batch,
+            latency_ms_no_store: median(lat_plain),
+            latency_ms_with_store: median(lat_store),
+        };
+        println!(
+            "  batch {batch}: {:.1} ms w/o store, {:.1} ms w/ store",
+            row.latency_ms_no_store, row.latency_ms_with_store
+        );
+        latency_rows.push(row);
+    }
+
+    // ---- (b) store percentage trade-off -----------------------------------
+    println!("-- Fig 5b: store percentage trade-off --");
+    // Baseline: no store.
+    let (lat0, f1_0) = serve_latencies(model, &data, None, 512, ctx.seed);
+    let base_max = lat0.iter().cloned().fold(0.0f64, f64::max);
+    // Stale hidden features: recomputed from perturbed attributes, standing
+    // in for features cached before the graph/attributes evolved.
+    let mut rng = seeded_rng(ctx.seed ^ 0xfeed);
+    let mut stale_x = data.features.clone();
+    for v in stale_x.as_mut_slice() {
+        *v += 0.35 * sample_normal(&mut rng);
+    }
+    let engine = FullEngine::new(model, Some(&adj));
+    let stale_hs = engine.hidden(&stale_x);
+
+    let mut store_rows = Vec::new();
+    for pct in [0usize, 25, 50, 75, 100] {
+        let store = FeatureStore::new(data.n_nodes(), n_levels);
+        let cutoff = data.n_nodes() * pct / 100;
+        let nodes: Vec<usize> = (0..cutoff).collect();
+        for level in 1..=n_levels {
+            store.put_rows(level, &nodes, &stale_hs[level - 1].gather_rows(&nodes));
+        }
+        let store_mb = store.nbytes() as f64 / 1e6;
+        let (lat, f1) = serve_latencies(model, &data, Some(&store), 512, ctx.seed);
+        let max_lat = lat.iter().cloned().fold(0.0f64, f64::max);
+        let row = StoreRow {
+            store_pct: pct,
+            max_extra_latency_ms: (max_lat - base_max).max(0.0),
+            f1_drop: (f1_0 - f1).max(0.0),
+            store_mb,
+        };
+        println!(
+            "  store {pct}%: extra lat {:.1} ms, F1 drop {:.3}, store {:.1} MB",
+            row.max_extra_latency_ms, row.f1_drop, row.store_mb
+        );
+        store_rows.push(row);
+    }
+
+    print_table(
+        &["Batch", "Lat w/o (ms)", "Lat w/ (ms)"],
+        &latency_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.batch_size.to_string(),
+                    fnum(r.latency_ms_no_store, 1),
+                    fnum(r.latency_ms_with_store, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        &["Store%", "MaxExtraLat(ms)", "F1 drop", "Store MB"],
+        &store_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}%", r.store_pct),
+                    fnum(r.max_extra_latency_ms, 1),
+                    fnum(r.f1_drop, 3),
+                    fnum(r.store_mb, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&Out { latency_vs_batch: latency_rows, store_tradeoff: store_rows });
+}

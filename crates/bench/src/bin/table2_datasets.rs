@@ -1,0 +1,56 @@
+//! Table 2: dataset statistics.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin table2_datasets
+//! ```
+
+use gcnp_bench::harness::print_table;
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_datasets::{DatasetKind, Labels};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    nodes: usize,
+    edges: usize,
+    attr: usize,
+    classes: String,
+    test_pct: f64,
+}
+
+fn main() {
+    let ctx = Ctx::new("table2_datasets");
+    let mut rows = Vec::new();
+    for kind in DatasetKind::ALL {
+        let d = pipeline::dataset(&ctx, kind);
+        rows.push(Row {
+            dataset: d.name.clone(),
+            nodes: d.n_nodes(),
+            edges: d.adj.nnz(),
+            attr: d.attr_dim(),
+            classes: match &d.labels {
+                Labels::Single(_, k) => format!("{k}(s)"),
+                Labels::Multi(m) => format!("{}(m)", m.cols()),
+            },
+            test_pct: 100.0 * d.test.len() as f64 / d.n_nodes() as f64,
+        });
+    }
+    print_table(
+        &["Dataset", "Nodes", "Edges", "Attr.", "Classes", "Test%"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.nodes.to_string(),
+                    r.edges.to_string(),
+                    r.attr.to_string(),
+                    r.classes.clone(),
+                    format!("{:.0}%", r.test_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

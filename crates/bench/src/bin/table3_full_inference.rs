@@ -1,0 +1,97 @@
+//! Table 3: pruned **full inference** on Flickr/Arxiv/Reddit/Yelp-sim —
+//! F1-Micro, #kMACs/node, memory, throughput and speedup at 2×/4×/8×
+//! budgets, plus the §4.2 pruning / retraining wall-clock.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin table3_full_inference
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{PruneMethod, Scheme};
+use gcnp_datasets::DatasetKind;
+use gcnp_infer::FullEngine;
+use gcnp_models::Metrics;
+use gcnp_sparse::Normalization;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    budget: String,
+    f1_micro: f64,
+    kmacs_per_node: f64,
+    mem_mb: f64,
+    thpt_kn_s: f64,
+    thpt_impr: f64,
+    prune_seconds: f64,
+    retrain_seconds: f64,
+}
+
+fn main() {
+    let ctx = Ctx::new("table3_full_inference");
+    let kinds = [
+        DatasetKind::FlickrSim,
+        DatasetKind::ArxivSim,
+        DatasetKind::RedditSim,
+        DatasetKind::YelpSim,
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in kinds {
+        let data = pipeline::dataset(&ctx, kind);
+        let adj = data.adj.normalized(Normalization::Row);
+        let reference = pipeline::reference_model(&ctx, kind, &data);
+        let mut base_thpt = f64::NAN;
+        for (budget, label) in pipeline::BUDGETS {
+            let pruned = pipeline::pruned_model(
+                &ctx,
+                kind,
+                &data,
+                &reference,
+                budget,
+                Scheme::FullInference,
+                PruneMethod::Lasso,
+            );
+            let engine = FullEngine::new(&pruned.model, Some(&adj));
+            let res = engine.run(&data.features, 1, 3);
+            let f1 = Metrics::f1_micro_full(&res.logits, &data.labels, &data.test);
+            if budget >= 1.0 {
+                base_thpt = res.throughput;
+            }
+            rows.push(Row {
+                dataset: data.name.clone(),
+                budget: label.to_string(),
+                f1_micro: f1,
+                kmacs_per_node: res.kmacs_per_node,
+                mem_mb: res.memory_bytes as f64 / 1e6,
+                thpt_kn_s: res.throughput / 1e3,
+                thpt_impr: res.throughput / base_thpt,
+                prune_seconds: pruned.prune_seconds,
+                retrain_seconds: pruned.retrain_seconds,
+            });
+        }
+    }
+    print_table(
+        &[
+            "Dataset", "Budget", "F1-Micro", "kMACs/node", "Mem(MB)", "Thpt(kN/s)", "Impr.",
+            "Prune(s)", "Retrain(s)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.budget.clone(),
+                    fnum(r.f1_micro, 3),
+                    fnum(r.kmacs_per_node, 0),
+                    fnum(r.mem_mb, 1),
+                    fnum(r.thpt_kn_s, 2),
+                    format!("{}x", fnum(r.thpt_impr, 2)),
+                    fnum(r.prune_seconds, 1),
+                    fnum(r.retrain_seconds, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

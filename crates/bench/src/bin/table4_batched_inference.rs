@@ -1,0 +1,169 @@
+//! Table 4: pruned **batched inference** (batch 512, hop-2 fan-out 32) on
+//! Arxiv/Reddit/Yelp/Products-sim — F1-Micro, measured #kMACs/node,
+//! per-batch memory, latency and improvement, with and without the stored
+//! hidden features.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin table4_batched_inference
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{PruneMethod, Scheme};
+use gcnp_datasets::{Dataset, DatasetKind};
+use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_models::{GnnModel, Metrics};
+use gcnp_sparse::Normalization;
+use gcnp_tensor::Matrix;
+use serde::Serialize;
+
+const BATCH: usize = 512;
+const HOP2_CAP: usize = 32;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    budget: String,
+    store: bool,
+    f1_micro: f64,
+    kmacs_per_node: f64,
+    mem_mb: f64,
+    latency_ms: f64,
+    lat_impr: f64,
+}
+
+/// Serve the whole test set in batches; returns (F1, kMACs/target, max
+/// per-batch memory MB, median latency ms, logits rows in test order).
+fn serve(
+    model: &GnnModel,
+    data: &Dataset,
+    store: Option<&FeatureStore>,
+    seed: u64,
+) -> (f64, f64, f64, f64) {
+    let mut engine = BatchedEngine::new(
+        model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(HOP2_CAP)],
+        store,
+        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        seed,
+    );
+    let mut lat = Vec::new();
+    let mut macs = 0u64;
+    let mut mem_max = 0usize;
+    let mut preds: Vec<(usize, Vec<f32>)> = Vec::with_capacity(data.test.len());
+    for chunk in data.test.chunks(BATCH) {
+        let res = engine.infer(chunk);
+        lat.push(res.seconds);
+        macs += res.macs;
+        mem_max = mem_max.max(res.mem_bytes);
+        for (i, &t) in res.targets.iter().enumerate() {
+            preds.push((t, res.logits.row(i).to_vec()));
+        }
+    }
+    let classes = data.n_classes();
+    let mut logits = Matrix::zeros(preds.len(), classes);
+    let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+    for (r, (_, row)) in preds.iter().enumerate() {
+        logits.row_mut(r).copy_from_slice(row);
+    }
+    let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_lat = lat[lat.len() / 2] * 1e3;
+    let kmacs = macs as f64 / data.test.len() as f64 / 1e3;
+    (f1, kmacs, mem_max as f64 / 1e6, median_lat)
+}
+
+/// Pre-populate the store with hidden features of train + validation nodes
+/// (the paper's offline store policy).
+fn build_store(model: &GnnModel, data: &Dataset) -> FeatureStore {
+    let adj = data.adj.normalized(Normalization::Row);
+    let engine = FullEngine::new(model, Some(&adj));
+    let hs = engine.hidden(&data.features);
+    let n_levels = model.n_layers() - 1;
+    let store = FeatureStore::new(data.n_nodes(), n_levels);
+    let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+    offline.sort_unstable();
+    for level in 1..=n_levels {
+        store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+    }
+    store
+}
+
+fn main() {
+    let ctx = Ctx::new("table4_batched_inference");
+    let kinds = [
+        DatasetKind::ArxivSim,
+        DatasetKind::RedditSim,
+        DatasetKind::YelpSim,
+        DatasetKind::ProductsSim,
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in kinds {
+        let data = pipeline::dataset(&ctx, kind);
+        let reference = pipeline::reference_model(&ctx, kind, &data);
+        let mut base_lat = f64::NAN;
+        for (budget, label) in pipeline::BUDGETS {
+            let pruned = pipeline::pruned_model(
+                &ctx,
+                kind,
+                &data,
+                &reference,
+                budget,
+                Scheme::BatchedInference,
+                PruneMethod::Lasso,
+            );
+            // Without stored hidden features.
+            let (f1, kmacs, mem, lat) = serve(&pruned.model, &data, None, ctx.seed);
+            if budget >= 1.0 {
+                base_lat = lat;
+            }
+            rows.push(Row {
+                dataset: data.name.clone(),
+                budget: label.into(),
+                store: false,
+                f1_micro: f1,
+                kmacs_per_node: kmacs,
+                mem_mb: mem,
+                latency_ms: lat,
+                lat_impr: base_lat / lat,
+            });
+            // With stored hidden features (train+val offline, roots online).
+            let store = build_store(&pruned.model, &data);
+            let (f1, kmacs, mem, lat) = serve(&pruned.model, &data, Some(&store), ctx.seed);
+            rows.push(Row {
+                dataset: data.name.clone(),
+                budget: label.into(),
+                store: true,
+                f1_micro: f1,
+                kmacs_per_node: kmacs,
+                mem_mb: mem,
+                latency_ms: lat,
+                lat_impr: base_lat / lat,
+            });
+        }
+    }
+    print_table(
+        &[
+            "Dataset", "Budget", "Store", "F1-Micro", "kMACs/node", "Mem(MB)", "Lat(ms)",
+            "Impr.",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.budget.clone(),
+                    if r.store { "w/".into() } else { "w/o".into() },
+                    fnum(r.f1_micro, 3),
+                    fnum(r.kmacs_per_node, 0),
+                    fnum(r.mem_mb, 1),
+                    fnum(r.latency_ms, 1),
+                    format!("{}x", fnum(r.lat_impr, 2)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

@@ -1,0 +1,273 @@
+//! Table 5: accuracy and per-node computation vs simplified GNNs on
+//! Reddit-sim — SGC (with/without pre-processing), SIGN(2,0,0), PPRGo,
+//! TinyGNN and ours-4× for full inference; MLP-2 and ours-4× (with/without
+//! stored features) for batched inference.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin table5_simplified_gnns
+//! ```
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::{pipeline, Ctx};
+use gcnp_core::{PruneMethod, Scheme};
+use gcnp_datasets::{Dataset, DatasetKind};
+use gcnp_infer::{BatchedEngine, CostModel, FeatureStore, FullEngine, StorePolicy};
+use gcnp_models::{zoo, GnnModel, Metrics, Trainer};
+use gcnp_sparse::ppr::PprConfig;
+use gcnp_sparse::Normalization;
+use gcnp_tensor::Matrix;
+use serde::Serialize;
+
+const HOP2_CAP: usize = 32;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    model: String,
+    preprocessed: bool,
+    f1_micro: f64,
+    kmacs_per_node: f64,
+}
+
+fn batched_serve(
+    model: &GnnModel,
+    data: &Dataset,
+    store: Option<&FeatureStore>,
+    seed: u64,
+) -> (f64, f64) {
+    let mut engine = BatchedEngine::new(
+        model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(HOP2_CAP)],
+        store,
+        StorePolicy::None,
+        seed,
+    );
+    let mut macs = 0u64;
+    let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
+    for chunk in data.test.chunks(512) {
+        let res = engine.infer(chunk);
+        macs += res.macs;
+        for (i, &t) in res.targets.iter().enumerate() {
+            preds.push((t, res.logits.row(i).to_vec()));
+        }
+    }
+    let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+    let mut logits = Matrix::zeros(preds.len(), data.n_classes());
+    for (r, (_, row)) in preds.iter().enumerate() {
+        logits.row_mut(r).copy_from_slice(row);
+    }
+    (
+        Metrics::f1_micro(&logits, &data.labels, &idx),
+        macs as f64 / data.test.len() as f64 / 1e3,
+    )
+}
+
+fn main() {
+    let ctx = Ctx::new("table5_simplified_gnns");
+    let kind = DatasetKind::RedditSim;
+    let data = pipeline::dataset(&ctx, kind);
+    let hidden = kind.hidden_dim();
+    let (fin, classes) = (data.attr_dim(), data.n_classes());
+    let n = data.n_nodes();
+    let adj_row = data.adj.normalized(Normalization::Row);
+    let adj_sym = data.adj.with_self_loops().normalized(Normalization::Symmetric);
+    let d = data.adj.avg_degree();
+    let cm = CostModel::new(n, d);
+    // Propagation Ã²·X costs 2·d·f MACs per node (the paper's 120 kMACs).
+    let preproc_kmacs = 2.0 * d * fin as f64 / 1e3;
+    let tcfg = pipeline::train_cfg(ctx.seed);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- SGC --------------------------------------------------------------
+    println!("  SGC ...");
+    let z = zoo::sgc_features(&adj_sym, &data.features, 2);
+    let mut sgc = zoo::sgc_model(fin, classes, ctx.seed);
+    let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
+    Trainer::train_full_batch(&mut sgc, None, &z, &data.labels, &data.train, &data.val, &cfg, None);
+    let logits = sgc.forward_full(None, &z);
+    let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+    let head_kmacs = cm.full_kmacs_per_node(&sgc);
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "SGC".into(),
+        preprocessed: false,
+        f1_micro: f1,
+        kmacs_per_node: head_kmacs + preproc_kmacs,
+    });
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "SGC".into(),
+        preprocessed: true,
+        f1_micro: f1,
+        kmacs_per_node: head_kmacs,
+    });
+
+    // --- SIGN(2,0,0) --------------------------------------------------------
+    println!("  SIGN ...");
+    let z = zoo::sign_features(&adj_sym, &data.features, 2);
+    let mut sign = zoo::sign_model(z.cols(), hidden * 3, classes, ctx.seed);
+    Trainer::train_full_batch(
+        &mut sign, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+    );
+    let logits = sign.forward_full(None, &z);
+    let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+    let head_kmacs = cm.full_kmacs_per_node(&sign);
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "SIGN(2,0,0)".into(),
+        preprocessed: false,
+        f1_micro: f1,
+        kmacs_per_node: head_kmacs + preproc_kmacs,
+    });
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "SIGN(2,0,0)".into(),
+        preprocessed: true,
+        f1_micro: f1,
+        kmacs_per_node: head_kmacs,
+    });
+
+    // --- PPRGo (two-pass inference) ------------------------------------------
+    println!("  PPRGo ...");
+    let ppr_cfg = PprConfig::default();
+    let mut pprgo = zoo::PprgoModel::new(fin, hidden, classes, ppr_cfg, ctx.seed);
+    let pcfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, lr: 0.02, patience: 3, ..tcfg.clone() };
+    pprgo.train(&data, &pcfg);
+    let all: Vec<usize> = (0..n).collect();
+    let logits = pprgo.predict(&data.adj, &data.features, &all);
+    let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+    // MLP head + top-k aggregation of class logits per node.
+    let kmacs = cm.full_kmacs_per_node(&pprgo.head)
+        + (ppr_cfg.top_k * classes) as f64 / 1e3;
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "PPRGo".into(),
+        preprocessed: false,
+        f1_micro: f1,
+        kmacs_per_node: kmacs,
+    });
+
+    // --- TinyGNN ---------------------------------------------------------------
+    println!("  TinyGNN ...");
+    let reference = pipeline::reference_model(&ctx, kind, &data);
+    let teacher_logits = reference.model.forward_full(Some(&adj_row), &data.features);
+    let mut student = zoo::tinygnn_student(fin, hidden, classes, ctx.seed);
+    let scfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, patience: 3, ..tcfg.clone() };
+    Trainer::train_full_batch(
+        &mut student,
+        Some(&adj_row),
+        &data.features,
+        &data.labels,
+        &data.train,
+        &data.val,
+        &scfg,
+        Some((&teacher_logits, 1.0)),
+    );
+    let engine = FullEngine::new(&student, Some(&adj_row));
+    let res = engine.run(&data.features, 0, 1);
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "TinyGNN".into(),
+        preprocessed: false,
+        f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+        kmacs_per_node: res.kmacs_per_node,
+    });
+
+    // --- ours-4x (full) ----------------------------------------------------------
+    let ours = pipeline::pruned_model(
+        &ctx,
+        kind,
+        &data,
+        &reference,
+        0.25,
+        Scheme::FullInference,
+        PruneMethod::Lasso,
+    );
+    let engine = FullEngine::new(&ours.model, Some(&adj_row));
+    let res = engine.run(&data.features, 0, 1);
+    rows.push(Row {
+        scenario: "full".into(),
+        model: "ours-4x".into(),
+        preprocessed: false,
+        f1_micro: Metrics::f1_micro_full(&res.logits, &data.labels, &data.test),
+        kmacs_per_node: res.kmacs_per_node,
+    });
+
+    // --- batched: MLP-2 -------------------------------------------------------
+    println!("  MLP-2 ...");
+    let mut mlp = zoo::mlp(fin, 128, classes, ctx.seed);
+    Trainer::train_full_batch(
+        &mut mlp,
+        None,
+        &data.features,
+        &data.labels,
+        &data.train,
+        &data.val,
+        &cfg,
+        None,
+    );
+    let logits = mlp.forward_full(None, &data.features);
+    rows.push(Row {
+        scenario: "batched".into(),
+        model: "MLP-2".into(),
+        preprocessed: false,
+        f1_micro: Metrics::f1_micro_full(&logits, &data.labels, &data.test),
+        kmacs_per_node: cm.full_kmacs_per_node(&mlp),
+    });
+
+    // --- batched: ours-4x w/o and w/ store --------------------------------------
+    println!("  ours-4x batched ...");
+    let ours_b = pipeline::pruned_model(
+        &ctx,
+        kind,
+        &data,
+        &reference,
+        0.25,
+        Scheme::BatchedInference,
+        PruneMethod::Lasso,
+    );
+    let (f1, kmacs) = batched_serve(&ours_b.model, &data, None, ctx.seed);
+    rows.push(Row {
+        scenario: "batched".into(),
+        model: "ours-4x w/o".into(),
+        preprocessed: false,
+        f1_micro: f1,
+        kmacs_per_node: kmacs,
+    });
+    let n_levels = ours_b.model.n_layers() - 1;
+    let store = FeatureStore::new(n, n_levels);
+    let fe = FullEngine::new(&ours_b.model, Some(&adj_row));
+    let hs = fe.hidden(&data.features);
+    let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+    offline.sort_unstable();
+    for level in 1..=n_levels {
+        store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+    }
+    let (f1, kmacs) = batched_serve(&ours_b.model, &data, Some(&store), ctx.seed);
+    rows.push(Row {
+        scenario: "batched".into(),
+        model: "ours-4x w/".into(),
+        preprocessed: false,
+        f1_micro: f1,
+        kmacs_per_node: kmacs,
+    });
+
+    print_table(
+        &["Scenario", "Model", "Pre-Proc", "F1-Micro", "kMACs/node"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.model.clone(),
+                    if r.preprocessed { "yes".into() } else { "-".to_string() },
+                    fnum(r.f1_micro, 3),
+                    fnum(r.kmacs_per_node, 0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

@@ -1,0 +1,119 @@
+//! Experiment context: result persistence and table formatting.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Context shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Experiment id (e.g. `table3_full_inference`).
+    pub name: String,
+    /// `results/` in the workspace root.
+    pub results_dir: PathBuf,
+    /// Dataset scale factor (`GCNP_SCALE`, default 1.0).
+    pub scale: f64,
+    /// Base seed (`GCNP_SEED`, default 42).
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// Create a context, reading `GCNP_SCALE` / `GCNP_SEED` from the
+    /// environment and creating the results directories.
+    pub fn new(name: &str) -> Self {
+        let scale = std::env::var("GCNP_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+        let seed = std::env::var("GCNP_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        let results_dir = workspace_root().join("results");
+        fs::create_dir_all(results_dir.join("cache")).expect("create results dirs");
+        println!("== {name} (scale={scale}, seed={seed}) ==");
+        Self { name: name.to_string(), results_dir, scale, seed }
+    }
+
+    /// Persist a JSON record for EXPERIMENTS.md generation.
+    pub fn write_json<T: Serialize>(&self, value: &T) {
+        let path = self.results_dir.join(format!("{}.json", self.name));
+        let json = serde_json::to_string_pretty(value).expect("serialize result");
+        fs::write(&path, json).expect("write result json");
+        println!("results written to {}", path.display());
+    }
+
+    /// Path for a cache entry.
+    pub fn cache_path(&self, key: &str) -> PathBuf {
+        self.results_dir.join("cache").join(format!(
+            "{key}_s{}_d{}.json",
+            self.seed,
+            (self.scale * 1000.0) as u64
+        ))
+    }
+
+    /// Load a cached value if present.
+    pub fn cache_get<T: serde::de::DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let path = self.cache_path(key);
+        let data = fs::read_to_string(path).ok()?;
+        serde_json::from_str(&data).ok()
+    }
+
+    /// Store a value in the cache.
+    pub fn cache_put<T: Serialize>(&self, key: &str, value: &T) {
+        let path = self.cache_path(key);
+        fs::write(path, serde_json::to_string(value).expect("serialize cache"))
+            .expect("write cache");
+    }
+}
+
+/// Locate the workspace root (directory containing the top-level Cargo.toml
+/// with a `[workspace]` section), falling back to the current directory.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+/// Render an ASCII table: header row + data rows, columns auto-sized.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!(" {c:>w$} |"));
+        }
+        s
+    };
+    let sep: String = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        s
+    };
+    println!("{}", line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!("{sep}");
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Format a float with the given precision, or `-` for NaN.
+pub fn fnum(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else {
+        format!("{v:.prec$}")
+    }
+}

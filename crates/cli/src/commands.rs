@@ -1,0 +1,341 @@
+//! Subcommand implementations. Each takes parsed [`Args`] and returns a
+//! human-readable summary (printed by `main`) or an error string.
+
+use crate::args::Args;
+use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
+use gcnp_datasets::{Dataset, DatasetKind};
+use gcnp_infer::{
+    simulate, BatchedEngine, FeatureStore, FullEngine, QuantizedGnn, ServingConfig, StorePolicy,
+};
+use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
+use gcnp_sparse::Normalization;
+use gcnp_tensor::Matrix;
+use std::fs;
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse dataset {path}: {e}"))
+}
+
+fn load_model(path: &str) -> Result<GnnModel, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse model {path}: {e}"))
+}
+
+fn save<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name}; available: {}",
+                DatasetKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })
+}
+
+/// `gcnp generate --dataset <name> [--scale f] [--seed n] --out file`
+pub fn generate(args: &Args) -> Result<String, String> {
+    let kind = dataset_kind(args.require("dataset")?)?;
+    let scale: f64 = args.get_or("scale", 1.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.require("out")?;
+    let data = kind.generate_scaled(scale, seed);
+    save(out, &data)?;
+    Ok(format!(
+        "wrote {} ({} nodes, {} edges, {} attrs, {} classes) to {out}",
+        data.name,
+        data.n_nodes(),
+        data.adj.nnz(),
+        data.attr_dim(),
+        data.n_classes()
+    ))
+}
+
+/// `gcnp train --data file [--hidden n] [--steps n] [--lr f] [--seed n] --out file`
+pub fn train(args: &Args) -> Result<String, String> {
+    let data = load_dataset(args.require("data")?)?;
+    let hidden: usize = args.get_or("hidden", 128)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let cfg = TrainConfig {
+        steps: args.get_or("steps", 200)?,
+        lr: args.get_or("lr", 0.01)?,
+        eval_every: args.get_or("eval-every", 15)?,
+        patience: args.get_or("patience", 5)?,
+        seed,
+        ..Default::default()
+    };
+    let out = args.require("out")?;
+    let mut model = zoo::graphsage(data.attr_dim(), hidden, data.n_classes(), seed);
+    let stats = Trainer::train_saint(&mut model, &data, &cfg);
+    save(out, &model)?;
+    Ok(format!(
+        "trained GraphSAGE({hidden}) for {} steps in {:.1}s, val F1 {:.3}; model -> {out}",
+        stats.steps_run, stats.seconds, stats.best_val_f1
+    ))
+}
+
+/// `gcnp prune --data file --model file --budget f [--scheme full|batched]
+///  [--method lasso|maxres|random] [--retrain] --out file`
+pub fn prune(args: &Args) -> Result<String, String> {
+    let data = load_dataset(args.require("data")?)?;
+    let model = load_model(args.require("model")?)?;
+    let budget: f32 = args.get_or("budget", 0.25)?;
+    let scheme = match args.get("scheme").unwrap_or("full") {
+        "full" => Scheme::FullInference,
+        "batched" => Scheme::BatchedInference,
+        other => return Err(format!("unknown scheme {other} (full|batched)")),
+    };
+    let method = match args.get("method").unwrap_or("lasso") {
+        "lasso" => PruneMethod::Lasso,
+        "maxres" => PruneMethod::MaxResponse,
+        "random" => PruneMethod::Random,
+        other => return Err(format!("unknown method {other} (lasso|maxres|random)")),
+    };
+    let out = args.require("out")?;
+    let (tadj, tnodes) = data.train_adj();
+    let tadj = tadj.normalized(Normalization::Row);
+    let tx = data.features.gather_rows(&tnodes);
+    let cfg = PrunerConfig { method, seed: args.get_or("seed", 0)?, ..Default::default() };
+    let (mut pruned, report) = prune_model(&model, &tadj, &tx, budget, scheme, &cfg);
+    let mut msg = format!(
+        "pruned {:?}/{:?} @ budget {budget}: {} -> {} weights in {:.1}s",
+        scheme, method, report.weights_before, report.weights_after, report.seconds
+    );
+    if args.has("retrain") {
+        let tcfg = TrainConfig { seed: args.get_or("seed", 0)?, ..Default::default() };
+        let stats = Trainer::train_saint(&mut pruned, &data, &tcfg);
+        msg.push_str(&format!(
+            "; retrained to val F1 {:.3} in {:.1}s",
+            stats.best_val_f1, stats.seconds
+        ));
+    }
+    save(out, &pruned)?;
+    msg.push_str(&format!("; model -> {out}"));
+    Ok(msg)
+}
+
+/// `gcnp quantize --model file --out file`
+pub fn quantize(args: &Args) -> Result<String, String> {
+    let model = load_model(args.require("model")?)?;
+    let out = args.require("out")?;
+    let q = QuantizedGnn::from_model(&model);
+    save(out, &q)?;
+    Ok(format!(
+        "quantized to int8: {} weight bytes ({} f32); model -> {out}",
+        q.weight_bytes(),
+        model.n_weights() * 4
+    ))
+}
+
+/// `gcnp eval --data file --model file [--batched] [--store] [--batch n]
+///  [--quantized]`
+pub fn eval(args: &Args) -> Result<String, String> {
+    let data = load_dataset(args.require("data")?)?;
+    let model_path = args.require("model")?;
+    let adj = data.adj.normalized(Normalization::Row);
+    if args.has("quantized") {
+        let text = fs::read_to_string(model_path).map_err(|e| e.to_string())?;
+        let q: QuantizedGnn = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+        let logits = q.forward_full(Some(&adj), &data.features);
+        let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
+        return Ok(format!("quantized full inference: test F1 {f1:.3}"));
+    }
+    let model = load_model(model_path)?;
+    if !args.has("batched") {
+        let engine = FullEngine::new(&model, Some(&adj));
+        let res = engine.run(&data.features, 1, 3);
+        let f1 = Metrics::f1_micro_full(&res.logits, &data.labels, &data.test);
+        return Ok(format!(
+            "full inference: test F1 {f1:.3}, {:.0} kMACs/node, {:.1} MB, {:.2} kN/s",
+            res.kmacs_per_node,
+            res.memory_bytes as f64 / 1e6,
+            res.throughput / 1e3
+        ));
+    }
+    // Batched path.
+    let store_holder;
+    let store = if args.has("store") {
+        let engine = FullEngine::new(&model, Some(&adj));
+        let hs = engine.hidden(&data.features);
+        let s = FeatureStore::new(data.n_nodes(), model.n_layers() - 1);
+        let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+        offline.sort_unstable();
+        for level in 1..model.n_layers() {
+            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        }
+        store_holder = s;
+        Some(&store_holder)
+    } else {
+        None
+    };
+    let batch: usize = args.get_or("batch", 512)?;
+    let mut engine = BatchedEngine::new(
+        &model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(args.get_or("cap", 32)?)],
+        store,
+        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        args.get_or("seed", 0)?,
+    );
+    let mut lat = Vec::new();
+    let mut macs = 0u64;
+    let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
+    for chunk in data.test.chunks(batch) {
+        let res = engine.infer(chunk);
+        lat.push(res.seconds * 1e3);
+        macs += res.macs;
+        for (i, &t) in res.targets.iter().enumerate() {
+            preds.push((t, res.logits.row(i).to_vec()));
+        }
+    }
+    let idx: Vec<usize> = preds.iter().map(|(t, _)| *t).collect();
+    let mut logits = Matrix::zeros(preds.len(), data.n_classes());
+    for (r, (_, row)) in preds.iter().enumerate() {
+        logits.row_mut(r).copy_from_slice(row);
+    }
+    let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(format!(
+        "batched inference (batch {batch}{}): test F1 {f1:.3}, {:.0} kMACs/target, median {:.1} ms/batch",
+        if store.is_some() { ", w/ store" } else { "" },
+        macs as f64 / data.test.len() as f64 / 1e3,
+        lat[lat.len() / 2]
+    ))
+}
+
+/// `gcnp serve --data file --model file [--rate f] [--requests n]
+///  [--max-batch n] [--max-wait-ms f] [--store]`
+pub fn serve(args: &Args) -> Result<String, String> {
+    let data = load_dataset(args.require("data")?)?;
+    let model = load_model(args.require("model")?)?;
+    let store_holder;
+    let store = if args.has("store") {
+        let adj = data.adj.normalized(Normalization::Row);
+        let engine = FullEngine::new(&model, Some(&adj));
+        let hs = engine.hidden(&data.features);
+        let s = FeatureStore::new(data.n_nodes(), model.n_layers() - 1);
+        let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+        offline.sort_unstable();
+        for level in 1..model.n_layers() {
+            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        }
+        store_holder = s;
+        Some(&store_holder)
+    } else {
+        None
+    };
+    let mut engine = BatchedEngine::new(
+        &model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(32)],
+        store,
+        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        args.get_or("seed", 0)?,
+    );
+    let cfg = ServingConfig {
+        arrival_rate: args.get_or("rate", 500.0)?,
+        max_batch: args.get_or("max-batch", 64)?,
+        max_wait: args.get_or::<f64>("max-wait-ms", 20.0)? / 1e3,
+        n_requests: args.get_or("requests", 1000)?,
+        seed: args.get_or("seed", 0)?,
+    };
+    let rep = simulate(&mut engine, &data.test, &cfg);
+    Ok(format!(
+        "served {} requests in {} batches (mean size {:.1}): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, {:.0} req/s compute-bound",
+        rep.n_requests,
+        rep.n_batches,
+        rep.mean_batch_size,
+        rep.p50_ms,
+        rep.p95_ms,
+        rep.p99_ms,
+        rep.max_ms,
+        rep.throughput
+    ))
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "train" => train(args),
+        "prune" => prune(args),
+        "quantize" => quantize(args),
+        "eval" => eval(args),
+        "serve" => serve(args),
+        other => Err(format!(
+            "unknown command {other}; available: generate, train, prune, quantize, eval, serve"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn pipeline_generate_train_prune_eval_serve() {
+        let dir = std::env::temp_dir().join("gcnp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.join("d.json").display().to_string();
+        let m = dir.join("m.json").display().to_string();
+        let p = dir.join("p.json").display().to_string();
+        let q = dir.join("q.json").display().to_string();
+
+        let msg = run(&parse(&format!(
+            "generate --dataset yelpchi-sim --scale 0.05 --seed 1 --out {d}"
+        )))
+        .unwrap();
+        assert!(msg.contains("yelpchi-sim"));
+
+        let msg = run(&parse(&format!(
+            "train --data {d} --hidden 16 --steps 30 --eval-every 10 --out {m}"
+        )))
+        .unwrap();
+        assert!(msg.contains("val F1"));
+
+        let msg = run(&parse(&format!(
+            "prune --data {d} --model {m} --budget 0.5 --scheme batched --out {p}"
+        )))
+        .unwrap();
+        assert!(msg.contains("weights"));
+
+        let msg = run(&parse(&format!("eval --data {d} --model {p}"))).unwrap();
+        assert!(msg.contains("test F1"));
+        let msg =
+            run(&parse(&format!("eval --data {d} --model {p} --batched --store"))).unwrap();
+        assert!(msg.contains("w/ store"));
+
+        let msg = run(&parse(&format!("quantize --model {p} --out {q}"))).unwrap();
+        assert!(msg.contains("int8"));
+        let msg = run(&parse(&format!("eval --data {d} --model {q} --quantized"))).unwrap();
+        assert!(msg.contains("quantized"));
+
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {p} --requests 50 --rate 200 --store"
+        )))
+        .unwrap();
+        assert!(msg.contains("p99"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_bad_inputs() {
+        assert!(run(&parse("frobnicate")).is_err());
+        assert!(run(&parse("generate --dataset nope --out /tmp/x.json")).is_err());
+        assert!(run(&parse("prune --data missing.json --model also-missing.json --out /tmp/x"))
+            .is_err());
+        assert!(run(&parse("eval --data missing.json --model missing.json")).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # gcnp-cli
+//!
+//! Library backing the `gcnp` binary: a tiny dependency-free argument
+//! parser ([`args::Args`]) and one function per subcommand ([`commands`]).
+//! Everything operates on JSON artifacts (datasets, models) so the whole
+//! train → prune → quantize → serve pipeline can be scripted:
+//!
+//! ```sh
+//! gcnp generate --dataset reddit-sim --scale 0.1 --out data.json
+//! gcnp train    --data data.json --hidden 128 --steps 150 --out ref.json
+//! gcnp prune    --data data.json --model ref.json --budget 0.25 \
+//!               --scheme batched --retrain --out pruned.json
+//! gcnp eval     --data data.json --model pruned.json --batched --store
+//! gcnp serve    --data data.json --model pruned.json --rate 500
+//! ```
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,44 @@
+//! The `gcnp` command-line tool. See crate docs / `gcnp help`.
+
+use gcnp_cli::args::Args;
+use gcnp_cli::commands;
+
+const USAGE: &str = "\
+gcnp — channel-pruned GNN inference (VLDB'21 reproduction)
+
+USAGE: gcnp <command> [--option value | --switch]...
+
+COMMANDS
+  generate  --dataset <name> [--scale f] [--seed n] --out <file>
+            synthesize a benchmark graph (flickr-sim, arxiv-sim, reddit-sim,
+            yelp-sim, products-sim, yelpchi-sim)
+  train     --data <file> [--hidden n] [--steps n] [--lr f] --out <file>
+            GraphSAINT-train the reference 2-layer GraphSAGE
+  prune     --data <file> --model <file> [--budget f] [--scheme full|batched]
+            [--method lasso|maxres|random] [--retrain] --out <file>
+            LASSO channel pruning (the paper's method)
+  quantize  --model <file> --out <file>
+            freeze weights to int8 for edge deployment
+  eval      --data <file> --model <file> [--batched [--store] [--batch n]]
+            [--quantized]
+            test-set F1 + cost metrics under either inference scenario
+  serve     --data <file> --model <file> [--rate f] [--requests n]
+            [--max-batch n] [--max-wait-ms f] [--store]
+            simulate real-time serving; reports latency percentiles
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{USAGE}");
+        return;
+    }
+    let result = Args::parse(argv).and_then(|args| commands::run(&args));
+    match result {
+        Ok(msg) => println!("{msg}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Single-layer channel selection and weight reconstruction (Eqs. 4–9).
+//!
+//! Given per-branch inputs `X_k = Ãᵏ h⁽ⁱ⁻¹⁾` and current weights `W_k`, the
+//! task is to pick `n_keep` input channels shared by all branches and new
+//! weights `Ŵ_k` such that `(X_k[:, keep]) Ŵ_k ≈ X_k W_k` for every branch.
+//!
+//! The paper's procedure (§3.3.3): several ADAM epochs on the β sub-problem
+//! (Eq. 6) with the penalty λ raised at each epoch end until the budget is
+//! met or the problem is over-penalized; clip the smallest |β| to exactly
+//! meet the budget; then ADAM on the Ŵ sub-problem (Eq. 7) until converged.
+//! The multi-branch case (Eq. 9) falls back to the classic LASSO by stacking
+//! each branch's observations vertically.
+
+use gcnp_autograd::{Adam, AdamConfig, Tape};
+use gcnp_tensor::init::{permutation, seeded_rng};
+use gcnp_tensor::Matrix;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Channel-selection strategy (§4.1 compares the three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PruneMethod {
+    /// The paper's LASSO-regression selection.
+    Lasso,
+    /// Keep channels with the largest L1 weight-row norm ("Max Res.").
+    MaxResponse,
+    /// Uniformly random channels.
+    Random,
+}
+
+/// Hyper-parameters of the pruning optimization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrunerConfig {
+    pub method: PruneMethod,
+    /// Maximum β-step epochs (λ grows once per epoch).
+    pub beta_epochs: usize,
+    /// Ŵ-step epochs.
+    pub w_epochs: usize,
+    /// Minibatch rows (the paper uses 1024).
+    pub batch_size: usize,
+    pub lr_beta: f32,
+    pub lr_w: f32,
+    /// Initial LASSO penalty.
+    pub lambda_init: f32,
+    /// Multiplicative λ growth per epoch while over budget.
+    pub lambda_growth: f32,
+    /// |β| below `zero_tol · max|β|` counts as "shrunk to zero".
+    pub zero_tol: f32,
+    pub seed: u64,
+}
+
+impl Default for PrunerConfig {
+    fn default() -> Self {
+        Self {
+            method: PruneMethod::Lasso,
+            beta_epochs: 30,
+            w_epochs: 30,
+            batch_size: 1024,
+            lr_beta: 0.01,
+            lr_w: 0.01,
+            lambda_init: 1e-4,
+            lambda_growth: 1.4,
+            zero_tol: 1e-2,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of pruning one layer's input channels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LassoOutcome {
+    /// Sorted surviving channel indices (length = budget).
+    pub keep: Vec<usize>,
+    /// The full-length mask after clipping (zeros = pruned). For
+    /// Max-Response / Random selection this is a 0/1 indicator.
+    pub beta: Vec<f32>,
+    /// Reconstructed weights, one per branch, `keep.len() × f_out`, with β
+    /// folded in (final weights per §3.3.3).
+    pub weights: Vec<Matrix>,
+    /// λ at the end of the β-step (LASSO only).
+    pub lambda_final: f32,
+    /// β-step epochs actually run.
+    pub beta_epochs_run: usize,
+    /// Relative reconstruction error after the Ŵ-step:
+    /// `Σ_k ‖Y_k − X̂_k Ŵ_k‖² / Σ_k ‖Y_k‖²`.
+    pub rel_error: f32,
+    /// Fraction of β entries that shrank to (near) zero before clipping.
+    pub beta_zero_frac: f32,
+}
+
+/// Closed-form ridge solution `Ŵ = (XᵀX + reg·I)⁻¹ Xᵀ Y` (Eq. 7's least
+/// squares). Used as an alternative to the SGD Ŵ-step and as a test oracle.
+pub fn ridge_solve(x: &Matrix, y: &Matrix, reg: f32) -> Matrix {
+    assert_eq!(x.rows(), y.rows(), "ridge_solve: row mismatch");
+    let c = x.cols();
+    let mut gram = x.matmul_at_b(x);
+    for i in 0..c {
+        gram.set(i, i, gram.get(i, i) + reg);
+    }
+    let rhs = x.matmul_at_b(y);
+    solve_linear(&mut gram, rhs)
+}
+
+/// Solve `A · X = B` in place by Gauss–Jordan with partial pivoting.
+/// `A` is destroyed. Panics on a singular system.
+fn solve_linear(a: &mut Matrix, mut b: Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_linear: A must be square");
+    assert_eq!(b.rows(), n, "solve_linear: B row mismatch");
+    for col in 0..n {
+        // Pivot
+        let mut pivot = col;
+        let mut best = a.get(col, col).abs();
+        for r in col + 1..n {
+            let v = a.get(r, col).abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        assert!(best > 1e-12, "solve_linear: singular matrix at column {col}");
+        if pivot != col {
+            for j in 0..n {
+                let (x, y) = (a.get(col, j), a.get(pivot, j));
+                a.set(col, j, y);
+                a.set(pivot, j, x);
+            }
+            for j in 0..b.cols() {
+                let (x, y) = (b.get(col, j), b.get(pivot, j));
+                b.set(col, j, y);
+                b.set(pivot, j, x);
+            }
+        }
+        // Normalize row
+        let inv = 1.0 / a.get(col, col);
+        for j in 0..n {
+            a.set(col, j, a.get(col, j) * inv);
+        }
+        for j in 0..b.cols() {
+            b.set(col, j, b.get(col, j) * inv);
+        }
+        // Eliminate
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = a.get(r, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                a.set(r, j, a.get(r, j) - factor * a.get(col, j));
+            }
+            for j in 0..b.cols() {
+                b.set(r, j, b.get(r, j) - factor * b.get(col, j));
+            }
+        }
+    }
+    b
+}
+
+/// Select `n_keep` channels with the requested method, **without** the
+/// weight-reconstruction step. LASSO selection runs the β sub-problem.
+/// Returns `(keep, beta, lambda_final, epochs_run, zero_frac)`.
+pub fn select_channels(
+    xs: &[Matrix],
+    ws: &[Matrix],
+    n_keep: usize,
+    cfg: &PrunerConfig,
+) -> (Vec<usize>, Vec<f32>, f32, usize, f32) {
+    let c = xs[0].cols();
+    assert!(n_keep >= 1 && n_keep <= c, "select_channels: bad budget {n_keep} of {c}");
+    for (x, w) in xs.iter().zip(ws) {
+        assert_eq!(x.cols(), c, "select_channels: branch channel mismatch");
+        assert_eq!(w.rows(), c, "select_channels: weight rows must equal channels");
+    }
+    match cfg.method {
+        PruneMethod::Lasso => beta_step(xs, ws, n_keep, cfg),
+        PruneMethod::MaxResponse => {
+            // Importance = Σ_branches L1 norm of the channel's weight row.
+            let mut importance = vec![0f32; c];
+            for w in ws {
+                for (imp, norm) in importance.iter_mut().zip(w.row_l1_norms()) {
+                    *imp += norm;
+                }
+            }
+            let keep = top_k_indices(&importance, n_keep);
+            let beta = indicator(c, &keep);
+            (keep, beta, 0.0, 0, 0.0)
+        }
+        PruneMethod::Random => {
+            let mut rng = seeded_rng(cfg.seed);
+            let mut idx: Vec<usize> = (0..c).collect();
+            for i in 0..n_keep {
+                let j = rng.random_range(i..c);
+                idx.swap(i, j);
+            }
+            let mut keep = idx[..n_keep].to_vec();
+            keep.sort_unstable();
+            let beta = indicator(c, &keep);
+            (keep, beta, 0.0, 0, 0.0)
+        }
+    }
+}
+
+fn indicator(c: usize, keep: &[usize]) -> Vec<f32> {
+    let mut beta = vec![0f32; c];
+    for &k in keep {
+        beta[k] = 1.0;
+    }
+    beta
+}
+
+fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut keep = idx[..k].to_vec();
+    keep.sort_unstable();
+    keep
+}
+
+/// The β sub-problem (Eqs. 6/9): minibatch ADAM on
+/// `Σ_k ‖Y_k − (X_k ⊙ β) W_k‖² + λ‖β‖₁`, raising λ each epoch until at most
+/// `n_keep` channels stay above the zero tolerance (or λ is over-penalized),
+/// then clipping to exactly `n_keep`.
+fn beta_step(
+    xs: &[Matrix],
+    ws: &[Matrix],
+    n_keep: usize,
+    cfg: &PrunerConfig,
+) -> (Vec<usize>, Vec<f32>, f32, usize, f32) {
+    let c = xs[0].cols();
+    let ys: Vec<Matrix> = xs.iter().zip(ws).map(|(x, w)| x.matmul(w)).collect();
+    let mut beta = Matrix::filled(1, c, 1.0);
+    let mut lambda = cfg.lambda_init;
+    let mut opt = Adam::new(AdamConfig { lr: cfg.lr_beta, ..Default::default() });
+    let mut rng = seeded_rng(cfg.seed);
+    let mut epochs_run = 0;
+    let mut prev_max_abs = f32::INFINITY;
+    // Snapshot of β before the current epoch: restored when λ overshoots
+    // into uniform shrinkage, which destroys the channel ordering.
+    let mut snapshot = beta.clone();
+
+    'outer: for _epoch in 0..cfg.beta_epochs {
+        epochs_run += 1;
+        // Visit (branch, batch) pairs in a shuffled order each epoch.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for (b, x) in xs.iter().enumerate() {
+            let n_batches = x.rows().div_ceil(cfg.batch_size);
+            for i in 0..n_batches {
+                jobs.push((b, i));
+            }
+        }
+        let order = permutation(jobs.len(), &mut rng);
+        for &j in &order {
+            let (b, i) = jobs[j];
+            let (x, w, y) = (&xs[b], &ws[b], &ys[b]);
+            let start = i * cfg.batch_size;
+            let end = (start + cfg.batch_size).min(x.rows());
+            let xb = x.row_block(start, end);
+            let yb = y.row_block(start, end);
+
+            let mut t = Tape::new();
+            let xv = t.constant(xb);
+            let wv = t.constant(w.clone());
+            let bv = t.param(beta.clone());
+            let masked = t.scale_cols(xv, bv);
+            let pred = t.matmul(masked, wv);
+            let data = t.mse(pred, yb);
+            let pen = t.l1(bv);
+            let pen = t.scale(pen, lambda);
+            let loss = t.add(data, pen);
+            t.backward(loss);
+            opt.step(&mut [&mut beta], &[t.grad(bv)]);
+        }
+        // End of epoch: check budget / over-penalty, raise λ.
+        let max_abs =
+            beta.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        let nz = beta
+            .as_slice()
+            .iter()
+            .filter(|v| v.abs() > cfg.zero_tol * max_abs.max(1e-12))
+            .count();
+        if nz <= n_keep {
+            break 'outer;
+        }
+        // Over-penalized: every coefficient shrinking toward zero together.
+        // Roll back to the pre-epoch snapshot whose relative ordering was
+        // still informative.
+        if max_abs < 0.5 * prev_max_abs && max_abs < 0.05 {
+            beta = snapshot;
+            break 'outer;
+        }
+        prev_max_abs = max_abs;
+        snapshot = beta.clone();
+        lambda *= cfg.lambda_growth;
+    }
+
+    // Fraction that actually shrank to ~zero before clipping (Fig. 4 left).
+    let max_abs = beta.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+    let zero_frac = beta
+        .as_slice()
+        .iter()
+        .filter(|v| v.abs() <= cfg.zero_tol * max_abs.max(1e-12))
+        .count() as f32
+        / c as f32;
+
+    // Clip to exactly n_keep surviving channels (§3.3.3).
+    let abs: Vec<f32> = beta.as_slice().iter().map(|v| v.abs()).collect();
+    let keep = top_k_indices(&abs, n_keep);
+    let mut clipped = vec![0f32; c];
+    for &k in &keep {
+        clipped[k] = beta.as_slice()[k];
+    }
+    (keep, clipped, lambda, epochs_run, zero_frac)
+}
+
+/// Full single-layer pruning: channel selection followed by the Ŵ
+/// reconstruction step (Eq. 7, solved with minibatch ADAM per §3.3.3), with
+/// β folded into the final compact weights.
+pub fn lasso_prune(xs: &[Matrix], ws: &[Matrix], n_keep: usize, cfg: &PrunerConfig) -> LassoOutcome {
+    assert!(!xs.is_empty() && xs.len() == ws.len(), "lasso_prune: branch mismatch");
+    let c = xs[0].cols();
+    if n_keep >= c {
+        // Budget 1× = no pruning: keep everything and the original weights,
+        // guaranteeing bit-identical outputs.
+        return LassoOutcome {
+            keep: (0..c).collect(),
+            beta: vec![1.0; c],
+            weights: ws.to_vec(),
+            lambda_final: 0.0,
+            beta_epochs_run: 0,
+            rel_error: 0.0,
+            beta_zero_frac: 0.0,
+        };
+    }
+    let (keep, beta, lambda_final, beta_epochs_run, beta_zero_frac) =
+        select_channels(xs, ws, n_keep, cfg);
+
+    // Targets from the *current* weights (possibly already column-pruned by
+    // an earlier step of the reverse sweep).
+    let ys: Vec<Matrix> = xs.iter().zip(ws).map(|(x, w)| x.matmul(w)).collect();
+
+    // Ŵ-step (Eq. 7). We solve directly for the *folded* product
+    // V = β̂ ⊙ Ŵ over the raw kept inputs X̂ = X[:, keep]: algebraically
+    // identical to the paper's "apply the mask β̂ to the weights Ŵ"
+    // (§3.3.3), but conditioned independently of how far λ shrank β —
+    // otherwise a β of 1e-3 would force the optimizer to find weights 10³
+    // times the warm start. The closed-form ridge solution provides the
+    // starting point; optional ADAM refinement (cfg.w_epochs) never makes
+    // it worse because the better of the two is kept.
+    let xhats: Vec<Matrix> = xs.iter().map(|x| x.select_cols(&keep)).collect();
+    let mut weights = Vec::with_capacity(ws.len());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for ((xhat, y), w) in xhats.iter().zip(&ys).zip(ws) {
+        // Ridge regularizer proportional to the average feature energy so
+        // the solve stays well-posed on rank-deficient inputs.
+        let gram_scale =
+            (xhat.frobenius_sq() / xhat.cols().max(1) as f32).max(1e-6);
+        let mut w_hat = ridge_solve(xhat, y, 1e-4 * gram_scale);
+        if cfg.w_epochs > 0 {
+            w_hat = solve_w_sgd(xhat, y, w_hat, cfg);
+        }
+        // Never worse than simply dropping the pruned rows of W.
+        let w0 = w.select_rows(&keep);
+        let err = |wc: &Matrix| xhat.matmul(wc).sub(y).frobenius_sq();
+        if err(&w0) < err(&w_hat) {
+            w_hat = w0;
+        }
+        num += err(&w_hat) as f64;
+        den += y.frobenius_sq() as f64;
+        weights.push(w_hat);
+    }
+    let rel_error = if den > 0.0 { (num / den) as f32 } else { 0.0 };
+    LassoOutcome {
+        keep,
+        beta,
+        weights,
+        lambda_final,
+        beta_epochs_run,
+        rel_error,
+        beta_zero_frac,
+    }
+}
+
+/// Minibatch ADAM on `‖Y − X̂ W‖²` (the Ŵ sub-problem). Falls back to the
+/// warm start if optimization failed to improve (never worse than W₀).
+fn solve_w_sgd(xhat: &Matrix, y: &Matrix, w0: Matrix, cfg: &PrunerConfig) -> Matrix {
+    let mut w = w0.clone();
+    let mut opt = Adam::new(AdamConfig { lr: cfg.lr_w, ..Default::default() });
+    let mut rng = seeded_rng(cfg.seed ^ 0x5eed);
+    let n = xhat.rows();
+    let n_batches = n.div_ceil(cfg.batch_size);
+    for _ in 0..cfg.w_epochs {
+        let order = permutation(n_batches, &mut rng);
+        for &i in &order {
+            let start = i * cfg.batch_size;
+            let end = (start + cfg.batch_size).min(n);
+            let mut t = Tape::new();
+            let xv = t.constant(xhat.row_block(start, end));
+            let wv = t.param(w.clone());
+            let pred = t.matmul(xv, wv);
+            let loss = t.mse(pred, y.row_block(start, end));
+            t.backward(loss);
+            opt.step(&mut [&mut w], &[t.grad(wv)]);
+        }
+    }
+    let err = |w: &Matrix| xhat.matmul(w).sub(y).frobenius_sq();
+    if err(&w) <= err(&w0) {
+        w
+    } else {
+        w0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnp_tensor::init::seeded_rng;
+
+    fn fast_cfg(method: PruneMethod) -> PrunerConfig {
+        PrunerConfig {
+            method,
+            beta_epochs: 40,
+            w_epochs: 40,
+            batch_size: 64,
+            lr_beta: 0.02,
+            lr_w: 0.02,
+            ..Default::default()
+        }
+    }
+
+    /// X whose channels 0..k_informative dominate Y = X W.
+    fn informative_problem(
+        n: usize,
+        c: usize,
+        f_out: usize,
+        informative: usize,
+        seed: u64,
+    ) -> (Matrix, Matrix) {
+        let mut rng = seeded_rng(seed);
+        let x = Matrix::rand_uniform(n, c, -1.0, 1.0, &mut rng);
+        let mut w = Matrix::rand_uniform(c, f_out, -1.0, 1.0, &mut rng);
+        // Zero the weight rows of uninformative channels: they contribute
+        // nothing to Y, so an ideal pruner drops exactly those.
+        for j in informative..c {
+            for o in 0..f_out {
+                w.set(j, o, 0.0);
+            }
+        }
+        (x, w)
+    }
+
+    #[test]
+    fn ridge_solve_recovers_exact_solution() {
+        let mut rng = seeded_rng(1);
+        let x = Matrix::rand_uniform(50, 6, -1.0, 1.0, &mut rng);
+        let w_true = Matrix::rand_uniform(6, 3, -1.0, 1.0, &mut rng);
+        let y = x.matmul(&w_true);
+        let w = ridge_solve(&x, &y, 1e-6);
+        assert!(w.approx_eq(&w_true, 1e-3), "ridge should recover W");
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn ridge_solve_rejects_singular() {
+        // Duplicate columns with no regularization => singular gram.
+        let x = Matrix::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]);
+        let y = Matrix::from_vec(3, 1, vec![1., 2., 3.]);
+        let _ = ridge_solve(&x, &y, 0.0);
+    }
+
+    #[test]
+    fn lasso_selects_informative_channels() {
+        let (x, w) = informative_problem(256, 12, 4, 5, 2);
+        let out = lasso_prune(&[x], &[w], 5, &fast_cfg(PruneMethod::Lasso));
+        assert_eq!(out.keep, vec![0, 1, 2, 3, 4], "LASSO must find the informative channels");
+        assert!(out.rel_error < 1e-2, "reconstruction error {}", out.rel_error);
+    }
+
+    #[test]
+    fn max_response_selects_large_weight_rows() {
+        let (x, w) = informative_problem(128, 10, 3, 4, 3);
+        let out = lasso_prune(&[x], &[w], 4, &fast_cfg(PruneMethod::MaxResponse));
+        assert_eq!(out.keep, vec![0, 1, 2, 3]);
+        assert!(out.rel_error < 1e-2);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let (x, w) = informative_problem(64, 10, 3, 4, 4);
+        let a = select_channels(&[x.clone()], &[w.clone()], 4, &fast_cfg(PruneMethod::Random));
+        let b = select_channels(&[x], &[w], 4, &fast_cfg(PruneMethod::Random));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0.len(), 4);
+    }
+
+    #[test]
+    fn multi_branch_shares_channels() {
+        // Two branches whose informative channels agree -> shared keep works.
+        let (x1, w1) = informative_problem(128, 10, 3, 4, 5);
+        let (x2, w2) = informative_problem(128, 10, 2, 4, 6);
+        let out = lasso_prune(&[x1, x2], &[w1, w2], 4, &fast_cfg(PruneMethod::Lasso));
+        assert_eq!(out.keep, vec![0, 1, 2, 3]);
+        assert_eq!(out.weights.len(), 2);
+        assert_eq!(out.weights[0].shape(), (4, 3));
+        assert_eq!(out.weights[1].shape(), (4, 2));
+        assert!(out.rel_error < 5e-2, "rel error {}", out.rel_error);
+    }
+
+    #[test]
+    fn budget_one_keeps_single_channel() {
+        let (x, w) = informative_problem(64, 8, 2, 3, 7);
+        let out = lasso_prune(&[x], &[w], 1, &fast_cfg(PruneMethod::Lasso));
+        assert_eq!(out.keep.len(), 1);
+        assert!(out.keep[0] < 3, "should keep one informative channel");
+    }
+
+    #[test]
+    fn full_budget_is_near_lossless() {
+        let (x, w) = informative_problem(64, 8, 2, 8, 8);
+        let out = lasso_prune(&[x.clone()], &[w.clone()], 8, &fast_cfg(PruneMethod::Lasso));
+        assert_eq!(out.keep.len(), 8);
+        // With all channels kept, reconstruction should be essentially exact.
+        let pred = x.select_cols(&out.keep).matmul(&out.weights[0]);
+        let target = x.matmul(&w);
+        let rel = pred.sub(&target).frobenius_sq() / target.frobenius_sq();
+        assert!(rel < 1e-3, "rel {rel}");
+    }
+
+    #[test]
+    fn lasso_beats_random_on_reconstruction() {
+        let (x, w) = informative_problem(256, 16, 4, 6, 9);
+        let lasso = lasso_prune(&[x.clone()], &[w.clone()], 6, &fast_cfg(PruneMethod::Lasso));
+        let random = lasso_prune(&[x], &[w], 6, &fast_cfg(PruneMethod::Random));
+        assert!(
+            lasso.rel_error <= random.rel_error,
+            "LASSO {} vs Random {}",
+            lasso.rel_error,
+            random.rel_error
+        );
+    }
+
+    #[test]
+    fn beta_shrinks_under_penalty() {
+        let (x, w) = informative_problem(256, 12, 4, 5, 10);
+        let out = lasso_prune(&[x], &[w], 5, &fast_cfg(PruneMethod::Lasso));
+        assert!(out.beta_zero_frac > 0.3, "zero fraction {}", out.beta_zero_frac);
+        assert!(out.lambda_final > 0.0);
+        assert!(out.beta_epochs_run >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad budget")]
+    fn zero_budget_rejected() {
+        let (x, w) = informative_problem(32, 8, 2, 3, 11);
+        let _ = select_channels(&[x], &[w], 0, &fast_cfg(PruneMethod::Lasso));
+    }
+}

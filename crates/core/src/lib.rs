@@ -1,0 +1,27 @@
+//! # gcnp-core
+//!
+//! The paper's primary contribution: **channel pruning for GNN inference**.
+//!
+//! A *channel* is a column of the hidden feature matrix `h⁽ⁱ⁾`. Pruning the
+//! input channels of layer *i* removes columns of `h⁽ⁱ⁻¹⁾` — and therefore
+//! output columns of layer *i−1*'s weights — shrinking every GEMM the
+//! inference engine executes.
+//!
+//! * [`lasso`] — the single-branch / single-layer LASSO formulation
+//!   (Eqs. 4–9): alternating β-step (channel selection with an increasing
+//!   L1 penalty) and Ŵ-step (least-squares weight reconstruction), plus the
+//!   Max-Response and Random selection baselines,
+//! * [`scheme`] — end-to-end pruning, output layer → input layer, with the
+//!   full-inference scheme (constant budget everywhere except the raw
+//!   attributes) and the batched-inference scheme (layer-1 neighbor branch +
+//!   all of layer-2, §3.3.2),
+//! * retraining is the standard [`gcnp_models::Trainer`] run on the pruned
+//!   model — pruned branches carry `keep` lists which the tape honors.
+
+pub mod lasso;
+pub mod scheme;
+
+pub use lasso::{
+    lasso_prune, ridge_solve, select_channels, LassoOutcome, PruneMethod, PrunerConfig,
+};
+pub use scheme::{prune_model, prune_single_layer, LayerReport, PruneReport, Scheme};

@@ -1,0 +1,24 @@
+//! # gcnp-datasets
+//!
+//! Seeded synthetic stand-ins for the paper's six benchmarks.
+//!
+//! The real datasets (Flickr, OGB-Arxiv, Reddit, Yelp, OGB-Products, YelpCHI)
+//! are multi-hundred-MB downloads; this crate generates graphs that match
+//! them in every property the channel-pruning result depends on — attribute
+//! dimension, class count, label mode (single vs multi-label), average
+//! degree, homophily, and train/val/test split — with node counts scaled to
+//! a single-core machine (see DESIGN.md §1 for the substitution argument).
+//!
+//! The generator is a degree-corrected stochastic block model whose node
+//! features embed class signal in a *subset* of channels plus pure-noise
+//! channels — the structure that makes channel pruning meaningful — and
+//! corrupts a fraction of nodes' features so that neighbor aggregation
+//! (i.e. an actual GNN) beats a plain MLP, as in the real benchmarks.
+
+pub mod registry;
+pub mod stream;
+pub mod synth;
+
+pub use registry::{Dataset, DatasetKind, Labels};
+pub use stream::SpamStream;
+pub use synth::{oversample, SynthConfig};

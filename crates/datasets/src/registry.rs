@@ -1,0 +1,263 @@
+//! The named benchmark registry (paper Table 2, scaled).
+
+use gcnp_sparse::CsrMatrix;
+use gcnp_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::synth::SynthConfig;
+
+/// Node labels: single-label (softmax) or multi-label (sigmoid/BCE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Labels {
+    /// `(class per node, number of classes)`.
+    Single(Vec<usize>, usize),
+    /// Binary indicator matrix `n × classes`.
+    Multi(Matrix),
+}
+
+impl Labels {
+    /// Number of classes / label bits.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Labels::Single(_, k) => *k,
+            Labels::Multi(m) => m.cols(),
+        }
+    }
+
+    /// True for multi-label datasets.
+    pub fn is_multi(&self) -> bool {
+        matches!(self, Labels::Multi(_))
+    }
+}
+
+/// A graph dataset: adjacency, node attributes, labels, splits, and optional
+/// per-node timestamps (minutes) for streaming applications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    pub adj: CsrMatrix,
+    pub features: Matrix,
+    pub labels: Labels,
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+    pub timestamps: Option<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adj.n_rows()
+    }
+
+    /// Attribute dimension.
+    pub fn attr_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.n_classes()
+    }
+
+    /// Adjacency restricted to edges between training nodes — the paper's
+    /// "training graph" used during pruning to avoid information leak (§3.1).
+    pub fn train_adj(&self) -> (CsrMatrix, Vec<usize>) {
+        let mut nodes = self.train.clone();
+        nodes.sort_unstable();
+        (self.adj.induced(&nodes), nodes)
+    }
+
+    /// One-line statistics string (Table 2 row).
+    pub fn stats_row(&self) -> String {
+        format!(
+            "{:<12} {:>8} {:>10} {:>6} {:>8} {:>6.0}%",
+            self.name,
+            self.n_nodes(),
+            self.adj.nnz(),
+            self.attr_dim(),
+            match &self.labels {
+                Labels::Single(_, k) => format!("{k}(s)"),
+                Labels::Multi(m) => format!("{}(m)", m.cols()),
+            },
+            100.0 * self.test.len() as f64 / self.n_nodes() as f64
+        )
+    }
+}
+
+/// The six named benchmarks of the paper (Table 2), scaled per DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Flickr: image type classification. 7 classes, 500 attrs.
+    FlickrSim,
+    /// OGB-Arxiv: paper subject areas. 40 classes, 128 attrs.
+    ArxivSim,
+    /// Reddit: post communities. 41 classes, 602 attrs, dense graph.
+    RedditSim,
+    /// Yelp: business types. 100-way multi-label, 300 attrs.
+    YelpSim,
+    /// OGB-Products: product categories. 47 classes, 100 attrs, 88% test.
+    ProductsSim,
+    /// YelpCHI: spam review detection. 2 classes, 769 attrs, timestamps.
+    YelpChiSim,
+}
+
+impl DatasetKind {
+    /// All kinds, in the paper's table order.
+    pub const ALL: [DatasetKind; 6] = [
+        DatasetKind::FlickrSim,
+        DatasetKind::ArxivSim,
+        DatasetKind::RedditSim,
+        DatasetKind::YelpSim,
+        DatasetKind::ProductsSim,
+        DatasetKind::YelpChiSim,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::FlickrSim => "flickr-sim",
+            DatasetKind::ArxivSim => "arxiv-sim",
+            DatasetKind::RedditSim => "reddit-sim",
+            DatasetKind::YelpSim => "yelp-sim",
+            DatasetKind::ProductsSim => "products-sim",
+            DatasetKind::YelpChiSim => "yelpchi-sim",
+        }
+    }
+
+    /// The GNN hidden dimension the paper uses for this dataset (§4),
+    /// halved to fit the single-core substitute (DESIGN.md §1).
+    pub fn hidden_dim(&self) -> usize {
+        match self {
+            DatasetKind::FlickrSim => 128,  // paper: 256
+            DatasetKind::ArxivSim => 256,   // paper: 512
+            DatasetKind::RedditSim => 128,  // paper: 128 (kept)
+            DatasetKind::YelpSim => 256,    // paper: 512
+            DatasetKind::ProductsSim => 256, // paper: 512
+            DatasetKind::YelpChiSim => 128, // paper: 128 (kept)
+        }
+    }
+
+    /// Generator configuration for this benchmark.
+    pub fn config(&self) -> SynthConfig {
+        let base = SynthConfig::default();
+        match self {
+            DatasetKind::FlickrSim => SynthConfig {
+                name: "flickr-sim",
+                nodes: 8_000,
+                avg_degree: 10.0,
+                attr_dim: 500,
+                classes: 7,
+                communities: 7,
+                test_frac: 0.25,
+                ..base
+            },
+            DatasetKind::ArxivSim => SynthConfig {
+                name: "arxiv-sim",
+                nodes: 12_000,
+                avg_degree: 7.0,
+                attr_dim: 128,
+                classes: 40,
+                communities: 40,
+                test_frac: 0.29,
+                ..base
+            },
+            DatasetKind::RedditSim => SynthConfig {
+                name: "reddit-sim",
+                nodes: 12_000,
+                avg_degree: 25.0,
+                attr_dim: 602,
+                classes: 41,
+                communities: 41,
+                test_frac: 0.24,
+                ..base
+            },
+            DatasetKind::YelpSim => SynthConfig {
+                name: "yelp-sim",
+                nodes: 16_000,
+                avg_degree: 10.0,
+                attr_dim: 300,
+                classes: 100,
+                communities: 25,
+                multi_label: true,
+                test_frac: 0.10,
+                ..base
+            },
+            DatasetKind::ProductsSim => SynthConfig {
+                name: "products-sim",
+                nodes: 24_000,
+                avg_degree: 25.0,
+                attr_dim: 100,
+                classes: 47,
+                communities: 47,
+                test_frac: 0.88,
+                val_frac: 0.02,
+                ..base
+            },
+            DatasetKind::YelpChiSim => SynthConfig {
+                name: "yelpchi-sim",
+                nodes: 4_000,
+                avg_degree: 8.0,
+                attr_dim: 769,
+                classes: 2,
+                communities: 8,
+                test_frac: 0.23,
+                timestamp_days: 366,
+                ..base
+            },
+        }
+    }
+
+    /// Generate the benchmark at its default scale.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        self.config().generate(seed)
+    }
+
+    /// Generate a reduced-size variant (for fast tests); `scale` multiplies
+    /// the node count and is clamped so at least one node per community
+    /// remains.
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> Dataset {
+        let mut cfg = self.config();
+        cfg.nodes = ((cfg.nodes as f64 * scale) as usize).max(cfg.communities * 8);
+        cfg.generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_generate_small() {
+        for kind in DatasetKind::ALL {
+            let d = kind.generate_scaled(0.02, 1);
+            assert!(d.n_nodes() > 0, "{}", kind.name());
+            assert_eq!(d.attr_dim(), kind.config().attr_dim);
+            assert_eq!(d.n_classes(), kind.config().classes);
+            assert_eq!(d.labels.is_multi(), kind.config().multi_label);
+        }
+    }
+
+    #[test]
+    fn yelpchi_has_timestamps() {
+        let d = DatasetKind::YelpChiSim.generate_scaled(0.05, 2);
+        assert!(d.timestamps.is_some());
+    }
+
+    #[test]
+    fn train_adj_is_train_only() {
+        let d = DatasetKind::ArxivSim.generate_scaled(0.02, 3);
+        let (tadj, nodes) = d.train_adj();
+        assert_eq!(tadj.n_rows(), d.train.len());
+        assert_eq!(nodes.len(), d.train.len());
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stats_row_mentions_label_mode() {
+        let d = DatasetKind::YelpSim.generate_scaled(0.02, 4);
+        assert!(d.stats_row().contains("(m)"));
+        let d = DatasetKind::FlickrSim.generate_scaled(0.02, 4);
+        assert!(d.stats_row().contains("(s)"));
+    }
+}

@@ -1,0 +1,478 @@
+//! Batched inference with supporting-node expansion, hop fan-out caps, and
+//! the hidden-feature store (§2.2.2, §3.3.2).
+//!
+//! Unlike full inference, only the features actually reachable from the
+//! batch targets are gathered and transformed. Aggregation is a uniform mean
+//! over the (possibly capped) neighbor sample, matching GraphSAGE's `D⁻¹A`
+//! semantics when uncapped.
+
+use gcnp_models::{Branch, CombineMode, GnnModel};
+use gcnp_sparse::{BatchSupport, CsrMatrix};
+use gcnp_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::store::FeatureStore;
+
+/// What the engine writes back to the store after each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorePolicy {
+    /// Never write (read-only store, or no store at all).
+    None,
+    /// Store the hidden features of the batch's **root** (target) nodes —
+    /// the paper's recommended balance point (§3.3.2).
+    Roots,
+    /// Store every hidden feature computed in the batch (maximum reuse,
+    /// maximum write traffic).
+    AllVisited,
+}
+
+/// Per-batch instrumentation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Logits for the deduplicated targets, in [`BatchResult::targets`] order.
+    pub logits: Matrix,
+    pub targets: Vec<usize>,
+    /// Wall-clock seconds for this batch (gather + compute + store I/O).
+    pub seconds: f64,
+    /// MACs actually executed.
+    pub macs: u64,
+    /// Bytes of features touched (gathered inputs, intermediates, store
+    /// reads) plus weights — the paper's per-batch memory metric.
+    pub mem_bytes: usize,
+    /// Distinct nodes whose raw attributes were gathered.
+    pub n_supporting: usize,
+    /// Store reads that avoided expansion.
+    pub store_hits: usize,
+}
+
+/// Batched-inference engine.
+pub struct BatchedEngine<'a> {
+    model: &'a GnnModel,
+    /// Raw (unnormalized) adjacency; the engine applies mean aggregation.
+    adj: &'a CsrMatrix,
+    features: &'a Matrix,
+    /// Per-hop fan-out caps (`[None, Some(32)]` = the paper's setting).
+    pub caps: Vec<Option<usize>>,
+    store: Option<&'a FeatureStore>,
+    pub policy: StorePolicy,
+    seed: u64,
+    batch_counter: u64,
+}
+
+impl<'a> BatchedEngine<'a> {
+    /// Create an engine. `store = None` disables the hidden-feature reuse.
+    pub fn new(
+        model: &'a GnnModel,
+        adj: &'a CsrMatrix,
+        features: &'a Matrix,
+        caps: Vec<Option<usize>>,
+        store: Option<&'a FeatureStore>,
+        policy: StorePolicy,
+        seed: u64,
+    ) -> Self {
+        for layer in &model.layers {
+            assert!(
+                layer.branches.iter().all(|b| b.k <= 1),
+                "BatchedEngine: only k ∈ {{0,1}} branches supported (GraphSAGE-style)"
+            );
+        }
+        assert!(!model.jk, "BatchedEngine: JK models not supported");
+        Self { model, adj, features, caps, store, policy, seed, batch_counter: 0 }
+    }
+
+    /// Serve one batch of target nodes.
+    pub fn infer(&mut self, targets: &[usize]) -> BatchResult {
+        let t0 = Instant::now();
+        self.batch_counter += 1;
+        let graph_flags: Vec<bool> =
+            self.model.layers.iter().map(|l| l.uses_graph()).collect();
+        let n_layers = graph_flags.len();
+        let store = self.store;
+        let support = BatchSupport::build(
+            self.adj,
+            targets,
+            &graph_flags,
+            &self.caps,
+            self.seed ^ self.batch_counter,
+            |level, node| store.is_some_and(|s| s.has(level, node)),
+        );
+
+        let mut macs: u64 = 0;
+        let mut mem_bytes: usize = self.model.n_weights() * 4;
+        let mut store_hits = 0usize;
+
+        // Level 0: raw attributes of the input nodes.
+        let mut level_mat = self.features.gather_rows(&support.input_nodes);
+        let mut level_map: HashMap<usize, usize> = support
+            .input_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        mem_bytes += level_mat.nbytes();
+
+        for li in 1..=n_layers {
+            let ls = &support.layers[li - 1];
+            let layer = &self.model.layers[li - 1];
+            // --- compute branch outputs for ls.compute --------------------
+            let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
+            for branch in &layer.branches {
+                let gathered = match branch.k {
+                    0 => gather_selected(&level_mat, &level_map, &ls.compute, branch),
+                    1 => aggregate_mean(&level_mat, &level_map, ls, branch),
+                    _ => unreachable!("validated in constructor"),
+                };
+                // Aggregation adds: one MAC-equivalent per edge per channel.
+                if branch.k == 1 {
+                    macs += (ls.neigh_ids.len() * branch.in_dim()) as u64;
+                }
+                macs += (gathered.rows() * branch.in_dim() * branch.out_dim()) as u64;
+                parts.push(gathered.matmul(&branch.weight));
+            }
+            let refs: Vec<&Matrix> = parts.iter().collect();
+            let mut out = match layer.combine {
+                CombineMode::Concat => Matrix::concat_cols_all(&refs),
+                CombineMode::Mean => {
+                    let mut acc = parts[0].clone();
+                    for p in &parts[1..] {
+                        acc.add_assign(p);
+                    }
+                    acc.scale(1.0 / parts.len() as f32)
+                }
+            };
+            if let Some(b) = &layer.bias {
+                out = out.add_row_vector(b.row(0));
+            }
+            let out = match layer.activation {
+                gcnp_models::Activation::Relu => out.relu(),
+                gcnp_models::Activation::None => out,
+            };
+            mem_bytes += out.nbytes();
+
+            // --- assemble the level-li feature table ----------------------
+            let width = out.cols();
+            let n_rows = ls.compute.len() + ls.stored.len();
+            let mut mat = Matrix::zeros(n_rows, width);
+            let mut map = HashMap::with_capacity(n_rows);
+            for (i, &v) in ls.compute.iter().enumerate() {
+                mat.row_mut(i).copy_from_slice(out.row(i));
+                map.insert(v, i);
+            }
+            for (j, &v) in ls.stored.iter().enumerate() {
+                let row = self
+                    .store
+                    .expect("stored nodes imply a store")
+                    .get(li, v)
+                    .expect("support builder verified presence");
+                assert_eq!(row.len(), width, "stored feature width mismatch at level {li}");
+                mat.row_mut(ls.compute.len() + j).copy_from_slice(&row);
+                map.insert(v, ls.compute.len() + j);
+                store_hits += 1;
+                mem_bytes += width * 4;
+            }
+
+            // --- write-back policy (middle levels only) -------------------
+            if li < n_layers {
+                if let Some(s) = self.store {
+                    match self.policy {
+                        StorePolicy::None => {}
+                        StorePolicy::Roots => {
+                            for &v in &support.targets {
+                                if let Some(&r) = map.get(&v) {
+                                    if r < ls.compute.len() {
+                                        s.put(li, v, mat.row(r));
+                                    }
+                                }
+                            }
+                        }
+                        StorePolicy::AllVisited => {
+                            for (i, &v) in ls.compute.iter().enumerate() {
+                                s.put(li, v, mat.row(i));
+                            }
+                        }
+                    }
+                }
+            }
+            level_mat = mat;
+            level_map = map;
+        }
+        if let Some(s) = self.store {
+            s.tick();
+        }
+
+        // --- extract target logits ---------------------------------------
+        let rows: Vec<usize> = support
+            .targets
+            .iter()
+            .map(|v| *level_map.get(v).expect("targets are computed at the output layer"))
+            .collect();
+        let logits = level_mat.gather_rows(&rows);
+
+        BatchResult {
+            logits,
+            targets: support.targets.clone(),
+            seconds: t0.elapsed().as_secs_f64(),
+            macs,
+            mem_bytes,
+            n_supporting: support.n_input_nodes(),
+            store_hits,
+        }
+    }
+}
+
+/// Gather rows for `nodes`, selecting the branch's kept channels.
+fn gather_selected(
+    mat: &Matrix,
+    map: &HashMap<usize, usize>,
+    nodes: &[usize],
+    branch: &Branch,
+) -> Matrix {
+    let width = branch.in_dim();
+    let mut out = Matrix::zeros(nodes.len(), width);
+    for (i, &v) in nodes.iter().enumerate() {
+        let src = mat.row(map[&v]);
+        let dst = out.row_mut(i);
+        match &branch.keep {
+            Some(keep) => {
+                for (d, &c) in dst.iter_mut().zip(keep) {
+                    *d = src[c];
+                }
+            }
+            None => dst.copy_from_slice(src),
+        }
+    }
+    out
+}
+
+/// Mean-aggregate the (capped) neighbor rows for each computed node,
+/// selecting the branch's kept channels. Nodes without neighbors get zeros
+/// (matching row-normalized SpMM on isolated nodes).
+fn aggregate_mean(
+    mat: &Matrix,
+    map: &HashMap<usize, usize>,
+    ls: &gcnp_sparse::LayerSupport,
+    branch: &Branch,
+) -> Matrix {
+    let width = branch.in_dim();
+    let mut out = Matrix::zeros(ls.compute.len(), width);
+    for i in 0..ls.compute.len() {
+        let nbrs = ls.neighbors(i);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let dst = out.row_mut(i);
+        for &u in nbrs {
+            let src = mat.row(map[&u]);
+            match &branch.keep {
+                Some(keep) => {
+                    for (d, &c) in dst.iter_mut().zip(keep) {
+                        *d += src[c];
+                    }
+                }
+                None => {
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s;
+                    }
+                }
+            }
+        }
+        let inv = 1.0 / nbrs.len() as f32;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnp_models::zoo;
+    use gcnp_sparse::Normalization;
+    use gcnp_tensor::init::seeded_rng;
+
+    fn ring(n: usize) -> CsrMatrix {
+        let mut e = Vec::new();
+        for i in 0..n as u32 {
+            let j = (i + 1) % n as u32;
+            e.push((i, j));
+            e.push((j, i));
+        }
+        CsrMatrix::adjacency(n, &e)
+    }
+
+    fn setup() -> (CsrMatrix, Matrix, GnnModel) {
+        let adj = ring(30);
+        let x = Matrix::rand_uniform(30, 6, -1.0, 1.0, &mut seeded_rng(3));
+        let model = zoo::graphsage(6, 8, 4, 7);
+        (adj, x, model)
+    }
+
+    #[test]
+    fn batched_equals_full_inference_without_caps() {
+        // With no fan-out caps and no store, batched inference must produce
+        // exactly the full-inference embeddings for the targets.
+        let (adj, x, model) = setup();
+        let norm = adj.normalized(Normalization::Row);
+        let full = model.forward_full(Some(&norm), &x);
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let targets = vec![4usize, 17, 25];
+        let res = engine.infer(&targets);
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..4 {
+                assert!(
+                    (res.logits.get(i, c) - full.get(t, c)).abs() < 1e-4,
+                    "target {t} class {c}: {} vs {}",
+                    res.logits.get(i, c),
+                    full.get(t, c)
+                );
+            }
+        }
+        assert_eq!(res.store_hits, 0);
+        assert!(res.macs > 0);
+    }
+
+    #[test]
+    fn store_reuse_matches_recomputation_when_fresh() {
+        let (adj, x, model) = setup();
+        // Populate the store with exact full-inference hidden features.
+        let norm = adj.normalized(Normalization::Row);
+        let hs = model.forward_collect(Some(&norm), &x);
+        let store = FeatureStore::new(30, 2);
+        let all: Vec<usize> = (0..30).collect();
+        store.put_rows(1, &all, &hs[0]);
+        store.put_rows(2, &all, &hs[1]);
+        let mut engine = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::None,
+            0,
+        );
+        let res = engine.infer(&[10, 11]);
+        let full = model.forward_full(Some(&norm), &x);
+        for (i, &t) in [10usize, 11].iter().enumerate() {
+            for c in 0..4 {
+                assert!((res.logits.get(i, c) - full.get(t, c)).abs() < 1e-4);
+            }
+        }
+        assert!(res.store_hits > 0, "store must be used");
+        // With everything stored, only the targets' own rows are computed.
+        assert_eq!(res.n_supporting, 0, "no raw attributes needed");
+    }
+
+    #[test]
+    fn store_reduces_supporting_nodes() {
+        let (adj, x, model) = setup();
+        let mut plain =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let baseline = plain.infer(&[0, 1, 2]);
+
+        let norm = adj.normalized(Normalization::Row);
+        let hs = model.forward_collect(Some(&norm), &x);
+        let store = FeatureStore::new(30, 2);
+        // Store h^(1) for half the nodes.
+        let half: Vec<usize> = (0..15).collect();
+        store.put_rows(1, &half, &hs[0].gather_rows(&half));
+        let mut with_store = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::None,
+            0,
+        );
+        let res = with_store.infer(&[0, 1, 2]);
+        assert!(
+            res.n_supporting < baseline.n_supporting,
+            "{} vs {}",
+            res.n_supporting,
+            baseline.n_supporting
+        );
+        assert!(res.macs < baseline.macs);
+    }
+
+    #[test]
+    fn roots_policy_populates_store() {
+        let (adj, x, model) = setup();
+        let store = FeatureStore::new(30, 2);
+        let mut engine = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::Roots,
+            0,
+        );
+        engine.infer(&[5, 6]);
+        assert!(store.has(1, 5) && store.has(1, 6), "roots stored at level 1");
+        assert!(store.has(2, 5), "roots stored at level 2");
+        assert!(!store.has(1, 7), "non-roots not stored");
+        // Second serve of the same nodes hits the store.
+        let res = engine.infer(&[5, 6]);
+        assert!(res.store_hits > 0);
+    }
+
+    #[test]
+    fn fanout_caps_reduce_work() {
+        // Dense graph so caps bite.
+        let mut edges = Vec::new();
+        for i in 0..40u32 {
+            for j in 0..40u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let adj = CsrMatrix::adjacency(40, &edges);
+        let x = Matrix::rand_uniform(40, 6, -1.0, 1.0, &mut seeded_rng(5));
+        let model = zoo::graphsage(6, 8, 4, 9);
+        let mut uncapped =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut capped = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![None, Some(4)],
+            None,
+            StorePolicy::None,
+            0,
+        );
+        let a = uncapped.infer(&[0]);
+        let b = capped.infer(&[0]);
+        assert!(b.macs < a.macs, "{} vs {}", b.macs, a.macs);
+    }
+
+    #[test]
+    fn pruned_model_runs_batched() {
+        let (adj, x, model) = setup();
+        let mut pruned = model.clone();
+        // Prune the k=1 branch of layer 0 to channels {0, 2, 4}.
+        let keep = vec![0usize, 2, 4];
+        let b = &mut pruned.layers[0].branches[1];
+        b.weight = b.weight.select_rows(&keep);
+        b.keep = Some(keep);
+        let mut engine =
+            BatchedEngine::new(&pruned, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let res = engine.infer(&[3, 4]);
+        assert_eq!(res.logits.shape(), (2, 4));
+        assert!(res.logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn duplicate_targets_dedupe() {
+        let (adj, x, model) = setup();
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let res = engine.infer(&[7, 7, 8]);
+        assert_eq!(res.targets, vec![7, 8]);
+        assert_eq!(res.logits.rows(), 2);
+    }
+}

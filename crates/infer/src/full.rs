@@ -1,0 +1,109 @@
+//! Instrumented full-graph inference (the paper's *full inference*).
+
+use gcnp_models::GnnModel;
+use gcnp_sparse::CsrMatrix;
+use gcnp_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::costmodel::CostModel;
+use crate::timing::time_it;
+
+/// Result of a timed full-inference run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullResult {
+    pub logits: Matrix,
+    /// Median seconds per complete forward pass.
+    pub seconds: f64,
+    /// Target nodes per second (all nodes are targets in full inference).
+    pub throughput: f64,
+    /// Analytic kMACs per node (Eq. 2).
+    pub kmacs_per_node: f64,
+    /// Analytic memory bytes (Eq. 2).
+    pub memory_bytes: usize,
+}
+
+/// Full-inference engine: computes embeddings for **all** nodes layer by
+/// layer with batched SpMM aggregation (§2.2.1).
+pub struct FullEngine<'a> {
+    model: &'a GnnModel,
+    /// Normalized adjacency (`None` for pure MLPs).
+    adj: Option<&'a CsrMatrix>,
+}
+
+impl<'a> FullEngine<'a> {
+    /// Create an engine over a model and its normalized adjacency.
+    pub fn new(model: &'a GnnModel, adj: Option<&'a CsrMatrix>) -> Self {
+        Self { model, adj }
+    }
+
+    /// One untimed forward pass.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.model.forward_full(self.adj, x)
+    }
+
+    /// All hidden layers (for populating a [`crate::FeatureStore`]).
+    pub fn hidden(&self, x: &Matrix) -> Vec<Matrix> {
+        self.model.forward_collect(self.adj, x)
+    }
+
+    /// Timed run: `warmup` unmeasured passes, then the median of `iters`
+    /// measured passes, plus the analytic costs.
+    pub fn run(&self, x: &Matrix, warmup: usize, iters: usize) -> FullResult {
+        let logits = self.logits(x);
+        let seconds = time_it(warmup, iters, || self.logits(x));
+        let n = x.rows();
+        let cm = CostModel::new(n, self.adj.map_or(0.0, CsrMatrix::avg_degree));
+        FullResult {
+            throughput: n as f64 / seconds,
+            kmacs_per_node: cm.full_kmacs_per_node(self.model),
+            memory_bytes: cm.full_memory_bytes(self.model),
+            seconds,
+            logits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnp_models::zoo;
+    use gcnp_sparse::Normalization;
+    use gcnp_tensor::init::seeded_rng;
+
+    fn setup() -> (CsrMatrix, Matrix, GnnModel) {
+        let adj = CsrMatrix::adjacency(
+            20,
+            &(0u32..19).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect::<Vec<_>>(),
+        )
+        .normalized(Normalization::Row);
+        let x = Matrix::rand_uniform(20, 6, -1.0, 1.0, &mut seeded_rng(1));
+        let model = zoo::graphsage(6, 8, 3, 2);
+        (adj, x, model)
+    }
+
+    #[test]
+    fn run_produces_costs_and_logits() {
+        let (adj, x, model) = setup();
+        let engine = FullEngine::new(&model, Some(&adj));
+        let res = engine.run(&x, 0, 2);
+        assert_eq!(res.logits.shape(), (20, 3));
+        assert!(res.seconds > 0.0);
+        assert!(res.throughput > 0.0);
+        assert!(res.kmacs_per_node > 0.0);
+        assert!(res.memory_bytes > 0);
+    }
+
+    #[test]
+    fn logits_match_model_forward() {
+        let (adj, x, model) = setup();
+        let engine = FullEngine::new(&model, Some(&adj));
+        assert_eq!(engine.logits(&x), model.forward_full(Some(&adj), &x));
+    }
+
+    #[test]
+    fn hidden_returns_every_layer() {
+        let (adj, x, model) = setup();
+        let engine = FullEngine::new(&model, Some(&adj));
+        assert_eq!(engine.hidden(&x).len(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gcnp-infer
+//!
+//! Inference engines for pruned and unpruned GNN models.
+//!
+//! * [`FullEngine`] — full-graph (all nodes) layer-by-layer inference with
+//!   MAC counting and wall-clock throughput, the paper's *full inference*
+//!   scenario (Table 3);
+//! * [`BatchedEngine`] — per-batch inference over the supporting-node
+//!   structure of [`gcnp_sparse::BatchSupport`], with hop fan-out caps and
+//!   the hidden-feature store (§3.3.2), the paper's *batched inference*
+//!   scenario (Table 4);
+//! * [`FeatureStore`] — stored hidden features of visited nodes, which lets
+//!   neighbors aggregate directly instead of expanding further (turning the
+//!   `d^(L−1)` of Eq. 3 toward 1);
+//! * [`CostModel`] — the analytic per-node complexity and memory of
+//!   Eqs. 2–3, reproducing the paper's #kMACs/node and Mem. columns.
+
+pub mod batched;
+pub mod costmodel;
+pub mod full;
+pub mod quantized;
+pub mod serving;
+pub mod store;
+pub mod timing;
+
+pub use batched::{BatchResult, BatchedEngine, StorePolicy};
+pub use costmodel::CostModel;
+pub use full::{FullEngine, FullResult};
+pub use quantized::QuantizedGnn;
+pub use serving::{simulate, ServingConfig, ServingReport};
+pub use store::FeatureStore;
+pub use timing::time_it;

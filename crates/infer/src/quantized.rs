@@ -1,0 +1,187 @@
+//! Int8 quantized inference (the paper's §5 edge-device motivation).
+//!
+//! [`QuantizedGnn`] freezes a trained (possibly pruned) [`GnnModel`] into
+//! per-column int8 weights and runs full inference with i32-accumulated
+//! GEMMs. Aggregation (`Ã·H`) stays in f32 — on a real accelerator it is
+//! bandwidth-bound and benefits from the pruned feature width rather than
+//! weight quantization. Pruning and quantization compose: 4× pruning × 4×
+//! weight compression ≈ 16× smaller weight memory.
+
+use gcnp_models::{Activation, CombineMode, GnnModel};
+use gcnp_sparse::CsrMatrix;
+use gcnp_tensor::{qmatmul, Matrix, QuantMatrix};
+use serde::{Deserialize, Serialize};
+
+/// One quantized branch: the kept-channel list plus int8 weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuantBranch {
+    k: usize,
+    weight: QuantMatrix,
+    keep: Option<Vec<usize>>,
+}
+
+/// One quantized layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuantLayer {
+    branches: Vec<QuantBranch>,
+    bias: Option<Matrix>,
+    combine: CombineMode,
+    activation: Activation,
+}
+
+/// A frozen int8 inference model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedGnn {
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantizedGnn {
+    /// Quantize a trained model's weights (biases stay f32 — they are tiny
+    /// and added post-accumulation, as on real int8 accelerators).
+    pub fn from_model(model: &GnnModel) -> Self {
+        assert!(!model.jk, "QuantizedGnn: JK models not supported");
+        let layers = model
+            .layers
+            .iter()
+            .map(|l| QuantLayer {
+                branches: l
+                    .branches
+                    .iter()
+                    .map(|b| QuantBranch {
+                        k: b.k,
+                        weight: QuantMatrix::quantize(&b.weight),
+                        keep: b.keep.clone(),
+                    })
+                    .collect(),
+                bias: l.bias.clone(),
+                combine: l.combine,
+                activation: l.activation,
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total weight bytes (≈ ¼ of the f32 model).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.branches.iter().map(|b| b.weight.nbytes()).sum::<usize>()
+                    + l.bias.as_ref().map_or(0, Matrix::nbytes)
+            })
+            .sum()
+    }
+
+    /// Full inference with int8 GEMMs.
+    pub fn forward_full(&self, adj: Option<&CsrMatrix>, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let max_k = layer.branches.iter().map(|b| b.k).max().unwrap_or(0);
+            assert!(max_k == 0 || adj.is_some(), "graph layer needs adjacency");
+            let mut powers: Vec<Matrix> = vec![h.clone()];
+            for _ in 0..max_k {
+                let next = adj.unwrap().spmm(powers.last().unwrap());
+                powers.push(next);
+            }
+            let parts: Vec<Matrix> = layer
+                .branches
+                .iter()
+                .map(|b| {
+                    let z = &powers[b.k];
+                    match &b.keep {
+                        Some(keep) => qmatmul(&z.select_cols(keep), &b.weight),
+                        None => qmatmul(z, &b.weight),
+                    }
+                })
+                .collect();
+            let refs: Vec<&Matrix> = parts.iter().collect();
+            let mut out = match layer.combine {
+                CombineMode::Concat => Matrix::concat_cols_all(&refs),
+                CombineMode::Mean => {
+                    let mut acc = parts[0].clone();
+                    for p in &parts[1..] {
+                        acc.add_assign(p);
+                    }
+                    acc.scale(1.0 / parts.len() as f32)
+                }
+            };
+            if let Some(b) = &layer.bias {
+                out = out.add_row_vector(b.row(0));
+            }
+            h = match layer.activation {
+                Activation::Relu => out.relu(),
+                Activation::None => out,
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnp_models::zoo;
+    use gcnp_sparse::Normalization;
+    use gcnp_tensor::init::seeded_rng;
+
+    fn setup() -> (CsrMatrix, Matrix, GnnModel) {
+        let mut edges = Vec::new();
+        for i in 0..30u32 {
+            edges.push((i, (i + 1) % 30));
+            edges.push(((i + 1) % 30, i));
+        }
+        let adj = CsrMatrix::adjacency(30, &edges).normalized(Normalization::Row);
+        let x = Matrix::rand_uniform(30, 8, -1.0, 1.0, &mut seeded_rng(1));
+        (adj, x, zoo::graphsage(8, 8, 3, 2))
+    }
+
+    #[test]
+    fn quantized_tracks_f32_logits() {
+        let (adj, x, model) = setup();
+        let exact = model.forward_full(Some(&adj), &x);
+        let q = QuantizedGnn::from_model(&model);
+        let approx = q.forward_full(Some(&adj), &x);
+        let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(
+            exact.max_abs_diff(&approx) < 0.1 * scale,
+            "int8 deviation {} vs scale {}",
+            exact.max_abs_diff(&approx),
+            scale
+        );
+    }
+
+    #[test]
+    fn quantized_predictions_mostly_agree() {
+        let (adj, x, model) = setup();
+        let exact = model.forward_full(Some(&adj), &x).argmax_rows();
+        let q = QuantizedGnn::from_model(&model);
+        let approx = q.forward_full(Some(&adj), &x).argmax_rows();
+        let agree = exact.iter().zip(&approx).filter(|(a, b)| a == b).count();
+        assert!(agree >= 28, "only {agree}/30 predictions agree");
+    }
+
+    #[test]
+    fn weight_memory_shrinks_4x() {
+        let (_, _, model) = setup();
+        let q = QuantizedGnn::from_model(&model);
+        let f32_bytes = model.n_weights() * 4;
+        assert!(q.weight_bytes() < f32_bytes / 2, "{} vs {}", q.weight_bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn quantized_pruned_model_runs() {
+        let (adj, x, mut model) = setup();
+        let b = &mut model.layers[0].branches[1];
+        b.weight = b.weight.select_rows(&[0, 3, 5]);
+        b.keep = Some(vec![0, 3, 5]);
+        let q = QuantizedGnn::from_model(&model);
+        let out = q.forward_full(Some(&adj), &x);
+        assert_eq!(out.shape(), (30, 3));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

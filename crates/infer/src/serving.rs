@@ -1,0 +1,184 @@
+//! Real-time serving simulation: Poisson request arrivals, micro-batching,
+//! per-request latency percentiles.
+//!
+//! The paper's real-time applications (Table 1: recommendation, spam
+//! detection) serve *requests*, not pre-formed batches. This module models
+//! the serving loop: requests arrive as a Poisson process, the server
+//! coalesces them into micro-batches bounded by `max_batch` and `max_wait`,
+//! and each request's latency is its queue wait plus its batch's compute
+//! time. The simulation is driven by the *measured* per-batch compute times
+//! of a [`crate::BatchedEngine`], so pruning and the feature store shift
+//! the whole latency distribution.
+
+use crate::batched::BatchedEngine;
+use gcnp_tensor::init::seeded_rng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Micro-batching policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Mean request arrival rate (requests / second).
+    pub arrival_rate: f64,
+    /// Maximum micro-batch size.
+    pub max_batch: usize,
+    /// Maximum time a request may wait for batch-mates (seconds).
+    pub max_wait: f64,
+    /// Number of requests to simulate.
+    pub n_requests: usize,
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self { arrival_rate: 500.0, max_batch: 64, max_wait: 0.02, n_requests: 1000, seed: 0 }
+    }
+}
+
+/// Latency distribution of a serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    pub n_requests: usize,
+    pub n_batches: usize,
+    pub mean_batch_size: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Achieved requests/second (compute-bound throughput).
+    pub throughput: f64,
+}
+
+/// Simulate serving `cfg.n_requests` single-node requests drawn uniformly
+/// from `pool`, coalesced into micro-batches, executed on `engine`.
+pub fn simulate(
+    engine: &mut BatchedEngine<'_>,
+    pool: &[usize],
+    cfg: &ServingConfig,
+) -> ServingReport {
+    assert!(!pool.is_empty(), "simulate: empty request pool");
+    assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0);
+    let mut rng = seeded_rng(cfg.seed);
+    // Poisson arrivals: exponential inter-arrival times.
+    let mut arrivals = Vec::with_capacity(cfg.n_requests);
+    let mut t = 0.0f64;
+    for _ in 0..cfg.n_requests {
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        t += -u.ln() / cfg.arrival_rate;
+        arrivals.push((t, pool[rng.random_range(0..pool.len())]));
+    }
+
+    let mut latencies_ms = Vec::with_capacity(cfg.n_requests);
+    let mut n_batches = 0usize;
+    let mut server_free_at = 0.0f64;
+    let mut total_compute = 0.0f64;
+    let mut i = 0usize;
+    while i < arrivals.len() {
+        // The batch opens when its first request is both arrived and the
+        // server is free; it closes at max_batch or max_wait.
+        let (first_arrival, _) = arrivals[i];
+        let open = first_arrival.max(server_free_at);
+        let close = open + cfg.max_wait;
+        let mut batch = Vec::with_capacity(cfg.max_batch);
+        let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
+        while i < arrivals.len() && batch.len() < cfg.max_batch && arrivals[i].0 <= close {
+            batch.push(arrivals[i].1);
+            batch_arrivals.push(arrivals[i].0);
+            i += 1;
+        }
+        let start = batch_arrivals.last().copied().unwrap_or(open).max(open);
+        let res = engine.infer(&batch);
+        let compute = res.seconds;
+        total_compute += compute;
+        let done = start + compute;
+        server_free_at = done;
+        n_batches += 1;
+        for &arr in &batch_arrivals {
+            latencies_ms.push((done - arr) * 1e3);
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies_ms[(p * (latencies_ms.len() - 1) as f64) as usize];
+    ServingReport {
+        n_requests: cfg.n_requests,
+        n_batches,
+        mean_batch_size: cfg.n_requests as f64 / n_batches as f64,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        max_ms: *latencies_ms.last().unwrap(),
+        throughput: cfg.n_requests as f64 / total_compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batched::StorePolicy;
+    use gcnp_models::zoo;
+    use gcnp_sparse::CsrMatrix;
+    use gcnp_tensor::init::seeded_rng as srng;
+    use gcnp_tensor::Matrix;
+
+    fn setup() -> (CsrMatrix, Matrix) {
+        let mut edges = Vec::new();
+        for i in 0..100u32 {
+            edges.push((i, (i + 1) % 100));
+            edges.push(((i + 1) % 100, i));
+            edges.push((i, (i + 7) % 100));
+            edges.push(((i + 7) % 100, i));
+        }
+        let adj = CsrMatrix::adjacency(100, &edges);
+        let x = Matrix::rand_uniform(100, 8, -1.0, 1.0, &mut srng(1));
+        (adj, x)
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig { n_requests: 200, ..Default::default() };
+        let rep = simulate(&mut engine, &pool, &cfg);
+        assert_eq!(rep.n_requests, 200);
+        assert!(rep.p50_ms <= rep.p95_ms);
+        assert!(rep.p95_ms <= rep.p99_ms);
+        assert!(rep.p99_ms <= rep.max_ms);
+        assert!(rep.n_batches >= 1);
+        assert!(rep.mean_batch_size >= 1.0);
+        assert!(rep.throughput > 0.0);
+    }
+
+    #[test]
+    fn low_arrival_rate_means_small_batches() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        // 1 request/sec with a 20 ms window: batches are almost always 1.
+        let cfg = ServingConfig {
+            arrival_rate: 1.0,
+            n_requests: 30,
+            ..Default::default()
+        };
+        let rep = simulate(&mut engine, &pool, &cfg);
+        assert!(rep.mean_batch_size < 2.0, "mean batch {}", rep.mean_batch_size);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig { n_requests: 100, seed: 5, ..Default::default() };
+        let mut e1 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let a = simulate(&mut e1, &pool, &cfg);
+        let mut e2 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let b = simulate(&mut e2, &pool, &cfg);
+        assert_eq!(a.n_batches, b.n_batches);
+        assert_eq!(a.mean_batch_size, b.mean_batch_size);
+    }
+}

@@ -1,0 +1,205 @@
+//! The hidden-feature store (§3.3.2).
+//!
+//! Stores `h⁽ˡ⁾` rows of visited nodes per middle layer. During batched
+//! inference, a supporting node whose hidden feature is stored aggregates
+//! directly from the store instead of expanding to its own neighbors —
+//! ideally collapsing batched complexity to full-inference complexity
+//! (`d → 1` in Eq. 3).
+//!
+//! Concurrency: reads dominate (every batch probes the store), writes happen
+//! per batch for root nodes — a `parking_lot::RwLock` over per-level dense
+//! row tables fits this pattern.
+
+use gcnp_tensor::Matrix;
+use parking_lot::RwLock;
+
+struct Level {
+    /// `rows[v]` is `Some(h_row)` when node `v`'s features are stored.
+    rows: Vec<Option<Box<[f32]>>>,
+    /// Batch counter at write time, for staleness policies on evolving
+    /// graphs (the paper discards features past an accuracy threshold).
+    stamps: Vec<u32>,
+    count: usize,
+}
+
+/// Stored hidden features for the middle layers of an `L`-layer model.
+pub struct FeatureStore {
+    levels: RwLock<Vec<Level>>,
+    n_nodes: usize,
+    clock: RwLock<u32>,
+}
+
+impl FeatureStore {
+    /// An empty store for `n_nodes` nodes and `n_levels` middle layers
+    /// (levels are 1-based: level `l` stores `h⁽ˡ⁾`).
+    pub fn new(n_nodes: usize, n_levels: usize) -> Self {
+        let levels = (0..n_levels)
+            .map(|_| Level {
+                rows: (0..n_nodes).map(|_| None).collect(),
+                stamps: vec![0; n_nodes],
+                count: 0,
+            })
+            .collect();
+        Self { levels: RwLock::new(levels), n_nodes, clock: RwLock::new(0) }
+    }
+
+    /// Number of nodes the store covers.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// True when `h⁽ˡᵉᵛᵉˡ⁾` of `node` is stored (level 1-based).
+    pub fn has(&self, level: usize, node: usize) -> bool {
+        let levels = self.levels.read();
+        levels
+            .get(level - 1)
+            .is_some_and(|l| l.rows.get(node).is_some_and(Option::is_some))
+    }
+
+    /// Copy the stored row, if present.
+    pub fn get(&self, level: usize, node: usize) -> Option<Vec<f32>> {
+        let levels = self.levels.read();
+        levels.get(level - 1)?.rows.get(node)?.as_ref().map(|r| r.to_vec())
+    }
+
+    /// Store (or overwrite) one node's hidden feature row.
+    pub fn put(&self, level: usize, node: usize, row: &[f32]) {
+        let mut levels = self.levels.write();
+        let clock = *self.clock.read();
+        let l = &mut levels[level - 1];
+        if l.rows[node].is_none() {
+            l.count += 1;
+        }
+        l.rows[node] = Some(row.into());
+        l.stamps[node] = clock;
+    }
+
+    /// Bulk-load rows of `h` for `nodes` at `level` (offline pre-population,
+    /// e.g. training + validation nodes after training).
+    pub fn put_rows(&self, level: usize, nodes: &[usize], h: &Matrix) {
+        assert_eq!(nodes.len(), h.rows(), "put_rows: node/row count mismatch");
+        for (i, &v) in nodes.iter().enumerate() {
+            self.put(level, v, h.row(i));
+        }
+    }
+
+    /// Number of stored rows at `level`.
+    pub fn len(&self, level: usize) -> usize {
+        self.levels.read()[level - 1].count
+    }
+
+    /// True when nothing is stored at `level`.
+    pub fn is_empty(&self, level: usize) -> bool {
+        self.len(level) == 0
+    }
+
+    /// Advance the logical clock (call once per served batch).
+    pub fn tick(&self) {
+        *self.clock.write() += 1;
+    }
+
+    /// Evict rows older than `max_age` ticks — the staleness policy for
+    /// evolving graphs (§3.3.2: discard out-dated features).
+    pub fn evict_older_than(&self, max_age: u32) {
+        let clock = *self.clock.read();
+        let mut levels = self.levels.write();
+        for l in levels.iter_mut() {
+            for (row, stamp) in l.rows.iter_mut().zip(&l.stamps) {
+                if row.is_some() && clock.saturating_sub(*stamp) > max_age {
+                    *row = None;
+                    l.count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut levels = self.levels.write();
+        for l in levels.iter_mut() {
+            for row in l.rows.iter_mut() {
+                *row = None;
+            }
+            l.stamps.fill(0);
+            l.count = 0;
+        }
+    }
+
+    /// Estimated heap bytes of the stored rows.
+    pub fn nbytes(&self) -> usize {
+        let levels = self.levels.read();
+        levels
+            .iter()
+            .map(|l| {
+                l.rows
+                    .iter()
+                    .filter_map(|r| r.as_ref().map(|b| b.len() * 4))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = FeatureStore::new(10, 2);
+        assert!(!s.has(1, 3));
+        s.put(1, 3, &[1.0, 2.0]);
+        assert!(s.has(1, 3));
+        assert_eq!(s.get(1, 3), Some(vec![1.0, 2.0]));
+        assert!(!s.has(2, 3), "levels are independent");
+        assert_eq!(s.len(1), 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count() {
+        let s = FeatureStore::new(4, 1);
+        s.put(1, 0, &[1.0]);
+        s.put(1, 0, &[2.0]);
+        assert_eq!(s.len(1), 1);
+        assert_eq!(s.get(1, 0), Some(vec![2.0]));
+    }
+
+    #[test]
+    fn bulk_load_from_matrix() {
+        let s = FeatureStore::new(6, 1);
+        let h = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        s.put_rows(1, &[5, 1], &h);
+        assert_eq!(s.get(1, 5), Some(vec![1., 2., 3.]));
+        assert_eq!(s.get(1, 1), Some(vec![4., 5., 6.]));
+        assert_eq!(s.len(1), 2);
+    }
+
+    #[test]
+    fn eviction_by_age() {
+        let s = FeatureStore::new(4, 1);
+        s.put(1, 0, &[1.0]);
+        s.tick();
+        s.tick();
+        s.put(1, 1, &[2.0]);
+        s.evict_older_than(1);
+        assert!(!s.has(1, 0), "old row evicted");
+        assert!(s.has(1, 1), "fresh row kept");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = FeatureStore::new(4, 2);
+        s.put(1, 0, &[1.0]);
+        s.put(2, 1, &[2.0]);
+        s.clear();
+        assert_eq!(s.len(1) + s.len(2), 0);
+        assert_eq!(s.nbytes(), 0);
+    }
+
+    #[test]
+    fn nbytes_counts_rows() {
+        let s = FeatureStore::new(4, 1);
+        s.put(1, 0, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.nbytes(), 12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Small wall-clock measurement helper shared by engines and benches.
+
+use std::time::Instant;
+
+/// Run `f` `warmup` times unmeasured, then `iters` times measured, returning
+/// the **median** per-iteration seconds (robust to scheduler noise on a
+/// shared machine).
+pub fn time_it<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "time_it: need at least one iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let t = time_it(1, 3, || {
+            let mut s = 0u64;
+            for i in 0..10_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn median_of_single_iteration() {
+        let t = time_it(0, 1, || 42);
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Classification metrics: F1-Micro (the paper's headline metric), accuracy.
+
+use gcnp_datasets::Labels;
+use gcnp_tensor::Matrix;
+
+/// Metric helpers over logits.
+pub struct Metrics;
+
+impl Metrics {
+    /// F1-Micro of `logits` rows `idx` against the dataset labels.
+    ///
+    /// * single-label: micro-F1 equals plain accuracy (one gold and one
+    ///   predicted label per node);
+    /// * multi-label: micro-averaged F1 over all label bits, predicting a
+    ///   bit when its logit is positive (σ(z) > 0.5 ⇔ z > 0).
+    pub fn f1_micro(logits: &Matrix, labels: &Labels, idx: &[usize]) -> f64 {
+        match labels {
+            Labels::Single(y, _) => {
+                if idx.is_empty() {
+                    return 0.0;
+                }
+                let preds = logits.argmax_rows();
+                let correct =
+                    idx.iter().enumerate().filter(|&(r, &v)| preds[r] == y[v]).count();
+                correct as f64 / idx.len() as f64
+            }
+            Labels::Multi(y) => {
+                let (mut tp, mut fp, mut fnc) = (0u64, 0u64, 0u64);
+                for (r, &v) in idx.iter().enumerate() {
+                    for c in 0..y.cols() {
+                        let pred = logits.get(r, c) > 0.0;
+                        let gold = y.get(v, c) > 0.5;
+                        match (pred, gold) {
+                            (true, true) => tp += 1,
+                            (true, false) => fp += 1,
+                            (false, true) => fnc += 1,
+                            (false, false) => {}
+                        }
+                    }
+                }
+                if tp == 0 {
+                    return 0.0;
+                }
+                let precision = tp as f64 / (tp + fp) as f64;
+                let recall = tp as f64 / (tp + fnc) as f64;
+                2.0 * precision * recall / (precision + recall)
+            }
+        }
+    }
+
+    /// F1-Micro over the full graph: `logits` has one row per node and `idx`
+    /// selects which nodes to score (rows of `logits` are indexed by `idx`
+    /// directly).
+    pub fn f1_micro_full(logits: &Matrix, labels: &Labels, idx: &[usize]) -> f64 {
+        // Gather the relevant rows so the row-indexed variant applies.
+        let sub = logits.gather_rows(idx);
+        Self::f1_micro(&sub, labels, idx)
+    }
+
+    /// Plain accuracy for single-label problems (alias of micro-F1 there).
+    pub fn accuracy(logits: &Matrix, labels: &Labels, idx: &[usize]) -> f64 {
+        match labels {
+            Labels::Single(..) => Self::f1_micro(logits, labels, idx),
+            Labels::Multi(y) => {
+                // Subset accuracy is too harsh for multi-label; report
+                // bit-level accuracy instead.
+                if idx.is_empty() {
+                    return 0.0;
+                }
+                let mut correct = 0u64;
+                for (r, &v) in idx.iter().enumerate() {
+                    for c in 0..y.cols() {
+                        if (logits.get(r, c) > 0.0) == (y.get(v, c) > 0.5) {
+                            correct += 1;
+                        }
+                    }
+                }
+                correct as f64 / (idx.len() * y.cols()) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_label_perfect_and_chance() {
+        let labels = Labels::Single(vec![0, 1, 1, 0], 2);
+        let idx = [0, 1, 2, 3];
+        let perfect =
+            Matrix::from_vec(4, 2, vec![5., 0., 0., 5., 0., 5., 5., 0.]);
+        assert_eq!(Metrics::f1_micro(&perfect, &labels, &idx), 1.0);
+        let wrong = Matrix::from_vec(4, 2, vec![0., 5., 5., 0., 5., 0., 0., 5.]);
+        assert_eq!(Metrics::f1_micro(&wrong, &labels, &idx), 0.0);
+    }
+
+    #[test]
+    fn single_label_subset_scoring() {
+        let labels = Labels::Single(vec![0, 1, 0], 2);
+        // Score only nodes 0 and 2; logits rows correspond to [0, 2].
+        let logits = Matrix::from_vec(2, 2, vec![5., 0., 0., 5.]);
+        let f1 = Metrics::f1_micro(&logits, &labels, &[0, 2]);
+        assert_eq!(f1, 0.5);
+    }
+
+    #[test]
+    fn multi_label_f1() {
+        let y = Matrix::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        let labels = Labels::Multi(y);
+        // Predict: node0 -> {0}, node1 -> {1, 2}. TP=2, FP=1, FN=1.
+        let logits = Matrix::from_vec(2, 3, vec![1., -1., -1., -1., 1., 1.]);
+        let f1 = Metrics::f1_micro(&logits, &labels, &[0, 1]);
+        let p: f64 = 2.0 / 3.0;
+        let r: f64 = 2.0 / 3.0;
+        assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_label_all_negative_is_zero() {
+        let y = Matrix::from_vec(1, 2, vec![1., 1.]);
+        let labels = Labels::Multi(y);
+        let logits = Matrix::from_vec(1, 2, vec![-1., -1.]);
+        assert_eq!(Metrics::f1_micro(&logits, &labels, &[0]), 0.0);
+    }
+
+    #[test]
+    fn empty_idx_is_zero() {
+        let labels = Labels::Single(vec![], 2);
+        let logits = Matrix::zeros(0, 2);
+        assert_eq!(Metrics::f1_micro(&logits, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn full_variant_gathers_rows() {
+        let labels = Labels::Single(vec![0, 1, 0], 2);
+        let logits =
+            Matrix::from_vec(3, 2, vec![5., 0., 0., 5., 5., 0.]);
+        assert_eq!(Metrics::f1_micro_full(&logits, &labels, &[0, 1, 2]), 1.0);
+        assert_eq!(Metrics::f1_micro_full(&logits, &labels, &[2]), 1.0);
+    }
+
+    #[test]
+    fn bitwise_accuracy_multi() {
+        let y = Matrix::from_vec(1, 4, vec![1., 0., 1., 0.]);
+        let labels = Labels::Multi(y);
+        let logits = Matrix::from_vec(1, 4, vec![1., 1., 1., -1.]);
+        assert_eq!(Metrics::accuracy(&logits, &labels, &[0]), 0.75);
+    }
+}

@@ -1,0 +1,358 @@
+//! Training loops: GraphSAINT subgraph training (the paper's §4 setup) and
+//! full-batch training, both with ADAM and validation-F1 early stopping.
+
+use gcnp_autograd::{Adam, AdamConfig, SharedAdj, Tape};
+use gcnp_datasets::{Dataset, Labels};
+use gcnp_sparse::sample::RandomWalkSampler;
+use gcnp_sparse::{CsrMatrix, Normalization};
+use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::Matrix;
+
+use crate::metrics::Metrics;
+use crate::model::GnnModel;
+
+/// Loss selection (derived from the dataset's label mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Softmax cross-entropy (single-label).
+    Softmax,
+    /// Binary cross-entropy with logits (multi-label).
+    Bce,
+}
+
+impl LossKind {
+    /// The loss matching a label mode.
+    pub fn for_labels(labels: &Labels) -> Self {
+        if labels.is_multi() {
+            LossKind::Bce
+        } else {
+            LossKind::Softmax
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum number of optimization steps.
+    pub steps: usize,
+    /// Validate every this many steps.
+    pub eval_every: usize,
+    /// Stop after this many validations without improvement.
+    pub patience: usize,
+    pub lr: f32,
+    /// Input-feature dropout probability.
+    pub dropout: f32,
+    /// GraphSAINT random-walk roots per subgraph.
+    pub saint_roots: usize,
+    /// GraphSAINT walk length.
+    pub walk_len: usize,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            steps: 200,
+            eval_every: 10,
+            patience: 8,
+            lr: 0.01,
+            dropout: 0.1,
+            saint_roots: 512,
+            walk_len: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    pub steps_run: usize,
+    pub best_val_f1: f64,
+    pub final_train_loss: f32,
+    pub seconds: f64,
+}
+
+/// Training entry points.
+pub struct Trainer;
+
+impl Trainer {
+    /// Full-graph evaluation helper: F1-Micro of `model` on nodes `idx`.
+    pub fn evaluate(
+        model: &GnnModel,
+        adj: Option<&CsrMatrix>,
+        x: &Matrix,
+        labels: &Labels,
+        idx: &[usize],
+    ) -> f64 {
+        let logits = model.forward_full(adj, x);
+        Metrics::f1_micro_full(&logits, labels, idx)
+    }
+
+    /// GraphSAINT training (paper §4): each step samples a random-walk
+    /// subgraph of the *training graph*, runs a full GNN step on it, and
+    /// periodically validates on the full graph. The best-validation
+    /// parameters are restored at the end.
+    pub fn train_saint(model: &mut GnnModel, data: &Dataset, cfg: &TrainConfig) -> TrainStats {
+        let t0 = std::time::Instant::now();
+        let (train_adj, train_nodes) = data.train_adj();
+        let train_x = data.features.gather_rows(&train_nodes);
+        let sampler = RandomWalkSampler { roots: cfg.saint_roots, walk_len: cfg.walk_len };
+        let loss_kind = LossKind::for_labels(&data.labels);
+        let mut rng = seeded_rng(cfg.seed);
+        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let full_adj = data.adj.normalized(Normalization::Row);
+
+        let all_train: Vec<usize> = (0..train_nodes.len()).collect();
+        let mut best_f1 = -1.0f64;
+        let mut best_params: Option<Vec<Matrix>> = None;
+        let mut strikes = 0usize;
+        let mut steps_run = 0usize;
+        let mut last_loss = f32::NAN;
+
+        for step in 1..=cfg.steps {
+            steps_run = step;
+            // --- sample subgraph (indices into the training graph) ---
+            let sub_nodes = sampler.sample(&train_adj, &all_train, &mut rng);
+            if sub_nodes.len() < 4 {
+                continue;
+            }
+            let sub_adj =
+                SharedAdj::new(train_adj.induced(&sub_nodes).normalized(Normalization::Row));
+            let sub_x = train_x.gather_rows(&sub_nodes);
+
+            // --- one ADAM step on the subgraph ---
+            let mut tape = Tape::new();
+            let mut xv = tape.constant(sub_x);
+            if cfg.dropout > 0.0 {
+                xv = tape.dropout(xv, cfg.dropout, &mut rng);
+            }
+            let pvars = model.register_params(&mut tape);
+            let logits = model.forward_tape(&mut tape, Some(&sub_adj), xv, &pvars);
+            let loss = match (&data.labels, loss_kind) {
+                (Labels::Single(y, _), LossKind::Softmax) => {
+                    let sub_labels: Vec<usize> =
+                        sub_nodes.iter().map(|&i| y[train_nodes[i]]).collect();
+                    tape.softmax_xent(logits, &sub_labels)
+                }
+                (Labels::Multi(y), LossKind::Bce) => {
+                    let globals: Vec<usize> =
+                        sub_nodes.iter().map(|&i| train_nodes[i]).collect();
+                    tape.bce_logits(logits, y.gather_rows(&globals))
+                }
+                _ => unreachable!("loss kind always matches label mode"),
+            };
+            last_loss = tape.scalar(loss);
+            tape.backward(loss);
+            let grads: Vec<Option<&Matrix>> = pvars.iter().map(|&v| tape.grad(v)).collect();
+            opt.step(&mut model.params_mut(), &grads);
+
+            // --- periodic validation on the full graph -------------------
+            if step % cfg.eval_every == 0 || step == cfg.steps {
+                let f1 = Self::evaluate(
+                    model,
+                    Some(&full_adj),
+                    &data.features,
+                    &data.labels,
+                    &data.val,
+                );
+                if f1 > best_f1 {
+                    best_f1 = f1;
+                    best_params =
+                        Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
+                    strikes = 0;
+                } else {
+                    strikes += 1;
+                    if strikes >= cfg.patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_params {
+            for (p, b) in model.params_mut().into_iter().zip(best) {
+                *p = b;
+            }
+        }
+        TrainStats {
+            steps_run,
+            best_val_f1: best_f1.max(0.0),
+            final_train_loss: last_loss,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Full-batch training on a fixed `(adj, x)` pair with the loss
+    /// restricted to `train` rows. Used for the precomputed-propagation
+    /// baselines (SGC, SIGN, PPRGo head) and for distillation (`distill`
+    /// adds `α·MSE(logits, teacher_logits)` — TinyGNN's student objective).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_full_batch(
+        model: &mut GnnModel,
+        adj: Option<&CsrMatrix>,
+        x: &Matrix,
+        labels: &Labels,
+        train: &[usize],
+        val: &[usize],
+        cfg: &TrainConfig,
+        distill: Option<(&Matrix, f32)>,
+    ) -> TrainStats {
+        let t0 = std::time::Instant::now();
+        let shared = adj.map(|a| SharedAdj::new(a.clone()));
+        let mut rng = seeded_rng(cfg.seed);
+        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut best_f1 = -1.0f64;
+        let mut best_params: Option<Vec<Matrix>> = None;
+        let mut strikes = 0usize;
+        let mut steps_run = 0usize;
+        let mut last_loss = f32::NAN;
+
+        for step in 1..=cfg.steps {
+            steps_run = step;
+            let mut tape = Tape::new();
+            let mut xv = tape.constant(x.clone());
+            if cfg.dropout > 0.0 {
+                xv = tape.dropout(xv, cfg.dropout, &mut rng);
+            }
+            let pvars = model.register_params(&mut tape);
+            let logits = model.forward_tape(&mut tape, shared.as_ref(), xv, &pvars);
+            let train_logits = tape.gather_rows(logits, train);
+            let mut loss = match labels {
+                Labels::Single(y, _) => {
+                    let yl: Vec<usize> = train.iter().map(|&v| y[v]).collect();
+                    tape.softmax_xent(train_logits, &yl)
+                }
+                Labels::Multi(y) => tape.bce_logits(train_logits, y.gather_rows(train)),
+            };
+            if let Some((teacher, alpha)) = distill {
+                let mse = tape.mse(train_logits, teacher.gather_rows(train));
+                let mse = tape.scale(mse, alpha);
+                loss = tape.add(loss, mse);
+            }
+            last_loss = tape.scalar(loss);
+            tape.backward(loss);
+            let grads: Vec<Option<&Matrix>> = pvars.iter().map(|&v| tape.grad(v)).collect();
+            opt.step(&mut model.params_mut(), &grads);
+
+            if step % cfg.eval_every == 0 || step == cfg.steps {
+                let f1 = Self::evaluate(model, adj, x, labels, val);
+                if f1 > best_f1 {
+                    best_f1 = f1;
+                    best_params =
+                        Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
+                    strikes = 0;
+                } else {
+                    strikes += 1;
+                    if strikes >= cfg.patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_params {
+            for (p, b) in model.params_mut().into_iter().zip(best) {
+                *p = b;
+            }
+        }
+        TrainStats {
+            steps_run,
+            best_val_f1: best_f1.max(0.0),
+            final_train_loss: last_loss,
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use gcnp_datasets::SynthConfig;
+
+    fn tiny_dataset(multi: bool) -> Dataset {
+        SynthConfig {
+            nodes: 300,
+            classes: 3,
+            communities: 3,
+            attr_dim: 16,
+            multi_label: multi,
+            noise: 0.5,
+            ..Default::default()
+        }
+        .generate(7)
+    }
+
+    #[test]
+    fn saint_training_learns_single_label() {
+        let data = tiny_dataset(false);
+        let mut model = zoo::graphsage(16, 16, 3, 11);
+        let cfg = TrainConfig {
+            steps: 60,
+            eval_every: 10,
+            saint_roots: 50,
+            walk_len: 2,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let stats = Trainer::train_saint(&mut model, &data, &cfg);
+        assert!(
+            stats.best_val_f1 > 0.7,
+            "SAINT training should beat chance (0.33): {}",
+            stats.best_val_f1
+        );
+    }
+
+    #[test]
+    fn saint_training_learns_multi_label() {
+        let data = tiny_dataset(true);
+        let mut model = zoo::graphsage(16, 16, 3, 13);
+        let cfg = TrainConfig {
+            steps: 60,
+            eval_every: 10,
+            saint_roots: 50,
+            walk_len: 2,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let stats = Trainer::train_saint(&mut model, &data, &cfg);
+        assert!(stats.best_val_f1 > 0.5, "multi-label F1 {}", stats.best_val_f1);
+    }
+
+    #[test]
+    fn full_batch_training_learns() {
+        let data = tiny_dataset(false);
+        let adj = data.adj.normalized(Normalization::Row);
+        let mut model = zoo::mlp(16, 16, 3, 17);
+        let cfg = TrainConfig { steps: 80, eval_every: 10, dropout: 0.0, ..Default::default() };
+        let stats = Trainer::train_full_batch(
+            &mut model,
+            Some(&adj),
+            &data.features,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
+        );
+        assert!(stats.best_val_f1 > 0.6, "full-batch F1 {}", stats.best_val_f1);
+    }
+
+    #[test]
+    fn early_stopping_restores_best() {
+        let data = tiny_dataset(false);
+        let mut model = zoo::graphsage(16, 8, 3, 19);
+        let cfg = TrainConfig {
+            steps: 30,
+            eval_every: 5,
+            patience: 2,
+            saint_roots: 40,
+            ..Default::default()
+        };
+        let stats = Trainer::train_saint(&mut model, &data, &cfg);
+        let adj = data.adj.normalized(Normalization::Row);
+        let f1_now =
+            Trainer::evaluate(&model, Some(&adj), &data.features, &data.labels, &data.val);
+        assert!((f1_now - stats.best_val_f1).abs() < 1e-9, "restored params match best");
+    }
+}

@@ -1,0 +1,24 @@
+//! # gcnp-sparse
+//!
+//! Sparse graph substrate for the GCNP stack.
+//!
+//! * [`CsrMatrix`] — compressed-sparse-row matrices with the SpMM kernel that
+//!   drives full-graph GNN propagation (`Ã · H`),
+//! * normalization ([`csr::Normalization`]) — row (`D⁻¹A`, GraphSAGE) and
+//!   symmetric (`D⁻½AD⁻½`, GCN),
+//! * [`neighborhood`] — k-hop supporting-set expansion with fan-out caps,
+//!   the substrate of batched inference and its "neighbor explosion",
+//! * [`sample`] — GraphSAINT-style random-walk and node subgraph samplers
+//!   used for training,
+//! * [`ppr`] — push-based approximate personalized PageRank (the PPRGo
+//!   baseline's aggregation operator).
+
+pub mod csr;
+pub mod neighborhood;
+pub mod ppr;
+pub mod sample;
+pub mod stats;
+
+pub use csr::{CsrMatrix, Normalization};
+pub use neighborhood::{BatchSupport, LayerSupport};
+pub use stats::{degree_stats, edge_homophily};

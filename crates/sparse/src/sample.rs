@@ -1,0 +1,145 @@
+//! GraphSAINT-style subgraph samplers (Zeng et al., ICLR 2020).
+//!
+//! The paper trains its reference models with GraphSAINT's random-walk
+//! sampler (§4): pick root nodes uniformly from the training set, walk a few
+//! steps, and train a full GNN on the induced subgraph. This keeps every
+//! training step small regardless of graph size.
+
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random-walk subgraph sampler.
+#[derive(Debug, Clone)]
+pub struct RandomWalkSampler {
+    /// Number of walk roots per subgraph.
+    pub roots: usize,
+    /// Walk length (number of steps from each root).
+    pub walk_len: usize,
+}
+
+impl RandomWalkSampler {
+    /// Sample a subgraph node set: roots drawn uniformly from `pool`, each
+    /// followed for `walk_len` steps. Returns the deduplicated, sorted node
+    /// ids visited (sorted so induced subgraphs are canonical).
+    pub fn sample(&self, adj: &CsrMatrix, pool: &[usize], rng: &mut StdRng) -> Vec<usize> {
+        assert!(!pool.is_empty(), "sample: empty root pool");
+        let mut visited = vec![false; adj.n_rows()];
+        let mut nodes = Vec::with_capacity(self.roots * (self.walk_len + 1));
+        for _ in 0..self.roots {
+            let mut v = pool[rng.random_range(0..pool.len())];
+            if !visited[v] {
+                visited[v] = true;
+                nodes.push(v);
+            }
+            for _ in 0..self.walk_len {
+                let nbrs = adj.row_indices(v);
+                if nbrs.is_empty() {
+                    break;
+                }
+                v = nbrs[rng.random_range(0..nbrs.len())] as usize;
+                if !visited[v] {
+                    visited[v] = true;
+                    nodes.push(v);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes
+    }
+}
+
+/// Uniform node sampler (GraphSAINT's simplest variant).
+#[derive(Debug, Clone)]
+pub struct NodeSampler {
+    /// Number of nodes per subgraph.
+    pub nodes: usize,
+}
+
+impl NodeSampler {
+    /// Sample `self.nodes` distinct nodes uniformly from `pool` (or all of
+    /// `pool` when it is smaller), sorted.
+    pub fn sample(&self, pool: &[usize], rng: &mut StdRng) -> Vec<usize> {
+        if pool.len() <= self.nodes {
+            let mut all = pool.to_vec();
+            all.sort_unstable();
+            all.dedup();
+            return all;
+        }
+        // Partial Fisher–Yates over a scratch copy.
+        let mut scratch = pool.to_vec();
+        for i in 0..self.nodes {
+            let j = rng.random_range(i..scratch.len());
+            scratch.swap(i, j);
+        }
+        scratch.truncate(self.nodes);
+        scratch.sort_unstable();
+        scratch.dedup();
+        scratch
+    }
+}
+
+/// Convenience: a seeded RNG for sampler streams.
+pub fn sampler_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> CsrMatrix {
+        let mut e = Vec::new();
+        for i in 0..n as u32 {
+            let j = (i + 1) % n as u32;
+            e.push((i, j));
+            e.push((j, i));
+        }
+        CsrMatrix::adjacency(n, &e)
+    }
+
+    #[test]
+    fn walk_visits_connected_nodes() {
+        let adj = ring(20);
+        let s = RandomWalkSampler { roots: 3, walk_len: 4 };
+        let mut rng = sampler_rng(1);
+        let nodes = s.sample(&adj, &(0..20).collect::<Vec<_>>(), &mut rng);
+        assert!(!nodes.is_empty());
+        assert!(nodes.len() <= 3 * 5);
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let adj = ring(20);
+        let s = RandomWalkSampler { roots: 5, walk_len: 3 };
+        let pool: Vec<usize> = (0..20).collect();
+        let a = s.sample(&adj, &pool, &mut sampler_rng(9));
+        let b = s.sample(&adj, &pool, &mut sampler_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_stops_at_isolated_nodes() {
+        let adj = CsrMatrix::empty(5, 5);
+        let s = RandomWalkSampler { roots: 2, walk_len: 10 };
+        let nodes = s.sample(&adj, &[3], &mut sampler_rng(0));
+        assert_eq!(nodes, vec![3]);
+    }
+
+    #[test]
+    fn node_sampler_respects_budget() {
+        let s = NodeSampler { nodes: 5 };
+        let pool: Vec<usize> = (0..100).collect();
+        let got = s.sample(&pool, &mut sampler_rng(2));
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn node_sampler_small_pool_returns_all() {
+        let s = NodeSampler { nodes: 10 };
+        let got = s.sample(&[4, 2, 2, 7], &mut sampler_rng(2));
+        assert_eq!(got, vec![2, 4, 7]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded random initializers.
+//!
+//! Every stochastic component in the workspace (weight init, samplers, SGD
+//! shuffling, synthetic data) goes through a seeded [`StdRng`], making each
+//! experiment bit-reproducible from its seed.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A seeded RNG for reproducible experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample from a standard normal via Box–Muller (avoids an extra
+/// distributions dependency).
+pub fn sample_normal(rng: &mut impl Rng) -> f32 {
+    // Guard u1 away from zero so ln() stays finite.
+    let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+impl Matrix {
+    /// Uniform random matrix in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+        assert!(lo < hi, "rand_uniform: empty range");
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect())
+    }
+
+    /// Normal random matrix with the given mean and standard deviation.
+    pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| mean + std * sample_normal(rng)).collect(),
+        )
+    }
+
+    /// Glorot/Xavier uniform initialization for a `fan_in × fan_out` weight
+    /// matrix — the initializer used for all GNN weights in this workspace.
+    pub fn glorot(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Matrix::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, returning the permutation.
+pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let ma = Matrix::rand_uniform(4, 4, -1.0, 1.0, &mut a);
+        let mb = Matrix::rand_uniform(4, 4, -1.0, 1.0, &mut b);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ma = Matrix::rand_uniform(4, 4, -1.0, 1.0, &mut seeded_rng(1));
+        let mb = Matrix::rand_uniform(4, 4, -1.0, 1.0, &mut seeded_rng(2));
+        assert_ne!(ma, mb);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = Matrix::rand_uniform(50, 50, -0.5, 0.5, &mut seeded_rng(7));
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let m = Matrix::rand_normal(200, 200, 2.0, 3.0, &mut seeded_rng(9));
+        let mean = m.mean();
+        let var =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn glorot_limit() {
+        let m = Matrix::glorot(100, 50, &mut seeded_rng(3));
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= limit));
+        assert_eq!(m.shape(), (100, 50));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut p = permutation(100, &mut seeded_rng(5));
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,25 @@
+//! # gcnp-tensor
+//!
+//! Dense `f32` matrix kernels underpinning the GCNP GNN stack.
+//!
+//! The crate provides a single row-major [`Matrix`] type plus the handful of
+//! kernels a GNN training / pruning / inference pipeline actually needs:
+//!
+//! * cache-friendly GEMM in the three orientations required by
+//!   backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`),
+//! * elementwise and row/column-wise operations,
+//! * seeded random initializers (uniform, normal, Glorot),
+//! * a tiny scoped-thread helper for row-parallel kernels.
+//!
+//! Everything is deterministic given a seed, which the experiment harness
+//! relies on for reproducibility.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod parallel;
+pub mod quant;
+
+pub use matrix::Matrix;
+pub use parallel::{num_threads, parallel_row_chunks};
+pub use quant::{qmatmul, QuantMatrix};

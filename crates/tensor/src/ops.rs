@@ -1,0 +1,408 @@
+//! Matrix kernels: GEMM in the three backprop orientations, elementwise maps,
+//! and the row/column-wise reductions the pruning framework needs.
+//!
+//! The GEMM uses the classic i-k-j loop order with contiguous row
+//! accumulation, which the compiler auto-vectorizes, and parallelizes over
+//! output-row chunks via [`crate::parallel::parallel_row_chunks`].
+
+use crate::matrix::Matrix;
+use crate::parallel::parallel_row_chunks;
+
+impl Matrix {
+    /// `self · other` — the workhorse GEMM.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        parallel_row_chunks(out.as_mut_slice(), m, n, |start, chunk| {
+            for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = start + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// `selfᵀ · other` (e.g. `∂W = Xᵀ · ∂Y` in linear-layer backward).
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows(), other.rows(), "matmul_at_b: row mismatch");
+        // Transpose-then-GEMM keeps both inner loops contiguous; the
+        // transpose is O(n·p) against the O(n·p·q) product.
+        self.transpose().matmul(other)
+    }
+
+    /// `self · otherᵀ` (e.g. `∂X = ∂Y · Wᵀ`). Both operands are read
+    /// row-contiguously: `C[i][j] = dot(self.row(i), other.row(j))`.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols(), other.cols(), "matmul_a_bt: col mismatch");
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        parallel_row_chunks(out.as_mut_slice(), m, n, |start, chunk| {
+            for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = start + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Elementwise sum into a new matrix.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference into a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product into a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// `self += alpha * other` in place (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise in-place sum.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.add_scaled_assign(other, 1.0);
+    }
+
+    /// Multiply every element by a scalar, returning a new matrix.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Multiply every element by a scalar in place.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for v in self.as_mut_slice() {
+            *v *= alpha;
+        }
+    }
+
+    /// Apply a function elementwise into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(self.rows(), self.cols(), self.as_slice().iter().map(|&v| f(v)).collect())
+    }
+
+    /// Combine elementwise with another matrix into a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect(),
+        )
+    }
+
+    /// ReLU into a new matrix.
+    pub fn relu(&self) -> Matrix {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Elementwise sigmoid into a new matrix.
+    pub fn sigmoid(&self) -> Matrix {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Scale column `j` by `factors[j]` — the `H ⊙ β` channel-mask operation
+    /// of the LASSO pruning formulation (Eq. 4 of the paper).
+    ///
+    /// # Panics
+    /// Panics if `factors.len() != cols`.
+    pub fn scale_cols(&self, factors: &[f32]) -> Matrix {
+        assert_eq!(factors.len(), self.cols(), "scale_cols: factor length mismatch");
+        let cols = self.cols();
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(cols) {
+            for (v, &f) in row.iter_mut().zip(factors) {
+                *v *= f;
+            }
+        }
+        out
+    }
+
+    /// Scale row `i` by `factors[i]` (e.g. degree normalization).
+    pub fn scale_rows(&self, factors: &[f32]) -> Matrix {
+        assert_eq!(factors.len(), self.rows(), "scale_rows: factor length mismatch");
+        let cols = self.cols();
+        let mut out = self.clone();
+        for (row, &f) in out.as_mut_slice().chunks_exact_mut(cols).zip(factors) {
+            for v in row.iter_mut() {
+                *v *= f;
+            }
+        }
+        out
+    }
+
+    /// Broadcast-add a row vector to every row (bias addition).
+    pub fn add_row_vector(&self, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), self.cols(), "add_row_vector: length mismatch");
+        let cols = self.cols();
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Per-column sums (length `cols`).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols()];
+        for row in self.rows_iter() {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-row L1 norms (length `rows`). Rows of a weight matrix index input
+    /// channels, so this is the "Max Res." channel-importance statistic.
+    pub fn row_l1_norms(&self) -> Vec<f32> {
+        self.rows_iter().map(|r| r.iter().map(|v| v.abs()).sum()).collect()
+    }
+
+    /// Per-column L2 norms (length `cols`).
+    pub fn col_l2_norms(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols()];
+        for row in self.rows_iter() {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v * v;
+            }
+        }
+        for o in &mut out {
+            *o = o.sqrt();
+        }
+        out
+    }
+
+    /// Row-wise softmax into a new matrix (numerically stabilized).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(self.cols().max(1)) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the per-row maximum (argmax) for each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.rows_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map_or(0, |(i, _)| i)
+            })
+            .collect()
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `dst += alpha * src` over slices.
+pub fn axpy(dst: &mut [f32], src: &[f32], alpha: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += alpha * s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn seq(rows: usize, cols: usize, mul: f32) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| (i as f32 * mul).sin()).collect())
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seq(13, 7, 0.3);
+        let b = seq(7, 11, 0.7);
+        assert!(a.matmul(&b).approx_eq(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = seq(5, 5, 0.9);
+        assert!(a.matmul(&Matrix::eye(5)).approx_eq(&a, 1e-6));
+        assert!(Matrix::eye(5).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn at_b_and_a_bt_match_explicit_transpose() {
+        let a = seq(9, 4, 0.2);
+        let b = seq(9, 6, 0.5);
+        assert!(a.matmul_at_b(&b).approx_eq(&naive_matmul(&a.transpose(), &b), 1e-4));
+        let c = seq(3, 6, 0.4);
+        assert!(b.matmul_a_bt(&c).approx_eq(&naive_matmul(&b, &c.transpose()), 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scale_cols_is_diag_right_multiply() {
+        let a = seq(4, 3, 0.6);
+        let beta = [2.0, 0.0, -1.0];
+        let mut diag = Matrix::zeros(3, 3);
+        for (i, &b) in beta.iter().enumerate() {
+            diag.set(i, i, b);
+        }
+        assert!(a.scale_cols(&beta).approx_eq(&a.matmul(&diag), 1e-5));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.5, -0.1]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = seq(5, 7, 1.3);
+        let s = a.softmax_rows();
+        for row in s.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_stable_for_large_logits() {
+        let a = Matrix::from_vec(1, 3, vec![1000.0, 1001.0, 999.0]);
+        let s = a.softmax_rows();
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!((s.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_finds_max() {
+        let a = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.frobenius_sq(), 30.0);
+        assert_eq!(a.row_l1_norms(), vec![3.0, 7.0]);
+        assert_eq!(a.col_sums(), vec![4.0, -6.0]);
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let a = Matrix::zeros(2, 3);
+        let b = a.add_row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let mut d = vec![1.0, 2.0];
+        axpy(&mut d, &[10.0, 20.0], 0.5);
+        assert_eq!(d, vec![6.0, 12.0]);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Scoped-thread row parallelism.
+//!
+//! GNN kernels (GEMM, SpMM, gather) are embarrassingly parallel across output
+//! rows. This module provides a single helper that splits a row range across
+//! the machine's cores using `crossbeam::scope`, so kernels stay allocation-
+//! free and degrade gracefully to a plain loop on single-core machines.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used by parallel kernels.
+///
+/// Defaults to `std::thread::available_parallelism()`, overridable via the
+/// `GCNP_THREADS` environment variable (useful for benchmarking scaling).
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("GCNP_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Split `out` (an output buffer laid out as `rows` rows of `row_len`) into
+/// contiguous row chunks and run `f(chunk_start_row, chunk)` on each, in
+/// parallel when more than one thread is available.
+///
+/// The closure receives the absolute starting row index of its chunk so it
+/// can index shared read-only inputs.
+pub fn parallel_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "parallel_row_chunks: buffer shape mismatch");
+    if rows == 0 || row_len == 0 {
+        return; // degenerate output: nothing to fill
+    }
+    let threads = num_threads().min(rows);
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (i, chunk) in out.chunks_mut(chunk_rows * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i * chunk_rows, chunk));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_once() {
+        let rows = 103;
+        let row_len = 7;
+        let mut out = vec![0.0f32; rows * row_len];
+        parallel_row_chunks(&mut out, rows, row_len, |start, chunk| {
+            for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start + r) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(out[r * row_len + c], r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_noop() {
+        let mut out: Vec<f32> = vec![];
+        parallel_row_chunks(&mut out, 0, 5, |_, _| {});
+    }
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Symmetric per-column int8 quantization.
+//!
+//! The paper motivates pruned models with "energy-efficient devices like
+//! mobile processors and FPGA" (§5). On such targets inference runs in
+//! int8; this module provides the quantized GEMM path the `gcnp-infer`
+//! engines use for the edge-device deployment mode: weights are quantized
+//! per output column (symmetric, zero-point 0), activations per tensor,
+//! products accumulate in i32 and dequantize back to f32.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An int8-quantized matrix with per-column scales (weights) — symmetric
+/// quantization: `q = round(x / scale)`, `x ≈ q * scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    /// Dequantization scale per column.
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantize a weight matrix per output column.
+    pub fn quantize(m: &Matrix) -> QuantMatrix {
+        let (rows, cols) = m.shape();
+        let mut scales = vec![0f32; cols];
+        for r in 0..rows {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                scales[c] = scales[c].max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s = if *s > 0.0 { *s / 127.0 } else { 1.0 };
+        }
+        let mut data = vec![0i8; rows * cols];
+        for r in 0..rows {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                data[r * cols + c] = (v / scales[c]).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantMatrix { rows, cols, data, scales }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dequantize back to f32 (testing / fallback).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            for c in 0..self.cols {
+                row[c] = self.data[r * self.cols + c] as f32 * self.scales[c];
+            }
+        }
+        out
+    }
+
+    /// Heap bytes (4× smaller than the f32 original, plus scales).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+}
+
+/// Per-tensor symmetric activation quantization scale for `x`.
+pub fn activation_scale(x: &Matrix) -> f32 {
+    let max = x.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max > 0.0 {
+        max / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantized GEMM: `x · w` where `x` is f32 (quantized on the fly per
+/// tensor) and `w` is int8 per-column. Accumulates in i32, dequantizes to
+/// f32. This is the arithmetic an int8 edge accelerator would perform.
+pub fn qmatmul(x: &Matrix, w: &QuantMatrix) -> Matrix {
+    assert_eq!(x.cols(), w.rows, "qmatmul: inner dimension mismatch");
+    let sx = activation_scale(x);
+    let (m, k, n) = (x.rows(), x.cols(), w.cols);
+    // Quantize activations row-block on the fly.
+    let mut xq = vec![0i8; m * k];
+    for (q, &v) in xq.iter_mut().zip(x.as_slice()) {
+        *q = (v / sx).round().clamp(-127.0, 127.0) as i8;
+    }
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let xrow = &xq[i * k..(i + 1) * k];
+        // i32 accumulators per output column.
+        let mut acc = vec![0i32; n];
+        for (kk, &xv) in xrow.iter().enumerate() {
+            if xv == 0 {
+                continue;
+            }
+            let wrow = &w.data[kk * n..(kk + 1) * n];
+            let xv = xv as i32;
+            for (a, &wv) in acc.iter_mut().zip(wrow) {
+                *a += xv * wv as i32;
+            }
+        }
+        let orow = out.row_mut(i);
+        for ((o, &a), &sw) in orow.iter_mut().zip(&acc).zip(&w.scales) {
+            *o = a as f32 * sx * sw;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn quantize_dequantize_small_error() {
+        let m = Matrix::rand_uniform(20, 10, -2.0, 2.0, &mut seeded_rng(1));
+        let q = QuantMatrix::quantize(&m);
+        let back = q.dequantize();
+        // Max error is one quantization step = scale ≈ 2/127.
+        assert!(m.max_abs_diff(&back) <= 2.0 / 127.0 + 1e-6);
+    }
+
+    #[test]
+    fn qmatmul_close_to_f32() {
+        let mut rng = seeded_rng(2);
+        let x = Matrix::rand_uniform(16, 12, -1.0, 1.0, &mut rng);
+        let w = Matrix::rand_uniform(12, 8, -1.0, 1.0, &mut rng);
+        let exact = x.matmul(&w);
+        let quant = qmatmul(&x, &QuantMatrix::quantize(&w));
+        // Relative error of int8 GEMM stays a few percent of the magnitude.
+        let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(exact.max_abs_diff(&quant) < 0.05 * scale, "err {}", exact.max_abs_diff(&quant));
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let z = Matrix::zeros(4, 4);
+        let q = QuantMatrix::quantize(&z);
+        assert_eq!(q.dequantize(), z);
+        let x = Matrix::filled(2, 4, 1.0);
+        assert_eq!(qmatmul(&x, &q), Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn memory_is_quarter_of_f32() {
+        let m = Matrix::rand_uniform(100, 64, -1.0, 1.0, &mut seeded_rng(3));
+        let q = QuantMatrix::quantize(&m);
+        assert!(q.nbytes() < m.nbytes() / 3);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        // One huge outlier sets the scale; others quantize to ~0.
+        let mut m = Matrix::zeros(2, 1);
+        m.set(0, 0, 1270.0);
+        m.set(1, 0, 0.4);
+        let q = QuantMatrix::quantize(&m);
+        let back = q.dequantize();
+        assert!((back.get(0, 0) - 1270.0).abs() < 1e-3);
+        assert!(back.get(1, 0).abs() <= 10.0); // one step = 10
+    }
+}

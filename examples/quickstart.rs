@@ -1,0 +1,90 @@
+//! Quickstart: train a GraphSAGE model, prune it with the LASSO framework,
+//! retrain, and compare accuracy / complexity / speed — the paper's pipeline
+//! end to end on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gcnp::prelude::*;
+
+fn main() {
+    // 1. A benchmark graph (a scaled synthetic stand-in for Flickr — see
+    //    DESIGN.md §1 for the substitution argument).
+    let data = DatasetKind::FlickrSim.generate_scaled(0.25, 42);
+    println!(
+        "dataset: {} ({} nodes, {} edges, {} attrs, {} classes)",
+        data.name,
+        data.n_nodes(),
+        data.adj.nnz(),
+        data.attr_dim(),
+        data.n_classes()
+    );
+
+    // 2. Train the reference 2-layer GraphSAGE with GraphSAINT sampling.
+    let hidden = 128;
+    let mut model = zoo::graphsage(data.attr_dim(), hidden, data.n_classes(), 1);
+    let cfg = TrainConfig { steps: 120, eval_every: 10, patience: 6, ..Default::default() };
+    let t0 = std::time::Instant::now();
+    let stats = Trainer::train_saint(&mut model, &data, &cfg);
+    println!(
+        "trained reference model: val F1 {:.3} in {:.1}s ({} steps)",
+        stats.best_val_f1,
+        t0.elapsed().as_secs_f64(),
+        stats.steps_run
+    );
+
+    let adj = data.adj.normalized(Normalization::Row);
+    let engine = FullEngine::new(&model, Some(&adj));
+    let base = engine.run(&data.features, 1, 3);
+    let base_f1 = Metrics::f1_micro_full(&base.logits, &data.labels, &data.test);
+    println!(
+        "reference: test F1 {:.3}, {:.0} kMACs/node, {:.1} MB, {:.2} kN/s",
+        base_f1,
+        base.kmacs_per_node,
+        base.memory_bytes as f64 / 1e6,
+        base.throughput / 1e3
+    );
+
+    // 3. Prune at 4x (budget = 0.25) with the LASSO scheme for full inference.
+    let (tadj, tnodes) = data.train_adj();
+    let tadj = tadj.normalized(Normalization::Row);
+    let tx = data.features.gather_rows(&tnodes);
+    let pcfg = PrunerConfig::default();
+    let t0 = std::time::Instant::now();
+    let (mut pruned, report) =
+        prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &pcfg);
+    println!(
+        "pruned 4x in {:.1}s ({} -> {} weights)",
+        t0.elapsed().as_secs_f64(),
+        report.weights_before,
+        report.weights_after
+    );
+
+    // 4. Retrain the pruned model until convergence.
+    let t0 = std::time::Instant::now();
+    let rstats = Trainer::train_saint(&mut pruned, &data, &cfg);
+    println!(
+        "retrained: val F1 {:.3} in {:.1}s",
+        rstats.best_val_f1,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 5. Compare.
+    let engine = FullEngine::new(&pruned, Some(&adj));
+    let fast = engine.run(&data.features, 1, 3);
+    let fast_f1 = Metrics::f1_micro_full(&fast.logits, &data.labels, &data.test);
+    println!(
+        "pruned 4x:  test F1 {:.3}, {:.0} kMACs/node, {:.1} MB, {:.2} kN/s",
+        fast_f1,
+        fast.kmacs_per_node,
+        fast.memory_bytes as f64 / 1e6,
+        fast.throughput / 1e3
+    );
+    println!(
+        "=> {:.2}x speedup, {:.2}x less compute, {:+.3} F1",
+        fast.throughput / base.throughput,
+        base.kmacs_per_node / fast.kmacs_per_node,
+        fast_f1 - base_f1
+    );
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the inference engines and graph substrate.
+
+use gcnp::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary small undirected graph + features.
+fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Matrix)> {
+    (5usize..40, 0u64..500).prop_flat_map(|(n, seed)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..n * 4).prop_map(
+            move |pairs| {
+                let mut edges = Vec::with_capacity(pairs.len() * 2);
+                for (a, b) in pairs {
+                    if a != b {
+                        edges.push((a, b));
+                        edges.push((b, a));
+                    }
+                }
+                let adj = CsrMatrix::adjacency(n, &edges);
+                let mut rng = gcnp_tensor::init::seeded_rng(seed);
+                let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut rng);
+                (adj, x)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR invariants hold for arbitrary edge lists.
+    #[test]
+    fn csr_invariants((adj, _) in arb_graph()) {
+        let n = adj.n_rows();
+        prop_assert_eq!(adj.indptr().len(), n + 1);
+        prop_assert!(adj.indptr().windows(2).all(|w| w[0] <= w[1]));
+        for r in 0..n {
+            let row = adj.row_indices(r);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row sorted, no dups");
+            prop_assert!(row.iter().all(|&c| (c as usize) < n));
+        }
+        // transpose twice is identity
+        prop_assert_eq!(adj.transpose().transpose(), adj);
+    }
+
+    /// Row normalization yields stochastic rows (or zero rows).
+    #[test]
+    fn row_normalization_stochastic((adj, _) in arb_graph()) {
+        let norm = adj.normalized(Normalization::Row);
+        for r in 0..norm.n_rows() {
+            let s: f32 = norm.row_values(r).iter().sum();
+            if norm.degree(r) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-4);
+            } else {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    /// SpMM distributes over feature concatenation.
+    #[test]
+    fn spmm_distributes_over_concat((adj, x) in arb_graph()) {
+        let norm = adj.normalized(Normalization::Row);
+        let parts = x.split_cols(&[3, 5]);
+        let lhs = norm.spmm(&x);
+        let rhs = norm.spmm(&parts[0]).concat_cols(&norm.spmm(&parts[1]));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    /// Batched inference without caps equals full inference for any graph,
+    /// any target set.
+    #[test]
+    fn batched_equals_full((adj, x) in arb_graph(), seed in 0u64..100) {
+        let model = zoo::graphsage(8, 8, 3, seed);
+        let norm = adj.normalized(Normalization::Row);
+        let full = model.forward_full(Some(&norm), &x);
+        let mut engine = BatchedEngine::new(
+            &model, &adj, &x, vec![], None, StorePolicy::None, seed,
+        );
+        let targets: Vec<usize> = (0..adj.n_rows()).step_by(3).collect();
+        let res = engine.infer(&targets);
+        for (i, &t) in res.targets.iter().enumerate() {
+            for c in 0..3 {
+                prop_assert!(
+                    (res.logits.get(i, c) - full.get(t, c)).abs() < 1e-3,
+                    "node {} class {}", t, c
+                );
+            }
+        }
+    }
+
+    /// The store never changes results when it holds exact features.
+    #[test]
+    fn exact_store_is_transparent((adj, x) in arb_graph(), seed in 0u64..100) {
+        let model = zoo::graphsage(8, 8, 3, seed);
+        let norm = adj.normalized(Normalization::Row);
+        let hs = model.forward_collect(Some(&norm), &x);
+        let store = FeatureStore::new(adj.n_rows(), model.n_layers() - 1);
+        let all: Vec<usize> = (0..adj.n_rows()).collect();
+        for level in 1..model.n_layers() {
+            store.put_rows(level, &all, &hs[level - 1]);
+        }
+        let mut engine = BatchedEngine::new(
+            &model, &adj, &x, vec![], Some(&store), StorePolicy::None, seed,
+        );
+        let targets: Vec<usize> = (0..adj.n_rows().min(10)).collect();
+        let res = engine.infer(&targets);
+        let full = &hs[model.n_layers() - 1];
+        for (i, &t) in res.targets.iter().enumerate() {
+            for c in 0..3 {
+                prop_assert!((res.logits.get(i, c) - full.get(t, c)).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// F1-micro is always within [0, 1] and equals accuracy for single-label.
+    #[test]
+    fn f1_bounds(labels in proptest::collection::vec(0usize..4, 10..50), seed in 0u64..100) {
+        let n = labels.len();
+        let mut rng = gcnp_tensor::init::seeded_rng(seed);
+        let logits = Matrix::rand_uniform(n, 4, -1.0, 1.0, &mut rng);
+        let lab = Labels::Single(labels, 4);
+        let idx: Vec<usize> = (0..n).collect();
+        let f1 = Metrics::f1_micro(&logits, &lab, &idx);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert_eq!(f1, Metrics::accuracy(&logits, &lab, &idx));
+    }
+}

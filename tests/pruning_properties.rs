@@ -1,0 +1,119 @@
+//! Property-based tests of the pruning framework's invariants.
+
+use gcnp::prelude::*;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = (Matrix, Matrix, u64)> {
+    // (n rows, c channels, f outputs) within small bounds, plus a seed.
+    (4usize..40, 2usize..12, 1usize..6, 0u64..1000).prop_map(|(n, c, f, seed)| {
+        let mut rng = gcnp_tensor::init::seeded_rng(seed);
+        let x = Matrix::rand_uniform(n, c, -1.0, 1.0, &mut rng);
+        let w = Matrix::rand_uniform(c, f, -1.0, 1.0, &mut rng);
+        (x, w, seed)
+    })
+}
+
+fn fast_cfg(method: PruneMethod, seed: u64) -> PrunerConfig {
+    PrunerConfig {
+        method,
+        beta_epochs: 5,
+        w_epochs: 5,
+        batch_size: 16,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The outcome always keeps exactly the requested number of channels,
+    /// sorted and in range, with compact weights of matching shape.
+    #[test]
+    fn budget_is_exact((x, w, seed) in arb_problem(), frac in 0.1f32..1.0) {
+        let c = x.cols();
+        let n_keep = ((c as f32 * frac) as usize).clamp(1, c);
+        for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
+            let out = lasso_prune(&[x.clone()], &[w.clone()], n_keep, &fast_cfg(method, seed));
+            prop_assert_eq!(out.keep.len(), n_keep);
+            prop_assert!(out.keep.windows(2).all(|p| p[0] < p[1]), "sorted unique");
+            prop_assert!(out.keep.iter().all(|&k| k < c));
+            prop_assert_eq!(out.weights[0].shape(), (n_keep, w.cols()));
+            prop_assert!(out.weights[0].as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Keeping every channel is lossless for every method.
+    #[test]
+    fn full_budget_lossless((x, w, seed) in arb_problem()) {
+        for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
+            let out = lasso_prune(&[x.clone()], &[w.clone()], x.cols(), &fast_cfg(method, seed));
+            let pred = x.select_cols(&out.keep).matmul(&out.weights[0]);
+            let target = x.matmul(&w);
+            prop_assert!(pred.approx_eq(&target, 1e-4));
+        }
+    }
+
+    /// The relative reconstruction error never exceeds ~1 by much: the
+    /// Ŵ-step can always fall back to the warm start, and predicting from a
+    /// channel subset can't be arbitrarily worse than predicting Y itself.
+    #[test]
+    fn rel_error_is_bounded((x, w, seed) in arb_problem(), frac in 0.2f32..0.9) {
+        let n_keep = ((x.cols() as f32 * frac) as usize).clamp(1, x.cols());
+        let out = lasso_prune(&[x], &[w], n_keep, &fast_cfg(PruneMethod::Lasso, seed));
+        prop_assert!(out.rel_error.is_finite());
+        prop_assert!(out.rel_error >= 0.0);
+        prop_assert!(out.rel_error < 10.0, "rel error {} explodes", out.rel_error);
+    }
+
+    /// Multi-branch pruning shares one keep set across branches.
+    #[test]
+    fn shared_keep_across_branches((x, w, seed) in arb_problem(), f2 in 1usize..5) {
+        let mut rng = gcnp_tensor::init::seeded_rng(seed ^ 1);
+        let w2 = Matrix::rand_uniform(x.cols(), f2, -1.0, 1.0, &mut rng);
+        let n_keep = (x.cols() / 2).max(1);
+        let out = lasso_prune(
+            &[x.clone(), x.clone()],
+            &[w.clone(), w2.clone()],
+            n_keep,
+            &fast_cfg(PruneMethod::Lasso, seed),
+        );
+        prop_assert_eq!(out.weights.len(), 2);
+        prop_assert_eq!(out.weights[0].rows(), n_keep);
+        prop_assert_eq!(out.weights[1].rows(), n_keep);
+        prop_assert_eq!(out.weights[1].cols(), f2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end pruning at arbitrary budgets always yields a model whose
+    /// forward pass has the right shape and finite values.
+    #[test]
+    fn pruned_model_is_well_formed(budget in 0.1f32..1.0, seed in 0u64..100) {
+        let data = gcnp_datasets::SynthConfig {
+            nodes: 120,
+            classes: 3,
+            communities: 3,
+            attr_dim: 16,
+            ..Default::default()
+        }
+        .generate(seed);
+        let model = zoo::graphsage(16, 8, 3, seed);
+        let (tadj, tnodes) = data.train_adj();
+        let tadj = tadj.normalized(Normalization::Row);
+        let tx = data.features.gather_rows(&tnodes);
+        let cfg = PrunerConfig {
+            beta_epochs: 3, w_epochs: 3, batch_size: 64, seed, ..Default::default()
+        };
+        for scheme in [Scheme::FullInference, Scheme::BatchedInference] {
+            let (pruned, report) = prune_model(&model, &tadj, &tx, budget, scheme, &cfg);
+            let adj = data.adj.normalized(Normalization::Row);
+            let out = pruned.forward_full(Some(&adj), &data.features);
+            prop_assert_eq!(out.shape(), (120, 3));
+            prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+            prop_assert!(report.weights_after <= report.weights_before);
+        }
+    }
+}
