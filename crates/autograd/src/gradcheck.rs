@@ -225,7 +225,9 @@ mod tests {
 
     #[test]
     fn softmax_xent_grad() {
-        check(rngm(6, 4, 33), move |t, x| t.softmax_xent(x, &[0, 1, 2, 3, 0, 1]));
+        check(rngm(6, 4, 33), move |t, x| {
+            t.softmax_xent(x, &[0, 1, 2, 3, 0, 1])
+        });
     }
 
     #[test]

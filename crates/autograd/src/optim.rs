@@ -20,7 +20,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -36,12 +42,20 @@ impl Adam {
     /// Create an optimizer with the given config; state is allocated lazily
     /// on the first step.
     pub fn new(cfg: AdamConfig) -> Self {
-        Self { cfg, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            cfg,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Convenience constructor with only the learning rate set.
     pub fn with_lr(lr: f32) -> Self {
-        Self::new(AdamConfig { lr, ..Default::default() })
+        Self::new(AdamConfig {
+            lr,
+            ..Default::default()
+        })
     }
 
     /// Current learning rate.
@@ -60,18 +74,30 @@ impl Adam {
     /// # Panics
     /// Panics if the number of parameters changes between steps.
     pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[Option<&Matrix>]) {
-        assert_eq!(params.len(), grads.len(), "step: params/grads length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "step: params/grads length mismatch"
+        );
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
-            self.v = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "step: parameter count changed");
         self.t += 1;
         let c = self.cfg;
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
         let bc2 = 1.0 - c.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in
-            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             let Some(g) = g else { continue };
             assert_eq!(p.shape(), g.shape(), "step: grad shape mismatch");
@@ -109,14 +135,25 @@ pub struct Sgd {
 impl Sgd {
     /// Create an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update (same contract as [`Adam::step`]).
     pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[Option<&Matrix>]) {
-        assert_eq!(params.len(), grads.len(), "step: params/grads length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "step: params/grads length mismatch"
+        );
         if self.velocity.is_empty() && self.momentum != 0.0 {
-            self.velocity = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
             let Some(g) = g else { continue };
@@ -181,8 +218,11 @@ mod tests {
     fn weight_decay_shrinks_params() {
         let mut w = Matrix::filled(1, 1, 1.0);
         let zero_grad = Matrix::zeros(1, 1);
-        let mut opt =
-            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..Default::default()
+        });
         for _ in 0..50 {
             opt.step(&mut [&mut w], &[Some(&zero_grad)]);
         }
@@ -194,8 +234,10 @@ mod tests {
         // End-to-end: logistic regression via tape + Adam reaches low loss.
         let mut rng = seeded_rng(5);
         let x = Matrix::rand_uniform(64, 3, -1.0, 1.0, &mut rng);
-        let labels: Vec<usize> =
-            x.rows_iter().map(|r| if r[0] + r[1] > 0.0 { 1 } else { 0 }).collect();
+        let labels: Vec<usize> = x
+            .rows_iter()
+            .map(|r| if r[0] + r[1] > 0.0 { 1 } else { 0 })
+            .collect();
         let mut w = Matrix::glorot(3, 2, &mut rng);
         let mut opt = Adam::with_lr(0.05);
         let mut final_loss = f32::INFINITY;

@@ -20,7 +20,10 @@ impl SharedAdj {
     /// Wrap an adjacency matrix, precomputing its transpose.
     pub fn new(m: CsrMatrix) -> Self {
         let bwd = m.transpose();
-        Self { fwd: Arc::new(m), bwd: Arc::new(bwd) }
+        Self {
+            fwd: Arc::new(m),
+            bwd: Arc::new(bwd),
+        }
     }
 
     /// The forward adjacency.
@@ -50,15 +53,45 @@ enum Op {
     Relu(Var),
     LeakyRelu(Var, f32),
     Scale(Var, f32),
-    ScaleCols { x: Var, beta: Var },
-    Dropout { x: Var, mask: Matrix },
-    GatherRows { x: Var, idx: Vec<usize> },
-    SelectCols { x: Var, idx: Vec<usize> },
-    SoftmaxXent { logits: Var, labels: Vec<usize>, probs: Matrix },
-    BceLogits { logits: Var, targets: Matrix },
-    Mse { pred: Var, target: Matrix },
+    ScaleCols {
+        x: Var,
+        beta: Var,
+    },
+    Dropout {
+        x: Var,
+        mask: Matrix,
+    },
+    GatherRows {
+        x: Var,
+        idx: Vec<usize>,
+    },
+    SelectCols {
+        x: Var,
+        idx: Vec<usize>,
+    },
+    SoftmaxXent {
+        logits: Var,
+        labels: Vec<usize>,
+        probs: Matrix,
+    },
+    BceLogits {
+        logits: Var,
+        targets: Matrix,
+    },
+    Mse {
+        pred: Var,
+        target: Matrix,
+    },
     L1(Var),
-    AttnAggregate { h: Var, s: Var, d: Var, adj: SharedAdj, alpha: Vec<f32>, z: Vec<f32>, slope: f32 },
+    AttnAggregate {
+        h: Var,
+        s: Var,
+        d: Var,
+        adj: SharedAdj,
+        alpha: Vec<f32>,
+        z: Vec<f32>,
+        slope: f32,
+    },
 }
 
 struct Node {
@@ -81,7 +114,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -227,7 +264,13 @@ impl Tape {
             r,
             c,
             (0..r * c)
-                .map(|_| if rng.random_range(0.0..1.0) < p { 0.0 } else { 1.0 / keep })
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < p {
+                        0.0
+                    } else {
+                        1.0 / keep
+                    }
+                })
                 .collect(),
         );
         let v = self.value(x).hadamard(&mask);
@@ -239,7 +282,14 @@ impl Tape {
     pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Var {
         let v = self.value(x).gather_rows(idx);
         let ng = self.needs(x);
-        self.push(v, Op::GatherRows { x, idx: idx.to_vec() }, ng)
+        self.push(
+            v,
+            Op::GatherRows {
+                x,
+                idx: idx.to_vec(),
+            },
+            ng,
+        )
     }
 
     /// Select (and possibly reorder) columns of `x` — how a pruned branch
@@ -247,13 +297,24 @@ impl Tape {
     pub fn select_cols(&mut self, x: Var, idx: &[usize]) -> Var {
         let v = self.value(x).select_cols(idx);
         let ng = self.needs(x);
-        self.push(v, Op::SelectCols { x, idx: idx.to_vec() }, ng)
+        self.push(
+            v,
+            Op::SelectCols {
+                x,
+                idx: idx.to_vec(),
+            },
+            ng,
+        )
     }
 
     /// Mean softmax cross-entropy of `logits` against integer class labels.
     pub fn softmax_xent(&mut self, logits: Var, labels: &[usize]) -> Var {
         let lv = self.value(logits);
-        assert_eq!(lv.rows(), labels.len(), "softmax_xent: label count mismatch");
+        assert_eq!(
+            lv.rows(),
+            labels.len(),
+            "softmax_xent: label count mismatch"
+        );
         assert!(!labels.is_empty(), "softmax_xent: empty batch");
         let probs = lv.softmax_rows();
         let mut loss = 0.0f32;
@@ -265,7 +326,11 @@ impl Tape {
         let ng = self.needs(logits);
         self.push(
             Matrix::from_vec(1, 1, vec![loss]),
-            Op::SoftmaxXent { logits, labels: labels.to_vec(), probs },
+            Op::SoftmaxXent {
+                logits,
+                labels: labels.to_vec(),
+                probs,
+            },
             ng,
         )
     }
@@ -296,7 +361,11 @@ impl Tape {
         assert_eq!(pv.shape(), target.shape(), "mse: shape mismatch");
         let loss = pv.sub(&target).frobenius_sq() / pv.len() as f32;
         let ng = self.needs(pred);
-        self.push(Matrix::from_vec(1, 1, vec![loss]), Op::Mse { pred, target }, ng)
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::Mse { pred, target },
+            ng,
+        )
     }
 
     /// L1 norm `Σ|x|` — the LASSO penalty `λ‖β‖₁` (scale with
@@ -355,7 +424,19 @@ impl Tape {
             }
         }
         let ng = self.needs(h) || self.needs(s) || self.needs(d);
-        self.push(out, Op::AttnAggregate { h, s, d, adj: adj.clone(), alpha, z, slope }, ng)
+        self.push(
+            out,
+            Op::AttnAggregate {
+                h,
+                s,
+                d,
+                adj: adj.clone(),
+                alpha,
+                z,
+                slope,
+            },
+            ng,
+        )
     }
 
     // ---- backward ------------------------------------------------------
@@ -363,7 +444,11 @@ impl Tape {
     /// Run reverse-mode accumulation from `loss` (must be 1×1). Gradients are
     /// then available through [`Tape::grad`].
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be scalar");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be scalar"
+        );
         let n = self.nodes.len();
         let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
@@ -437,8 +522,10 @@ impl Tape {
                 }
                 Op::ConcatCols(parts) => {
                     let parts = parts.clone();
-                    let widths: Vec<usize> =
-                        parts.iter().map(|&p| self.nodes[p.0].value.cols()).collect();
+                    let widths: Vec<usize> = parts
+                        .iter()
+                        .map(|&p| self.nodes[p.0].value.cols())
+                        .collect();
                     let pieces = g.split_cols(&widths);
                     for (p, piece) in parts.into_iter().zip(pieces) {
                         acc!(p, piece);
@@ -446,12 +533,16 @@ impl Tape {
                 }
                 Op::Relu(x) => {
                     let x = *x;
-                    let mask = self.nodes[x.0].value.map(|t| if t > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[x.0]
+                        .value
+                        .map(|t| if t > 0.0 { 1.0 } else { 0.0 });
                     acc!(x, g.hadamard(&mask));
                 }
                 Op::LeakyRelu(x, slope) => {
                     let (x, slope) = (*x, *slope);
-                    let mask = self.nodes[x.0].value.map(|t| if t > 0.0 { 1.0 } else { slope });
+                    let mask = self.nodes[x.0]
+                        .value
+                        .map(|t| if t > 0.0 { 1.0 } else { slope });
                     acc!(x, g.hadamard(&mask));
                 }
                 Op::Scale(x, alpha) => {
@@ -500,7 +591,11 @@ impl Tape {
                     }
                     acc!(x, dx);
                 }
-                Op::SoftmaxXent { logits, labels, probs } => {
+                Op::SoftmaxXent {
+                    logits,
+                    labels,
+                    probs,
+                } => {
                     let logits = *logits;
                     let scale = g.get(0, 0) / labels.len() as f32;
                     let mut dl = probs.clone();
@@ -541,7 +636,15 @@ impl Tape {
                     });
                     acc!(x, dx);
                 }
-                Op::AttnAggregate { h, s, d, adj, alpha, z, slope } => {
+                Op::AttnAggregate {
+                    h,
+                    s,
+                    d,
+                    adj,
+                    alpha,
+                    z,
+                    slope,
+                } => {
                     let (h, s, d, slope) = (*h, *s, *d, *slope);
                     let adj = adj.clone();
                     let alpha = alpha.clone();
@@ -659,7 +762,7 @@ mod tests {
         let logits = t.param(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
         let loss = t.bce_logits(logits, Matrix::from_vec(1, 2, vec![1.0, 0.0]));
         // -ln(0.5) for both entries
-        assert!((t.scalar(loss) - 0.693147).abs() < 1e-5);
+        assert!((t.scalar(loss) - std::f32::consts::LN_2).abs() < 1e-5);
     }
 
     #[test]

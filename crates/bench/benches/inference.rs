@@ -28,7 +28,11 @@ fn pruned(model: &GnnModel, data: &Dataset, budget: f32, scheme: Scheme) -> GnnM
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { beta_epochs: 5, w_epochs: 5, ..Default::default() };
+    let cfg = PrunerConfig {
+        beta_epochs: 5,
+        w_epochs: 5,
+        ..Default::default()
+    };
     prune_model(model, &tadj, &tx, budget, scheme, &cfg).0
 }
 

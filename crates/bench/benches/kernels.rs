@@ -31,14 +31,18 @@ fn bench_gemm(c: &mut Criterion) {
     let y = Matrix::rand_uniform(2048, 128, -1.0, 1.0, &mut rng);
     let mut g = c.benchmark_group("gemm");
     g.sample_size(10);
-    g.bench_function("a_b_2048x602x128", |bench| bench.iter(|| black_box(a.matmul(&b))));
+    g.bench_function("a_b_2048x602x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
     g.bench_function("at_b_2048x602_x_2048x128", |bench| {
         bench.iter(|| black_box(a.matmul_at_b(&y)))
     });
     g.bench_function("a_bt_2048x128", |bench| {
         bench.iter(|| black_box(y.matmul_a_bt(&y)))
     });
-    g.bench_function("transpose_2048x602", |bench| bench.iter(|| black_box(a.transpose())));
+    g.bench_function("transpose_2048x602", |bench| {
+        bench.iter(|| black_box(a.transpose()))
+    });
     g.finish();
 }
 
@@ -48,8 +52,12 @@ fn bench_spmm(c: &mut Criterion) {
     let h = Matrix::rand_uniform(12_000, 128, -1.0, 1.0, &mut rng);
     let mut g = c.benchmark_group("spmm");
     g.sample_size(10);
-    g.bench_function("12k_deg25_f128", |bench| bench.iter(|| black_box(adj.spmm(&h))));
-    g.bench_function("csr_transpose_12k", |bench| bench.iter(|| black_box(adj.transpose())));
+    g.bench_function("12k_deg25_f128", |bench| {
+        bench.iter(|| black_box(adj.spmm(&h)))
+    });
+    g.bench_function("csr_transpose_12k", |bench| {
+        bench.iter(|| black_box(adj.transpose()))
+    });
     g.finish();
 }
 
@@ -68,7 +76,12 @@ fn bench_lasso(c: &mut Criterion) {
                 batch_size: 1024,
                 ..Default::default()
             };
-            black_box(lasso_prune(&[x.clone()], &[w.clone()], 32, &cfg))
+            black_box(lasso_prune(
+                std::slice::from_ref(&x),
+                std::slice::from_ref(&w),
+                32,
+                &cfg,
+            ))
         })
     });
     g.bench_function("max_response_128ch_to_32", |bench| {
@@ -78,7 +91,12 @@ fn bench_lasso(c: &mut Criterion) {
                 w_epochs: 3,
                 ..Default::default()
             };
-            black_box(lasso_prune(&[x.clone()], &[w.clone()], 32, &cfg))
+            black_box(lasso_prune(
+                std::slice::from_ref(&x),
+                std::slice::from_ref(&w),
+                32,
+                &cfg,
+            ))
         })
     });
     g.finish();

@@ -14,7 +14,7 @@
 
 use gcnp_bench::harness::{fnum, print_table};
 use gcnp_bench::{pipeline, Ctx};
-use gcnp_core::{lasso_prune, ridge_solve, select_channels, PruneMethod, PrunerConfig, Scheme};
+use gcnp_core::{lasso_prune, ridge_solve, select_channels, PruneMethod, Scheme};
 use gcnp_datasets::DatasetKind;
 use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
 use gcnp_models::Metrics;
@@ -24,10 +24,10 @@ use serde::Serialize;
 
 #[derive(Serialize, Default)]
 struct Out {
-    wstep: Vec<(String, f64, f64)>,          // (variant, rel_error, seconds)
-    branch: Vec<(String, f64)>,              // (variant, rel_error)
-    store_policy: Vec<(String, f64, f64)>,   // (policy, macs/target, f1)
-    fanout: Vec<(usize, f64, f64)>,          // (cap, macs/target, f1)
+    wstep: Vec<(String, f64, f64)>,        // (variant, rel_error, seconds)
+    branch: Vec<(String, f64)>,            // (variant, rel_error)
+    store_policy: Vec<(String, f64, f64)>, // (policy, macs/target, f1)
+    fanout: Vec<(usize, f64, f64)>,        // (cap, macs/target, f1)
 }
 
 fn main() {
@@ -60,7 +60,8 @@ fn main() {
         let t0 = std::time::Instant::now();
         let sgd = lasso_prune(&xs, &ws, n_keep, &cfg);
         let sgd_secs = t0.elapsed().as_secs_f64();
-        out.wstep.push(("adam-sgd".into(), sgd.rel_error as f64, sgd_secs));
+        out.wstep
+            .push(("adam-sgd".into(), sgd.rel_error as f64, sgd_secs));
 
         // Ridge on the same selected channels.
         let t0 = std::time::Instant::now();
@@ -76,7 +77,8 @@ fn main() {
             den += y.frobenius_sq() as f64;
         }
         let ridge_secs = t0.elapsed().as_secs_f64();
-        out.wstep.push(("ridge-closed-form".into(), num / den, ridge_secs));
+        out.wstep
+            .push(("ridge-closed-form".into(), num / den, ridge_secs));
     }
     print_table(
         &["W-step", "rel error", "seconds"],
@@ -91,7 +93,8 @@ fn main() {
     {
         let cfg = pipeline::prune_cfg(PruneMethod::Lasso, ctx.seed);
         let joint = lasso_prune(&xs, &ws, n_keep, &cfg);
-        out.branch.push(("joint shared beta".into(), joint.rel_error as f64));
+        out.branch
+            .push(("joint shared beta".into(), joint.rel_error as f64));
 
         // Independent: prune each branch alone, then force the UNION of the
         // two keeps truncated to budget (a naive composition) on both.
@@ -114,7 +117,10 @@ fn main() {
     }
     print_table(
         &["Branch handling", "rel error"],
-        &out.branch.iter().map(|(n, e)| vec![n.clone(), fnum(*e, 4)]).collect::<Vec<_>>(),
+        &out.branch
+            .iter()
+            .map(|(n, e)| vec![n.clone(), fnum(*e, 4)])
+            .collect::<Vec<_>>(),
     );
 
     // ---- 3. store policies ----------------------------------------------

@@ -36,7 +36,10 @@ fn main() {
     let hidden = kind.hidden_dim();
     let (fin, classes) = (data.attr_dim(), data.n_classes());
     let adj_row = data.adj.normalized(Normalization::Row);
-    let adj_sym = data.adj.with_self_loops().normalized(Normalization::Symmetric);
+    let adj_sym = data
+        .adj
+        .with_self_loops()
+        .normalized(Normalization::Symmetric);
     let tcfg = pipeline::train_cfg(ctx.seed);
     let mut rows: Vec<Row> = Vec::new();
 
@@ -54,7 +57,11 @@ fn main() {
     }
     for (name, mut model, adj) in [
         ("GCN", zoo::gcn(fin, hidden, classes, ctx.seed), &adj_sym),
-        ("MixHop", zoo::mixhop(fin, hidden, classes, ctx.seed), &adj_row),
+        (
+            "MixHop",
+            zoo::mixhop(fin, hidden, classes, ctx.seed),
+            &adj_row,
+        ),
         ("JK", zoo::jk(fin, hidden, classes, ctx.seed), &adj_row),
     ] {
         println!("  training {name} ...");
@@ -94,8 +101,13 @@ fn main() {
     {
         println!("  training GAT ...");
         let mut gat = GatModel::new(fin, hidden, classes, ctx.seed);
-        let gat_cfg =
-            gcnp_models::TrainConfig { steps: 30, eval_every: 10, lr: 0.02, patience: 2, ..tcfg.clone() };
+        let gat_cfg = gcnp_models::TrainConfig {
+            steps: 30,
+            eval_every: 10,
+            lr: 0.02,
+            patience: 2,
+            ..tcfg.clone()
+        };
         let stats = gat.train(&data, &gat_cfg);
         let shared = SharedAdj::new(data.adj.with_self_loops());
         let logits = gat.forward_full(&shared, &data.features);
@@ -114,9 +126,21 @@ fn main() {
         println!("  training SGC ...");
         let z = zoo::sgc_features(&adj_sym, &data.features, 2);
         let mut head = zoo::sgc_model(fin, classes, ctx.seed);
-        let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let cfg = gcnp_models::TrainConfig {
+            steps: 50,
+            eval_every: 10,
+            patience: 3,
+            ..tcfg.clone()
+        };
         let stats = Trainer::train_full_batch(
-            &mut head, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+            &mut head,
+            None,
+            &z,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
         );
         // Full inference includes the propagation (no pre-processing).
         let infer = || {
@@ -139,9 +163,21 @@ fn main() {
         let z = zoo::sign_features(&adj_sym, &data.features, 2);
         // SIGN uses wide feed-forward layers (460 in the paper).
         let mut head = zoo::sign_model(z.cols(), hidden * 3, classes, ctx.seed);
-        let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let cfg = gcnp_models::TrainConfig {
+            steps: 50,
+            eval_every: 10,
+            patience: 3,
+            ..tcfg.clone()
+        };
         let stats = Trainer::train_full_batch(
-            &mut head, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+            &mut head,
+            None,
+            &z,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
         );
         let infer = || {
             let z = zoo::sign_features(&adj_sym, &data.features, 2);
@@ -161,7 +197,13 @@ fn main() {
     {
         println!("  training PPRGo ...");
         let mut m = PprgoModel::new(fin, hidden, classes, PprConfig::default(), ctx.seed);
-        let cfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, lr: 0.02, patience: 3, ..tcfg.clone() };
+        let cfg = gcnp_models::TrainConfig {
+            steps: 40,
+            eval_every: 10,
+            lr: 0.02,
+            patience: 3,
+            ..tcfg.clone()
+        };
         let stats = m.train(&data, &cfg);
         let all: Vec<usize> = (0..n).collect();
         let logits = m.predict(&data.adj, &data.features, &all);
@@ -179,7 +221,12 @@ fn main() {
         println!("  distilling TinyGNN student ...");
         let teacher_logits = reference.model.forward_full(Some(&adj_row), &data.features);
         let mut student = zoo::tinygnn_student(fin, hidden, classes, ctx.seed);
-        let cfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, patience: 3, ..tcfg.clone() };
+        let cfg = gcnp_models::TrainConfig {
+            steps: 40,
+            eval_every: 10,
+            patience: 3,
+            ..tcfg.clone()
+        };
         let stats = Trainer::train_full_batch(
             &mut student,
             Some(&adj_row),

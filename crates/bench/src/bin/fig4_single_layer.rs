@@ -39,7 +39,11 @@ fn main() {
     // Layer index 1 = the paper's "layer-2" (both branches share β).
     let c = kind.hidden_dim();
     let mut rows: Vec<Row> = Vec::new();
-    for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
+    for method in [
+        PruneMethod::Lasso,
+        PruneMethod::MaxResponse,
+        PruneMethod::Random,
+    ] {
         for frac_pruned in [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875] {
             let n_keep = ((c as f64 * (1.0 - frac_pruned)) as usize).max(1);
             let cfg = pipeline::prune_cfg(method, ctx.seed);
@@ -73,7 +77,11 @@ fn main() {
                     format!("{}/{}", r.pruned_channels, r.total_channels),
                     fnum(r.rel_loss, 4),
                     fnum(r.f1_micro, 3),
-                    if r.method == "Lasso" { fnum(r.beta_zero_frac, 2) } else { "-".into() },
+                    if r.method == "Lasso" {
+                        fnum(r.beta_zero_frac, 2)
+                    } else {
+                        "-".into()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),

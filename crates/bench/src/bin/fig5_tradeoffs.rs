@@ -64,7 +64,11 @@ fn serve_latencies(
         &data.features,
         vec![None, Some(HOP2_CAP)],
         store,
-        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        if store.is_some() {
+            StorePolicy::Roots
+        } else {
+            StorePolicy::None
+        },
         seed,
     );
     let mut lat = Vec::new();
@@ -196,5 +200,8 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    ctx.write_json(&Out { latency_vs_batch: latency_rows, store_tradeoff: store_rows });
+    ctx.write_json(&Out {
+        latency_vs_batch: latency_rows,
+        store_tradeoff: store_rows,
+    });
 }

@@ -41,7 +41,11 @@ fn main() {
     let base = pipeline::dataset(&ctx, kind);
     println!("over-sampling yelpchi-sim x{factor} ...");
     let big = oversample(&base, factor, ctx.seed);
-    println!("  scaled graph: {} nodes, {} edges", big.n_nodes(), big.adj.nnz());
+    println!(
+        "  scaled graph: {} nodes, {} edges",
+        big.n_nodes(),
+        big.adj.nnz()
+    );
 
     // Models are trained on the base dataset (the paper re-trains monthly;
     // serving-time graphs only grow).
@@ -60,7 +64,11 @@ fn main() {
             PruneMethod::Lasso,
         );
         let model: &GnnModel = &pruned.model;
-        let name = if budget >= 1.0 { "1x".to_string() } else { label.to_string() };
+        let name = if budget >= 1.0 {
+            "1x".to_string()
+        } else {
+            label.to_string()
+        };
 
         for with_store in [false, true] {
             let n_levels = model.n_layers() - 1;
@@ -71,12 +79,15 @@ fn main() {
                 &big.features,
                 vec![None, Some(HOP2_CAP)],
                 if with_store { Some(&store) } else { None },
-                if with_store { StorePolicy::Roots } else { StorePolicy::None },
+                if with_store {
+                    StorePolicy::Roots
+                } else {
+                    StorePolicy::None
+                },
                 ctx.seed,
             );
             // day -> (correct, total, max latency ms, windows)
-            let mut per_day: Vec<(u64, u64, f64, usize)> =
-                vec![(0, 0, 0.0, 0); DAYS as usize];
+            let mut per_day: Vec<(u64, u64, f64, usize)> = vec![(0, 0, 0.0, 0); DAYS as usize];
             let mut all_correct = 0u64;
             let mut all_total = 0u64;
             let stream = SpamStream::new(&big, 30);
@@ -126,16 +137,29 @@ fn main() {
     println!("\nmonth-1 accuracy by model (w/o store): ");
     print_table(
         &["Model", "Accuracy"],
-        &test_acc.iter().map(|(m, a)| vec![m.clone(), fnum(*a, 3)]).collect::<Vec<_>>(),
+        &test_acc
+            .iter()
+            .map(|(m, a)| vec![m.clone(), fnum(*a, 3)])
+            .collect::<Vec<_>>(),
     );
     // Compact view: first 10 days of the 4x model.
     println!("\n4x model, first 10 days:");
     print_table(
-        &["Day", "Acc w/o", "MaxLat w/o (ms)", "Acc w/", "MaxLat w/ (ms)"],
+        &[
+            "Day",
+            "Acc w/o",
+            "MaxLat w/o (ms)",
+            "Acc w/",
+            "MaxLat w/ (ms)",
+        ],
         &(0..10u32)
             .filter_map(|d| {
-                let w_o = rows.iter().find(|r| r.model == "4x" && !r.store && r.day == d)?;
-                let w_s = rows.iter().find(|r| r.model == "4x" && r.store && r.day == d)?;
+                let w_o = rows
+                    .iter()
+                    .find(|r| r.model == "4x" && !r.store && r.day == d)?;
+                let w_s = rows
+                    .iter()
+                    .find(|r| r.model == "4x" && r.store && r.day == d)?;
                 Some(vec![
                     d.to_string(),
                     fnum(w_o.accuracy, 3),

@@ -1,0 +1,136 @@
+//! Thread-scaling sweep for the batched serving path: batched-inference
+//! throughput at `GCNP_THREADS ∈ {1, 2, 4, 8}` (kernel parallelism, one
+//! engine) and at 1–8 serving workers (engine replicas sharing one store,
+//! single kernel thread each), on a ≥8k-node synthetic graph.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin scaling_threads
+//! ```
+//!
+//! The kernel sweep is the PR-acceptance number: 4-thread throughput should
+//! be ≥2× the 1-thread row on this workload.
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::Ctx;
+use gcnp_datasets::SynthConfig;
+use gcnp_infer::{serve_multi, BatchedEngine, FeatureStore, ServingConfig, StorePolicy};
+use gcnp_models::zoo;
+use gcnp_tensor::set_num_threads;
+use serde::Serialize;
+use std::time::Instant;
+
+const BATCH: usize = 256;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    threads: usize,
+    seconds: f64,
+    nodes_per_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let ctx = Ctx::new("scaling_threads");
+    let data = SynthConfig {
+        name: "scaling-synth",
+        nodes: 8192,
+        attr_dim: 64,
+        classes: 8,
+        communities: 8,
+        ..Default::default()
+    }
+    .generate(ctx.seed);
+    let model = zoo::graphsage(data.attr_dim(), 64, data.n_classes(), ctx.seed);
+    let targets: Vec<usize> = (0..data.n_nodes()).collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- kernel-thread sweep: one engine, GCNP_THREADS varied -------------
+    let mut base = f64::NAN;
+    for &t in &THREADS {
+        set_num_threads(t);
+        let mut engine = BatchedEngine::new(
+            &model,
+            &data.adj,
+            &data.features,
+            vec![None, Some(32)],
+            None,
+            StorePolicy::None,
+            ctx.seed,
+        );
+        // Warm-up: fault pages, spawn pool workers.
+        engine.infer(&targets[..BATCH.min(targets.len())]);
+        let t0 = Instant::now();
+        for chunk in targets.chunks(BATCH) {
+            engine.infer(chunk);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if t == 1 {
+            base = secs;
+        }
+        rows.push(Row {
+            mode: "kernel-threads".into(),
+            threads: t,
+            seconds: secs,
+            nodes_per_s: targets.len() as f64 / secs,
+            speedup: base / secs,
+        });
+    }
+
+    // --- serving-worker sweep: K replicas, 1 kernel thread each -----------
+    set_num_threads(1);
+    let cfg = ServingConfig {
+        arrival_rate: 1e6, // effectively pre-arrived: measure drain rate
+        max_batch: BATCH,
+        n_requests: targets.len(),
+        seed: ctx.seed,
+        ..Default::default()
+    };
+    let mut base = f64::NAN;
+    for &w in &THREADS {
+        let store = FeatureStore::new(data.n_nodes(), model.n_layers() - 1);
+        let mut engines: Vec<BatchedEngine<'_>> = (0..w)
+            .map(|i| {
+                BatchedEngine::new(
+                    &model,
+                    &data.adj,
+                    &data.features,
+                    vec![None, Some(32)],
+                    Some(&store),
+                    StorePolicy::Roots,
+                    ctx.seed ^ i as u64,
+                )
+            })
+            .collect();
+        let rep = serve_multi(&mut engines, &targets, &cfg);
+        if w == 1 {
+            base = rep.wall_seconds;
+        }
+        rows.push(Row {
+            mode: "serving-workers".into(),
+            threads: w,
+            seconds: rep.wall_seconds,
+            nodes_per_s: rep.throughput,
+            speedup: base / rep.wall_seconds,
+        });
+    }
+
+    print_table(
+        &["Mode", "Threads", "Seconds", "Nodes/s", "Speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.clone(),
+                    r.threads.to_string(),
+                    fnum(r.seconds, 3),
+                    fnum(r.nodes_per_s, 0),
+                    format!("{}x", fnum(r.speedup, 2)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    ctx.write_json(&rows);
+}

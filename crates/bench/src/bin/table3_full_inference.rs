@@ -73,8 +73,15 @@ fn main() {
     }
     print_table(
         &[
-            "Dataset", "Budget", "F1-Micro", "kMACs/node", "Mem(MB)", "Thpt(kN/s)", "Impr.",
-            "Prune(s)", "Retrain(s)",
+            "Dataset",
+            "Budget",
+            "F1-Micro",
+            "kMACs/node",
+            "Mem(MB)",
+            "Thpt(kN/s)",
+            "Impr.",
+            "Prune(s)",
+            "Retrain(s)",
         ],
         &rows
             .iter()

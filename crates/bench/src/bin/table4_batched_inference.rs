@@ -46,7 +46,11 @@ fn serve(
         &data.features,
         vec![None, Some(HOP2_CAP)],
         store,
-        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        if store.is_some() {
+            StorePolicy::Roots
+        } else {
+            StorePolicy::None
+        },
         seed,
     );
     let mut lat = Vec::new();
@@ -146,7 +150,13 @@ fn main() {
     }
     print_table(
         &[
-            "Dataset", "Budget", "Store", "F1-Micro", "kMACs/node", "Mem(MB)", "Lat(ms)",
+            "Dataset",
+            "Budget",
+            "Store",
+            "F1-Micro",
+            "kMACs/node",
+            "Mem(MB)",
+            "Lat(ms)",
             "Impr.",
         ],
         &rows

@@ -72,7 +72,10 @@ fn main() {
     let (fin, classes) = (data.attr_dim(), data.n_classes());
     let n = data.n_nodes();
     let adj_row = data.adj.normalized(Normalization::Row);
-    let adj_sym = data.adj.with_self_loops().normalized(Normalization::Symmetric);
+    let adj_sym = data
+        .adj
+        .with_self_loops()
+        .normalized(Normalization::Symmetric);
     let d = data.adj.avg_degree();
     let cm = CostModel::new(n, d);
     // Propagation Ã²·X costs 2·d·f MACs per node (the paper's 120 kMACs).
@@ -84,8 +87,22 @@ fn main() {
     println!("  SGC ...");
     let z = zoo::sgc_features(&adj_sym, &data.features, 2);
     let mut sgc = zoo::sgc_model(fin, classes, ctx.seed);
-    let cfg = gcnp_models::TrainConfig { steps: 50, eval_every: 10, patience: 3, ..tcfg.clone() };
-    Trainer::train_full_batch(&mut sgc, None, &z, &data.labels, &data.train, &data.val, &cfg, None);
+    let cfg = gcnp_models::TrainConfig {
+        steps: 50,
+        eval_every: 10,
+        patience: 3,
+        ..tcfg.clone()
+    };
+    Trainer::train_full_batch(
+        &mut sgc,
+        None,
+        &z,
+        &data.labels,
+        &data.train,
+        &data.val,
+        &cfg,
+        None,
+    );
     let logits = sgc.forward_full(None, &z);
     let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
     let head_kmacs = cm.full_kmacs_per_node(&sgc);
@@ -109,7 +126,14 @@ fn main() {
     let z = zoo::sign_features(&adj_sym, &data.features, 2);
     let mut sign = zoo::sign_model(z.cols(), hidden * 3, classes, ctx.seed);
     Trainer::train_full_batch(
-        &mut sign, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+        &mut sign,
+        None,
+        &z,
+        &data.labels,
+        &data.train,
+        &data.val,
+        &cfg,
+        None,
     );
     let logits = sign.forward_full(None, &z);
     let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
@@ -133,14 +157,19 @@ fn main() {
     println!("  PPRGo ...");
     let ppr_cfg = PprConfig::default();
     let mut pprgo = zoo::PprgoModel::new(fin, hidden, classes, ppr_cfg, ctx.seed);
-    let pcfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, lr: 0.02, patience: 3, ..tcfg.clone() };
+    let pcfg = gcnp_models::TrainConfig {
+        steps: 40,
+        eval_every: 10,
+        lr: 0.02,
+        patience: 3,
+        ..tcfg.clone()
+    };
     pprgo.train(&data, &pcfg);
     let all: Vec<usize> = (0..n).collect();
     let logits = pprgo.predict(&data.adj, &data.features, &all);
     let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.test);
     // MLP head + top-k aggregation of class logits per node.
-    let kmacs = cm.full_kmacs_per_node(&pprgo.head)
-        + (ppr_cfg.top_k * classes) as f64 / 1e3;
+    let kmacs = cm.full_kmacs_per_node(&pprgo.head) + (ppr_cfg.top_k * classes) as f64 / 1e3;
     rows.push(Row {
         scenario: "full".into(),
         model: "PPRGo".into(),
@@ -154,7 +183,12 @@ fn main() {
     let reference = pipeline::reference_model(&ctx, kind, &data);
     let teacher_logits = reference.model.forward_full(Some(&adj_row), &data.features);
     let mut student = zoo::tinygnn_student(fin, hidden, classes, ctx.seed);
-    let scfg = gcnp_models::TrainConfig { steps: 40, eval_every: 10, patience: 3, ..tcfg.clone() };
+    let scfg = gcnp_models::TrainConfig {
+        steps: 40,
+        eval_every: 10,
+        patience: 3,
+        ..tcfg.clone()
+    };
     Trainer::train_full_batch(
         &mut student,
         Some(&adj_row),
@@ -262,7 +296,11 @@ fn main() {
                 vec![
                     r.scenario.clone(),
                     r.model.clone(),
-                    if r.preprocessed { "yes".into() } else { "-".to_string() },
+                    if r.preprocessed {
+                        "yes".into()
+                    } else {
+                        "-".to_string()
+                    },
                     fnum(r.f1_micro, 3),
                     fnum(r.kmacs_per_node, 0),
                 ]

@@ -21,12 +21,23 @@ impl Ctx {
     /// Create a context, reading `GCNP_SCALE` / `GCNP_SEED` from the
     /// environment and creating the results directories.
     pub fn new(name: &str) -> Self {
-        let scale = std::env::var("GCNP_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-        let seed = std::env::var("GCNP_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        let scale = std::env::var("GCNP_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let seed = std::env::var("GCNP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
         let results_dir = workspace_root().join("results");
         fs::create_dir_all(results_dir.join("cache")).expect("create results dirs");
         println!("== {name} (scale={scale}, seed={seed}) ==");
-        Self { name: name.to_string(), results_dir, scale, seed }
+        Self {
+            name: name.to_string(),
+            results_dir,
+            scale,
+            seed,
+        }
     }
 
     /// Persist a JSON record for EXPERIMENTS.md generation.
@@ -102,7 +113,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     println!("{sep}");
     for row in rows {
         println!("{}", line(row));

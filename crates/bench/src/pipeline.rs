@@ -2,7 +2,7 @@
 
 use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
-use gcnp_models::{GnnModel, TrainConfig, Trainer, zoo};
+use gcnp_models::{zoo, GnnModel, TrainConfig, Trainer};
 use gcnp_sparse::Normalization;
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +28,12 @@ pub fn train_cfg(seed: u64) -> TrainConfig {
 
 /// Pruning configuration (paper §4: batch 1024, ADAM on both sub-problems).
 pub fn prune_cfg(method: PruneMethod, seed: u64) -> PrunerConfig {
-    PrunerConfig { method, batch_size: 1024, seed, ..Default::default() }
+    PrunerConfig {
+        method,
+        batch_size: 1024,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// A cached trained model plus its training cost.
@@ -52,9 +57,18 @@ pub fn reference_model(ctx: &Ctx, kind: DatasetKind, data: &Dataset) -> CachedMo
         return c;
     }
     println!("  training reference model for {} ...", kind.name());
-    let mut model = zoo::graphsage(data.attr_dim(), kind.hidden_dim(), data.n_classes(), ctx.seed);
+    let mut model = zoo::graphsage(
+        data.attr_dim(),
+        kind.hidden_dim(),
+        data.n_classes(),
+        ctx.seed,
+    );
     let stats = Trainer::train_saint(&mut model, data, &train_cfg(ctx.seed));
-    let cached = CachedModel { model, seconds: stats.seconds, val_f1: stats.best_val_f1 };
+    let cached = CachedModel {
+        model,
+        seconds: stats.seconds,
+        val_f1: stats.best_val_f1,
+    };
     ctx.cache_put(&key, &cached);
     println!("    val F1 {:.3} in {:.1}s", cached.val_f1, cached.seconds);
     cached
@@ -99,12 +113,21 @@ pub fn pruned_model(
         println!("  [cache] pruned {} @ {budget}", kind.name());
         return c;
     }
-    println!("  pruning {} @ budget {budget} ({scheme:?}, {method:?}) ...", kind.name());
+    println!(
+        "  pruning {} @ budget {budget} ({scheme:?}, {method:?}) ...",
+        kind.name()
+    );
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let (mut model, report) =
-        prune_model(&reference.model, &tadj, &tx, budget, scheme, &prune_cfg(method, ctx.seed));
+    let (mut model, report) = prune_model(
+        &reference.model,
+        &tadj,
+        &tx,
+        budget,
+        scheme,
+        &prune_cfg(method, ctx.seed),
+    );
     let stats = Trainer::train_saint(&mut model, data, &train_cfg(ctx.seed));
     let cached = CachedPruned {
         model,

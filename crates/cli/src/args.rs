@@ -23,7 +23,10 @@ impl Args {
         if command.starts_with("--") {
             return Err(format!("expected subcommand, got option {command}"));
         }
-        let mut args = Args { command, ..Default::default() };
+        let mut args = Args {
+            command,
+            ..Default::default()
+        };
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
@@ -50,14 +53,17 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// Typed option with default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
         }
     }
 

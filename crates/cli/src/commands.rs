@@ -5,7 +5,8 @@ use crate::args::Args;
 use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
 use gcnp_infer::{
-    simulate, BatchedEngine, FeatureStore, FullEngine, QuantizedGnn, ServingConfig, StorePolicy,
+    serve_multi, simulate, BatchedEngine, FeatureStore, FullEngine, QuantizedGnn, ServingConfig,
+    StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
 use gcnp_sparse::Normalization;
@@ -101,14 +102,21 @@ pub fn prune(args: &Args) -> Result<String, String> {
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { method, seed: args.get_or("seed", 0)?, ..Default::default() };
+    let cfg = PrunerConfig {
+        method,
+        seed: args.get_or("seed", 0)?,
+        ..Default::default()
+    };
     let (mut pruned, report) = prune_model(&model, &tadj, &tx, budget, scheme, &cfg);
     let mut msg = format!(
         "pruned {:?}/{:?} @ budget {budget}: {} -> {} weights in {:.1}s",
         scheme, method, report.weights_before, report.weights_after, report.seconds
     );
     if args.has("retrain") {
-        let tcfg = TrainConfig { seed: args.get_or("seed", 0)?, ..Default::default() };
+        let tcfg = TrainConfig {
+            seed: args.get_or("seed", 0)?,
+            ..Default::default()
+        };
         let stats = Trainer::train_saint(&mut pruned, &data, &tcfg);
         msg.push_str(&format!(
             "; retrained to val F1 {:.3} in {:.1}s",
@@ -181,7 +189,11 @@ pub fn eval(args: &Args) -> Result<String, String> {
         &data.features,
         vec![None, Some(args.get_or("cap", 32)?)],
         store,
-        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
+        if store.is_some() {
+            StorePolicy::Roots
+        } else {
+            StorePolicy::None
+        },
         args.get_or("seed", 0)?,
     );
     let mut lat = Vec::new();
@@ -211,7 +223,11 @@ pub fn eval(args: &Args) -> Result<String, String> {
 }
 
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
-///  [--max-batch n] [--max-wait-ms f] [--store]`
+///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]`
+///
+/// With `--workers n` (n > 1) the request trace is drained by `n` engine
+/// replicas sharing one feature store (throughput mode, no latency
+/// percentiles).
 pub fn serve(args: &Args) -> Result<String, String> {
     let data = load_dataset(args.require("data")?)?;
     let model = load_model(args.require("model")?)?;
@@ -231,15 +247,6 @@ pub fn serve(args: &Args) -> Result<String, String> {
     } else {
         None
     };
-    let mut engine = BatchedEngine::new(
-        &model,
-        &data.adj,
-        &data.features,
-        vec![None, Some(32)],
-        store,
-        if store.is_some() { StorePolicy::Roots } else { StorePolicy::None },
-        args.get_or("seed", 0)?,
-    );
     let cfg = ServingConfig {
         arrival_rate: args.get_or("rate", 500.0)?,
         max_batch: args.get_or("max-batch", 64)?,
@@ -247,9 +254,49 @@ pub fn serve(args: &Args) -> Result<String, String> {
         n_requests: args.get_or("requests", 1000)?,
         seed: args.get_or("seed", 0)?,
     };
+    let policy = if store.is_some() {
+        StorePolicy::Roots
+    } else {
+        StorePolicy::None
+    };
+    let workers: usize = args.get_or("workers", 1)?;
+    if workers > 1 {
+        let mut engines: Vec<BatchedEngine<'_>> = (0..workers)
+            .map(|w| {
+                BatchedEngine::new(
+                    &model,
+                    &data.adj,
+                    &data.features,
+                    vec![None, Some(32)],
+                    store,
+                    policy,
+                    args.get_or("seed", 0).unwrap_or(0) ^ w as u64,
+                )
+            })
+            .collect();
+        let rep = serve_multi(&mut engines, &data.test, &cfg);
+        return Ok(format!(
+            "served {} requests in {} batches (mean size {:.1}) on {} workers: {:.0} req/s wall-clock, {:.0} req/s compute-bound",
+            rep.n_requests,
+            rep.n_batches,
+            rep.mean_batch_size,
+            rep.n_workers,
+            rep.throughput,
+            rep.compute_throughput
+        ));
+    }
+    let mut engine = BatchedEngine::new(
+        &model,
+        &data.adj,
+        &data.features,
+        vec![None, Some(32)],
+        store,
+        policy,
+        args.get_or("seed", 0)?,
+    );
     let rep = simulate(&mut engine, &data.test, &cfg);
     Ok(format!(
-        "served {} requests in {} batches (mean size {:.1}): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, {:.0} req/s compute-bound",
+        "served {} requests in {} batches (mean size {:.1}): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, {:.0} req/s wall-clock ({:.0} req/s compute-bound)",
         rep.n_requests,
         rep.n_batches,
         rep.mean_batch_size,
@@ -257,7 +304,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
         rep.p95_ms,
         rep.p99_ms,
         rep.max_ms,
-        rep.throughput
+        rep.throughput,
+        rep.compute_throughput
     ))
 }
 
@@ -313,8 +361,10 @@ mod tests {
 
         let msg = run(&parse(&format!("eval --data {d} --model {p}"))).unwrap();
         assert!(msg.contains("test F1"));
-        let msg =
-            run(&parse(&format!("eval --data {d} --model {p} --batched --store"))).unwrap();
+        let msg = run(&parse(&format!(
+            "eval --data {d} --model {p} --batched --store"
+        )))
+        .unwrap();
         assert!(msg.contains("w/ store"));
 
         let msg = run(&parse(&format!("quantize --model {p} --out {q}"))).unwrap();
@@ -334,8 +384,10 @@ mod tests {
     fn unknown_command_and_bad_inputs() {
         assert!(run(&parse("frobnicate")).is_err());
         assert!(run(&parse("generate --dataset nope --out /tmp/x.json")).is_err());
-        assert!(run(&parse("prune --data missing.json --model also-missing.json --out /tmp/x"))
-            .is_err());
+        assert!(run(&parse(
+            "prune --data missing.json --model also-missing.json --out /tmp/x"
+        ))
+        .is_err());
         assert!(run(&parse("eval --data missing.json --model missing.json")).is_err());
     }
 }

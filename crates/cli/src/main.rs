@@ -23,8 +23,9 @@ COMMANDS
             [--quantized]
             test-set F1 + cost metrics under either inference scenario
   serve     --data <file> --model <file> [--rate f] [--requests n]
-            [--max-batch n] [--max-wait-ms f] [--store]
+            [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
             simulate real-time serving; reports latency percentiles
+            (--workers > 1: multi-worker throughput mode)
 ";
 
 fn main() {

@@ -118,7 +118,10 @@ fn solve_linear(a: &mut Matrix, mut b: Matrix) -> Matrix {
                 pivot = r;
             }
         }
-        assert!(best > 1e-12, "solve_linear: singular matrix at column {col}");
+        assert!(
+            best > 1e-12,
+            "solve_linear: singular matrix at column {col}"
+        );
         if pivot != col {
             for j in 0..n {
                 let (x, y) = (a.get(col, j), a.get(pivot, j));
@@ -169,10 +172,17 @@ pub fn select_channels(
     cfg: &PrunerConfig,
 ) -> (Vec<usize>, Vec<f32>, f32, usize, f32) {
     let c = xs[0].cols();
-    assert!(n_keep >= 1 && n_keep <= c, "select_channels: bad budget {n_keep} of {c}");
+    assert!(
+        n_keep >= 1 && n_keep <= c,
+        "select_channels: bad budget {n_keep} of {c}"
+    );
     for (x, w) in xs.iter().zip(ws) {
         assert_eq!(x.cols(), c, "select_channels: branch channel mismatch");
-        assert_eq!(w.rows(), c, "select_channels: weight rows must equal channels");
+        assert_eq!(
+            w.rows(),
+            c,
+            "select_channels: weight rows must equal channels"
+        );
     }
     match cfg.method {
         PruneMethod::Lasso => beta_step(xs, ws, n_keep, cfg),
@@ -214,7 +224,9 @@ fn indicator(c: usize, keep: &[usize]) -> Vec<f32> {
 fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_unstable_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut keep = idx[..k].to_vec();
     keep.sort_unstable();
@@ -235,7 +247,10 @@ fn beta_step(
     let ys: Vec<Matrix> = xs.iter().zip(ws).map(|(x, w)| x.matmul(w)).collect();
     let mut beta = Matrix::filled(1, c, 1.0);
     let mut lambda = cfg.lambda_init;
-    let mut opt = Adam::new(AdamConfig { lr: cfg.lr_beta, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: cfg.lr_beta,
+        ..Default::default()
+    });
     let mut rng = seeded_rng(cfg.seed);
     let mut epochs_run = 0;
     let mut prev_max_abs = f32::INFINITY;
@@ -276,8 +291,11 @@ fn beta_step(
             opt.step(&mut [&mut beta], &[t.grad(bv)]);
         }
         // End of epoch: check budget / over-penalty, raise λ.
-        let max_abs =
-            beta.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        let max_abs = beta
+            .as_slice()
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f32, f32::max);
         let nz = beta
             .as_slice()
             .iter()
@@ -299,7 +317,11 @@ fn beta_step(
     }
 
     // Fraction that actually shrank to ~zero before clipping (Fig. 4 left).
-    let max_abs = beta.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+    let max_abs = beta
+        .as_slice()
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f32, f32::max);
     let zero_frac = beta
         .as_slice()
         .iter()
@@ -320,8 +342,16 @@ fn beta_step(
 /// Full single-layer pruning: channel selection followed by the Ŵ
 /// reconstruction step (Eq. 7, solved with minibatch ADAM per §3.3.3), with
 /// β folded into the final compact weights.
-pub fn lasso_prune(xs: &[Matrix], ws: &[Matrix], n_keep: usize, cfg: &PrunerConfig) -> LassoOutcome {
-    assert!(!xs.is_empty() && xs.len() == ws.len(), "lasso_prune: branch mismatch");
+pub fn lasso_prune(
+    xs: &[Matrix],
+    ws: &[Matrix],
+    n_keep: usize,
+    cfg: &PrunerConfig,
+) -> LassoOutcome {
+    assert!(
+        !xs.is_empty() && xs.len() == ws.len(),
+        "lasso_prune: branch mismatch"
+    );
     let c = xs[0].cols();
     if n_keep >= c {
         // Budget 1× = no pruning: keep everything and the original weights,
@@ -358,8 +388,7 @@ pub fn lasso_prune(xs: &[Matrix], ws: &[Matrix], n_keep: usize, cfg: &PrunerConf
     for ((xhat, y), w) in xhats.iter().zip(&ys).zip(ws) {
         // Ridge regularizer proportional to the average feature energy so
         // the solve stays well-posed on rank-deficient inputs.
-        let gram_scale =
-            (xhat.frobenius_sq() / xhat.cols().max(1) as f32).max(1e-6);
+        let gram_scale = (xhat.frobenius_sq() / xhat.cols().max(1) as f32).max(1e-6);
         let mut w_hat = ridge_solve(xhat, y, 1e-4 * gram_scale);
         if cfg.w_epochs > 0 {
             w_hat = solve_w_sgd(xhat, y, w_hat, cfg);
@@ -390,7 +419,10 @@ pub fn lasso_prune(xs: &[Matrix], ws: &[Matrix], n_keep: usize, cfg: &PrunerConf
 /// warm start if optimization failed to improve (never worse than W₀).
 fn solve_w_sgd(xhat: &Matrix, y: &Matrix, w0: Matrix, cfg: &PrunerConfig) -> Matrix {
     let mut w = w0.clone();
-    let mut opt = Adam::new(AdamConfig { lr: cfg.lr_w, ..Default::default() });
+    let mut opt = Adam::new(AdamConfig {
+        lr: cfg.lr_w,
+        ..Default::default()
+    });
     let mut rng = seeded_rng(cfg.seed ^ 0x5eed);
     let n = xhat.rows();
     let n_batches = n.div_ceil(cfg.batch_size);
@@ -477,8 +509,16 @@ mod tests {
     fn lasso_selects_informative_channels() {
         let (x, w) = informative_problem(256, 12, 4, 5, 2);
         let out = lasso_prune(&[x], &[w], 5, &fast_cfg(PruneMethod::Lasso));
-        assert_eq!(out.keep, vec![0, 1, 2, 3, 4], "LASSO must find the informative channels");
-        assert!(out.rel_error < 1e-2, "reconstruction error {}", out.rel_error);
+        assert_eq!(
+            out.keep,
+            vec![0, 1, 2, 3, 4],
+            "LASSO must find the informative channels"
+        );
+        assert!(
+            out.rel_error < 1e-2,
+            "reconstruction error {}",
+            out.rel_error
+        );
     }
 
     #[test]
@@ -492,7 +532,12 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let (x, w) = informative_problem(64, 10, 3, 4, 4);
-        let a = select_channels(&[x.clone()], &[w.clone()], 4, &fast_cfg(PruneMethod::Random));
+        let a = select_channels(
+            std::slice::from_ref(&x),
+            std::slice::from_ref(&w),
+            4,
+            &fast_cfg(PruneMethod::Random),
+        );
         let b = select_channels(&[x], &[w], 4, &fast_cfg(PruneMethod::Random));
         assert_eq!(a.0, b.0);
         assert_eq!(a.0.len(), 4);
@@ -522,7 +567,12 @@ mod tests {
     #[test]
     fn full_budget_is_near_lossless() {
         let (x, w) = informative_problem(64, 8, 2, 8, 8);
-        let out = lasso_prune(&[x.clone()], &[w.clone()], 8, &fast_cfg(PruneMethod::Lasso));
+        let out = lasso_prune(
+            std::slice::from_ref(&x),
+            std::slice::from_ref(&w),
+            8,
+            &fast_cfg(PruneMethod::Lasso),
+        );
         assert_eq!(out.keep.len(), 8);
         // With all channels kept, reconstruction should be essentially exact.
         let pred = x.select_cols(&out.keep).matmul(&out.weights[0]);
@@ -534,7 +584,12 @@ mod tests {
     #[test]
     fn lasso_beats_random_on_reconstruction() {
         let (x, w) = informative_problem(256, 16, 4, 6, 9);
-        let lasso = lasso_prune(&[x.clone()], &[w.clone()], 6, &fast_cfg(PruneMethod::Lasso));
+        let lasso = lasso_prune(
+            std::slice::from_ref(&x),
+            std::slice::from_ref(&w),
+            6,
+            &fast_cfg(PruneMethod::Lasso),
+        );
         let random = lasso_prune(&[x], &[w], 6, &fast_cfg(PruneMethod::Random));
         assert!(
             lasso.rel_error <= random.rel_error,
@@ -548,7 +603,11 @@ mod tests {
     fn beta_shrinks_under_penalty() {
         let (x, w) = informative_problem(256, 12, 4, 5, 10);
         let out = lasso_prune(&[x], &[w], 5, &fast_cfg(PruneMethod::Lasso));
-        assert!(out.beta_zero_frac > 0.3, "zero fraction {}", out.beta_zero_frac);
+        assert!(
+            out.beta_zero_frac > 0.3,
+            "zero fraction {}",
+            out.beta_zero_frac
+        );
         assert!(out.lambda_final > 0.0);
         assert!(out.beta_epochs_run >= 1);
     }

@@ -71,8 +71,14 @@ pub fn prune_model(
     scheme: Scheme,
     cfg: &PrunerConfig,
 ) -> (GnnModel, PruneReport) {
-    assert!(budget > 0.0 && budget <= 1.0, "prune_model: budget must be in (0,1]");
-    assert!(!model.jk, "prune_model: JK models need per-layer budgets; not supported");
+    assert!(
+        budget > 0.0 && budget <= 1.0,
+        "prune_model: budget must be in (0,1]"
+    );
+    assert!(
+        !model.jk,
+        "prune_model: JK models need per-layer budgets; not supported"
+    );
     let t0 = std::time::Instant::now();
     let mut pruned = model.clone();
     let weights_before = model.n_weights();
@@ -81,7 +87,13 @@ pub fn prune_model(
     // input of layer i is hs[i-1] (or x_train for i = 0). Earlier layers are
     // untouched while the reverse sweep works on layer i, so these stay valid.
     let hs = model.forward_collect(Some(adj_train), x_train);
-    let layer_input = |i: usize| -> &Matrix { if i == 0 { x_train } else { &hs[i - 1] } };
+    let layer_input = |i: usize| -> &Matrix {
+        if i == 0 {
+            x_train
+        } else {
+            &hs[i - 1]
+        }
+    };
 
     // Job list: (layer index, branch indices, shared-with-propagation?).
     let n = model.layers.len();
@@ -92,7 +104,11 @@ pub fn prune_model(
             .collect(),
         Scheme::BatchedInference => {
             assert!(n >= 2, "prune_model: batched scheme expects >= 2 layers");
-            let mut v = vec![(1, (0..model.layers[1].branches.len()).collect::<Vec<_>>(), true)];
+            let mut v = vec![(
+                1,
+                (0..model.layers[1].branches.len()).collect::<Vec<_>>(),
+                true,
+            )];
             // Layer 1 (paper's "layer-1"): only the aggregation branches,
             // whose supporting-node count dominates Eq. 3.
             let agg: Vec<usize> = model.layers[0]
@@ -230,7 +246,10 @@ fn shrink_layer_outputs(model: &mut GnnModel, li: usize, keep: &[usize]) {
                     }
                     off += w;
                 }
-                assert!(found, "shrink_layer_outputs: keep position {pos} out of range");
+                assert!(
+                    found,
+                    "shrink_layer_outputs: keep position {pos} out of range"
+                );
             }
             for (branch, cols) in layer.branches.iter_mut().zip(&per_branch) {
                 branch.weight = branch.weight.select_cols(cols);
@@ -264,16 +283,27 @@ pub fn prune_single_layer(
     let hs = model.forward_collect(Some(adj_train), x_train);
     let input = if li == 0 { x_train } else { &hs[li - 1] };
 
-    let max_k = model.layers[li].branches.iter().map(|b| b.k).max().unwrap_or(0);
+    let max_k = model.layers[li]
+        .branches
+        .iter()
+        .map(|b| b.k)
+        .max()
+        .unwrap_or(0);
     let mut powers: Vec<Matrix> = vec![input.clone()];
     for _ in 0..max_k {
         let next = adj_train.spmm(powers.last().unwrap());
         powers.push(next);
     }
-    let xs: Vec<Matrix> =
-        model.layers[li].branches.iter().map(|b| powers[b.k].clone()).collect();
-    let ws: Vec<Matrix> =
-        model.layers[li].branches.iter().map(|b| b.weight.clone()).collect();
+    let xs: Vec<Matrix> = model.layers[li]
+        .branches
+        .iter()
+        .map(|b| powers[b.k].clone())
+        .collect();
+    let ws: Vec<Matrix> = model.layers[li]
+        .branches
+        .iter()
+        .map(|b| b.weight.clone())
+        .collect();
     let outcome = lasso_prune(&xs, &ws, n_keep, cfg);
     for (branch, w) in pruned.layers[li].branches.iter_mut().zip(&outcome.weights) {
         branch.weight = w.clone();
@@ -325,16 +355,22 @@ mod tests {
             prune_model(&model, &adj, &x, 0.5, Scheme::FullInference, &fast_cfg());
         // hidden 16 -> 8 at both internal interfaces.
         // Layer 0 branches: 24 -> 8 output cols split across 2 branches.
-        let l0_out: usize =
-            pruned.layers[0].branches.iter().map(|b| b.weight.cols()).sum();
+        let l0_out: usize = pruned.layers[0]
+            .branches
+            .iter()
+            .map(|b| b.weight.cols())
+            .sum();
         assert_eq!(l0_out, 8);
         // Layer 1 consumes 8 channels, emits 8 (pruned by classifier job).
         for b in &pruned.layers[1].branches {
             assert_eq!(b.weight.rows(), 8);
             assert!(b.keep.is_none(), "propagated jobs compact the input");
         }
-        let l1_out: usize =
-            pruned.layers[1].branches.iter().map(|b| b.weight.cols()).sum();
+        let l1_out: usize = pruned.layers[1]
+            .branches
+            .iter()
+            .map(|b| b.weight.cols())
+            .sum();
         assert_eq!(l1_out, 8);
         // Classifier consumes 8 channels, still emits 3 classes.
         assert_eq!(pruned.layers[2].branches[0].weight.shape(), (8, 3));
@@ -416,7 +452,10 @@ mod tests {
     fn max_response_and_random_also_run_end_to_end() {
         let (_, model, adj, x) = setup();
         for method in [PruneMethod::MaxResponse, PruneMethod::Random] {
-            let cfg = PrunerConfig { method, ..fast_cfg() };
+            let cfg = PrunerConfig {
+                method,
+                ..fast_cfg()
+            };
             let (pruned, _) = prune_model(&model, &adj, &x, 0.5, Scheme::FullInference, &cfg);
             assert_eq!(pruned.layers[2].branches[0].weight.rows(), 8);
         }

@@ -129,12 +129,12 @@ impl DatasetKind {
     /// halved to fit the single-core substitute (DESIGN.md §1).
     pub fn hidden_dim(&self) -> usize {
         match self {
-            DatasetKind::FlickrSim => 128,  // paper: 256
-            DatasetKind::ArxivSim => 256,   // paper: 512
-            DatasetKind::RedditSim => 128,  // paper: 128 (kept)
-            DatasetKind::YelpSim => 256,    // paper: 512
+            DatasetKind::FlickrSim => 128,   // paper: 256
+            DatasetKind::ArxivSim => 256,    // paper: 512
+            DatasetKind::RedditSim => 128,   // paper: 128 (kept)
+            DatasetKind::YelpSim => 256,     // paper: 512
             DatasetKind::ProductsSim => 256, // paper: 512
-            DatasetKind::YelpChiSim => 128, // paper: 128 (kept)
+            DatasetKind::YelpChiSim => 128,  // paper: 128 (kept)
         }
     }
 

@@ -36,11 +36,20 @@ impl<'a> SpamStream<'a> {
     /// # Panics
     /// Panics if the dataset has no timestamps.
     pub fn new(dataset: &'a Dataset, window_minutes: u32) -> Self {
-        let ts = dataset.timestamps.as_ref().expect("SpamStream: dataset has no timestamps");
+        let ts = dataset
+            .timestamps
+            .as_ref()
+            .expect("SpamStream: dataset has no timestamps");
         assert!(window_minutes > 0, "SpamStream: zero window");
         let mut order: Vec<usize> = (0..dataset.n_nodes()).collect();
         order.sort_by_key(|&v| ts[v]);
-        Self { dataset, window_minutes, order, cursor: 0, next_window: 0 }
+        Self {
+            dataset,
+            window_minutes,
+            order,
+            cursor: 0,
+            next_window: 0,
+        }
     }
 
     /// Total number of windows the stream will produce.
@@ -55,7 +64,11 @@ impl<'a> SpamStream<'a> {
     pub fn arrived_before(&self, w: usize) -> Vec<usize> {
         let ts = self.dataset.timestamps.as_ref().unwrap();
         let cutoff = w as u32 * self.window_minutes;
-        self.order.iter().copied().take_while(|&v| ts[v] < cutoff).collect()
+        self.order
+            .iter()
+            .copied()
+            .take_while(|&v| ts[v] < cutoff)
+            .collect()
     }
 }
 

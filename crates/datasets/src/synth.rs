@@ -68,7 +68,10 @@ impl Default for SynthConfig {
 impl SynthConfig {
     /// Generate a dataset from this configuration with the given seed.
     pub fn generate(&self, seed: u64) -> Dataset {
-        assert!(self.nodes >= self.communities, "generate: fewer nodes than communities");
+        assert!(
+            self.nodes >= self.communities,
+            "generate: fewer nodes than communities"
+        );
         assert!(self.communities > 0 && self.classes > 0);
         let mut rng = seeded_rng(seed);
         let n = self.nodes;
@@ -160,7 +163,10 @@ impl SynthConfig {
             Labels::Multi(y)
         } else {
             // Class = community (mod classes when communities > classes).
-            Labels::Single(comm.iter().map(|&c| c % self.classes).collect(), self.classes)
+            Labels::Single(
+                comm.iter().map(|&c| c % self.classes).collect(),
+                self.classes,
+            )
         };
 
         // --- splits ---------------------------------------------------------
@@ -280,7 +286,13 @@ mod tests {
     use super::*;
 
     fn small() -> SynthConfig {
-        SynthConfig { nodes: 400, classes: 4, communities: 4, attr_dim: 16, ..Default::default() }
+        SynthConfig {
+            nodes: 400,
+            classes: 4,
+            communities: 4,
+            attr_dim: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -291,8 +303,13 @@ mod tests {
         let total = d.train.len() + d.val.len() + d.test.len();
         assert_eq!(total, 400);
         // splits are disjoint
-        let mut all: Vec<usize> =
-            d.train.iter().chain(&d.val).chain(&d.test).copied().collect();
+        let mut all: Vec<usize> = d
+            .train
+            .iter()
+            .chain(&d.val)
+            .chain(&d.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 400);
@@ -309,7 +326,11 @@ mod tests {
 
     #[test]
     fn degree_is_near_target() {
-        let cfg = SynthConfig { nodes: 2000, avg_degree: 12.0, ..small() };
+        let cfg = SynthConfig {
+            nodes: 2000,
+            avg_degree: 12.0,
+            ..small()
+        };
         let d = cfg.generate(3);
         let deg = d.adj.avg_degree();
         assert!(deg > 6.0 && deg < 24.0, "avg degree {deg} too far from 12");
@@ -318,7 +339,9 @@ mod tests {
     #[test]
     fn homophily_shows_in_edges() {
         let d = small().generate(5);
-        let Labels::Single(y, _) = &d.labels else { panic!() };
+        let Labels::Single(y, _) = &d.labels else {
+            panic!()
+        };
         let mut same = 0usize;
         let mut total = 0usize;
         for v in 0..d.adj.n_rows() {
@@ -335,9 +358,15 @@ mod tests {
 
     #[test]
     fn signal_lives_in_prefix_channels() {
-        let cfg = SynthConfig { corrupt_frac: 0.0, noise: 0.1, ..small() };
+        let cfg = SynthConfig {
+            corrupt_frac: 0.0,
+            noise: 0.1,
+            ..small()
+        };
         let d = cfg.generate(9);
-        let Labels::Single(y, k) = &d.labels else { panic!() };
+        let Labels::Single(y, k) = &d.labels else {
+            panic!()
+        };
         // Per-class mean of a signal channel should vary across classes;
         // a noise channel should not.
         let col_class_spread = |col: usize| {
@@ -347,22 +376,34 @@ mod tests {
                 sums[y[v]] += d.features.get(v, col);
                 counts[y[v]] += 1;
             }
-            let means: Vec<f32> =
-                sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f32).collect();
+            let means: Vec<f32> = sums
+                .iter()
+                .zip(&counts)
+                .map(|(s, &c)| s / c.max(1) as f32)
+                .collect();
             let lo = means.iter().cloned().fold(f32::INFINITY, f32::min);
             let hi = means.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             hi - lo
         };
         // signal_frac 0.4 of 16 => first 6 channels carry signal
-        assert!(col_class_spread(0) > 0.5, "signal channel has no class spread");
+        assert!(
+            col_class_spread(0) > 0.5,
+            "signal channel has no class spread"
+        );
         assert!(col_class_spread(15) < 0.3, "noise channel has class spread");
     }
 
     #[test]
     fn multilabel_matrix_is_binary() {
-        let cfg = SynthConfig { multi_label: true, classes: 10, ..small() };
+        let cfg = SynthConfig {
+            multi_label: true,
+            classes: 10,
+            ..small()
+        };
         let d = cfg.generate(11);
-        let Labels::Multi(y) = &d.labels else { panic!() };
+        let Labels::Multi(y) = &d.labels else {
+            panic!()
+        };
         assert_eq!(y.shape(), (400, 10));
         assert!(y.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
         assert!(y.sum() > 0.0, "at least some positive labels");
@@ -370,7 +411,10 @@ mod tests {
 
     #[test]
     fn timestamps_cover_range() {
-        let cfg = SynthConfig { timestamp_days: 30, ..small() };
+        let cfg = SynthConfig {
+            timestamp_days: 30,
+            ..small()
+        };
         let d = cfg.generate(13);
         let ts = d.timestamps.as_ref().unwrap();
         assert_eq!(ts.len(), 400);

@@ -8,12 +8,14 @@
 
 use gcnp_models::{Branch, CombineMode, GnnModel};
 use gcnp_sparse::{BatchSupport, CsrMatrix};
-use gcnp_tensor::Matrix;
+use gcnp_tensor::{parallel_row_chunks, Matrix};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::store::FeatureStore;
+
+/// Sentinel in the dense relabel table: node not present at this level.
+const ABSENT: u32 = u32::MAX;
 
 /// What the engine writes back to the store after each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +61,14 @@ pub struct BatchedEngine<'a> {
     pub policy: StorePolicy,
     seed: u64,
     batch_counter: u64,
+    /// Dense node-id → level-row relabel table ([`ABSENT`] = not present),
+    /// sized to the graph and reused across levels and batches. Replaces a
+    /// per-level `HashMap<usize, usize>` that was rebuilt (and re-hashed per
+    /// edge) on every batch.
+    relabel: Vec<u32>,
+    /// Node ids currently set in `relabel`, so resetting between levels is
+    /// O(nodes touched), not O(graph).
+    touched: Vec<usize>,
 }
 
 impl<'a> BatchedEngine<'a> {
@@ -79,15 +89,25 @@ impl<'a> BatchedEngine<'a> {
             );
         }
         assert!(!model.jk, "BatchedEngine: JK models not supported");
-        Self { model, adj, features, caps, store, policy, seed, batch_counter: 0 }
+        Self {
+            model,
+            adj,
+            features,
+            caps,
+            store,
+            policy,
+            seed,
+            batch_counter: 0,
+            relabel: vec![ABSENT; adj.n_rows()],
+            touched: Vec::new(),
+        }
     }
 
     /// Serve one batch of target nodes.
     pub fn infer(&mut self, targets: &[usize]) -> BatchResult {
         let t0 = Instant::now();
         self.batch_counter += 1;
-        let graph_flags: Vec<bool> =
-            self.model.layers.iter().map(|l| l.uses_graph()).collect();
+        let graph_flags: Vec<bool> = self.model.layers.iter().map(|l| l.uses_graph()).collect();
         let n_layers = graph_flags.len();
         let store = self.store;
         let support = BatchSupport::build(
@@ -103,14 +123,21 @@ impl<'a> BatchedEngine<'a> {
         let mut mem_bytes: usize = self.model.n_weights() * 4;
         let mut store_hits = 0usize;
 
+        // The dense relabel scratch lives on the engine; take it out for the
+        // duration of the batch so the borrow checker allows passing slices
+        // of it alongside `&self` fields.
+        let mut relabel = std::mem::take(&mut self.relabel);
+        let mut touched = std::mem::take(&mut self.touched);
+
         // Level 0: raw attributes of the input nodes.
         let mut level_mat = self.features.gather_rows(&support.input_nodes);
-        let mut level_map: HashMap<usize, usize> = support
-            .input_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        for v in touched.drain(..) {
+            relabel[v] = ABSENT;
+        }
+        for (i, &v) in support.input_nodes.iter().enumerate() {
+            relabel[v] = i as u32;
+            touched.push(v);
+        }
         mem_bytes += level_mat.nbytes();
 
         for li in 1..=n_layers {
@@ -120,8 +147,8 @@ impl<'a> BatchedEngine<'a> {
             let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
             for branch in &layer.branches {
                 let gathered = match branch.k {
-                    0 => gather_selected(&level_mat, &level_map, &ls.compute, branch),
-                    1 => aggregate_mean(&level_mat, &level_map, ls, branch),
+                    0 => gather_selected(&level_mat, &relabel, &ls.compute, branch),
+                    1 => aggregate_mean(&level_mat, &relabel, ls, branch),
                     _ => unreachable!("validated in constructor"),
                 };
                 // Aggregation adds: one MAC-equivalent per edge per channel.
@@ -155,20 +182,29 @@ impl<'a> BatchedEngine<'a> {
             let width = out.cols();
             let n_rows = ls.compute.len() + ls.stored.len();
             let mut mat = Matrix::zeros(n_rows, width);
-            let mut map = HashMap::with_capacity(n_rows);
+            for v in touched.drain(..) {
+                relabel[v] = ABSENT;
+            }
             for (i, &v) in ls.compute.iter().enumerate() {
                 mat.row_mut(i).copy_from_slice(out.row(i));
-                map.insert(v, i);
+                relabel[v] = i as u32;
+                touched.push(v);
             }
             for (j, &v) in ls.stored.iter().enumerate() {
-                let row = self
-                    .store
-                    .expect("stored nodes imply a store")
-                    .get(li, v)
-                    .expect("support builder verified presence");
-                assert_eq!(row.len(), width, "stored feature width mismatch at level {li}");
-                mat.row_mut(ls.compute.len() + j).copy_from_slice(&row);
-                map.insert(v, ls.compute.len() + j);
+                let copied =
+                    self.store
+                        .expect("stored nodes imply a store")
+                        .with_row(li, v, |row| {
+                            assert_eq!(
+                                row.len(),
+                                width,
+                                "stored feature width mismatch at level {li}"
+                            );
+                            mat.row_mut(ls.compute.len() + j).copy_from_slice(row);
+                        });
+                assert!(copied.is_some(), "support builder verified presence");
+                relabel[v] = (ls.compute.len() + j) as u32;
+                touched.push(v);
                 store_hits += 1;
                 mem_bytes += width * 4;
             }
@@ -180,10 +216,9 @@ impl<'a> BatchedEngine<'a> {
                         StorePolicy::None => {}
                         StorePolicy::Roots => {
                             for &v in &support.targets {
-                                if let Some(&r) = map.get(&v) {
-                                    if r < ls.compute.len() {
-                                        s.put(li, v, mat.row(r));
-                                    }
+                                let r = relabel[v];
+                                if r != ABSENT && (r as usize) < ls.compute.len() {
+                                    s.put(li, v, mat.row(r as usize));
                                 }
                             }
                         }
@@ -196,7 +231,6 @@ impl<'a> BatchedEngine<'a> {
                 }
             }
             level_mat = mat;
-            level_map = map;
         }
         if let Some(s) = self.store {
             s.tick();
@@ -206,9 +240,16 @@ impl<'a> BatchedEngine<'a> {
         let rows: Vec<usize> = support
             .targets
             .iter()
-            .map(|v| *level_map.get(v).expect("targets are computed at the output layer"))
+            .map(|&v| {
+                let r = relabel[v];
+                assert_ne!(r, ABSENT, "targets are computed at the output layer");
+                r as usize
+            })
             .collect();
         let logits = level_mat.gather_rows(&rows);
+
+        self.relabel = relabel;
+        self.touched = touched;
 
         BatchResult {
             logits,
@@ -222,17 +263,14 @@ impl<'a> BatchedEngine<'a> {
     }
 }
 
-/// Gather rows for `nodes`, selecting the branch's kept channels.
-fn gather_selected(
-    mat: &Matrix,
-    map: &HashMap<usize, usize>,
-    nodes: &[usize],
-    branch: &Branch,
-) -> Matrix {
+/// Gather rows for `nodes`, selecting the branch's kept channels. `relabel`
+/// is the dense node-id → row table for the current level.
+fn gather_selected(mat: &Matrix, relabel: &[u32], nodes: &[usize], branch: &Branch) -> Matrix {
     let width = branch.in_dim();
     let mut out = Matrix::zeros(nodes.len(), width);
     for (i, &v) in nodes.iter().enumerate() {
-        let src = mat.row(map[&v]);
+        debug_assert_ne!(relabel[v], ABSENT, "node {v} missing from level table");
+        let src = mat.row(relabel[v] as usize);
         let dst = out.row_mut(i);
         match &branch.keep {
             Some(keep) => {
@@ -248,41 +286,47 @@ fn gather_selected(
 
 /// Mean-aggregate the (capped) neighbor rows for each computed node,
 /// selecting the branch's kept channels. Nodes without neighbors get zeros
-/// (matching row-normalized SpMM on isolated nodes).
+/// (matching row-normalized SpMM on isolated nodes). Parallel across
+/// computed nodes; each output row accumulates its neighbors in support
+/// order regardless of thread count, so results are bitwise identical
+/// across `GCNP_THREADS` settings.
 fn aggregate_mean(
     mat: &Matrix,
-    map: &HashMap<usize, usize>,
+    relabel: &[u32],
     ls: &gcnp_sparse::LayerSupport,
     branch: &Branch,
 ) -> Matrix {
     let width = branch.in_dim();
-    let mut out = Matrix::zeros(ls.compute.len(), width);
-    for i in 0..ls.compute.len() {
-        let nbrs = ls.neighbors(i);
-        if nbrs.is_empty() {
-            continue;
-        }
-        let dst = out.row_mut(i);
-        for &u in nbrs {
-            let src = mat.row(map[&u]);
-            match &branch.keep {
-                Some(keep) => {
-                    for (d, &c) in dst.iter_mut().zip(keep) {
-                        *d += src[c];
+    let n = ls.compute.len();
+    let mut out = Matrix::zeros(n, width);
+    parallel_row_chunks(out.as_mut_slice(), n, width, |start, chunk| {
+        for (r, dst) in chunk.chunks_mut(width).enumerate() {
+            let nbrs = ls.neighbors(start + r);
+            if nbrs.is_empty() {
+                continue;
+            }
+            for &u in nbrs {
+                debug_assert_ne!(relabel[u], ABSENT, "neighbor {u} missing from level table");
+                let src = mat.row(relabel[u] as usize);
+                match &branch.keep {
+                    Some(keep) => {
+                        for (d, &c) in dst.iter_mut().zip(keep) {
+                            *d += src[c];
+                        }
                     }
-                }
-                None => {
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += s;
+                    None => {
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
                     }
                 }
             }
+            let inv = 1.0 / nbrs.len() as f32;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
         }
-        let inv = 1.0 / nbrs.len() as f32;
-        for d in dst.iter_mut() {
-            *d *= inv;
-        }
-    }
+    });
     out
 }
 
@@ -317,8 +361,7 @@ mod tests {
         let (adj, x, model) = setup();
         let norm = adj.normalized(Normalization::Row);
         let full = model.forward_full(Some(&norm), &x);
-        let mut engine =
-            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
         let targets = vec![4usize, 17, 25];
         let res = engine.infer(&targets);
         for (i, &t) in targets.iter().enumerate() {
@@ -345,15 +388,8 @@ mod tests {
         let all: Vec<usize> = (0..30).collect();
         store.put_rows(1, &all, &hs[0]);
         store.put_rows(2, &all, &hs[1]);
-        let mut engine = BatchedEngine::new(
-            &model,
-            &adj,
-            &x,
-            vec![],
-            Some(&store),
-            StorePolicy::None,
-            0,
-        );
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
         let res = engine.infer(&[10, 11]);
         let full = model.forward_full(Some(&norm), &x);
         for (i, &t) in [10usize, 11].iter().enumerate() {
@@ -369,8 +405,7 @@ mod tests {
     #[test]
     fn store_reduces_supporting_nodes() {
         let (adj, x, model) = setup();
-        let mut plain =
-            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut plain = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
         let baseline = plain.infer(&[0, 1, 2]);
 
         let norm = adj.normalized(Normalization::Row);
@@ -379,15 +414,8 @@ mod tests {
         // Store h^(1) for half the nodes.
         let half: Vec<usize> = (0..15).collect();
         store.put_rows(1, &half, &hs[0].gather_rows(&half));
-        let mut with_store = BatchedEngine::new(
-            &model,
-            &adj,
-            &x,
-            vec![],
-            Some(&store),
-            StorePolicy::None,
-            0,
-        );
+        let mut with_store =
+            BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
         let res = with_store.infer(&[0, 1, 2]);
         assert!(
             res.n_supporting < baseline.n_supporting,
@@ -412,7 +440,10 @@ mod tests {
             0,
         );
         engine.infer(&[5, 6]);
-        assert!(store.has(1, 5) && store.has(1, 6), "roots stored at level 1");
+        assert!(
+            store.has(1, 5) && store.has(1, 6),
+            "roots stored at level 1"
+        );
         assert!(store.has(2, 5), "roots stored at level 2");
         assert!(!store.has(1, 7), "non-roots not stored");
         // Second serve of the same nodes hits the store.
@@ -434,8 +465,7 @@ mod tests {
         let adj = CsrMatrix::adjacency(40, &edges);
         let x = Matrix::rand_uniform(40, 6, -1.0, 1.0, &mut seeded_rng(5));
         let model = zoo::graphsage(6, 8, 4, 9);
-        let mut uncapped =
-            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut uncapped = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
         let mut capped = BatchedEngine::new(
             &model,
             &adj,
@@ -459,18 +489,55 @@ mod tests {
         let b = &mut pruned.layers[0].branches[1];
         b.weight = b.weight.select_rows(&keep);
         b.keep = Some(keep);
-        let mut engine =
-            BatchedEngine::new(&pruned, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut engine = BatchedEngine::new(&pruned, &adj, &x, vec![], None, StorePolicy::None, 0);
         let res = engine.infer(&[3, 4]);
         assert_eq!(res.logits.shape(), (2, 4));
         assert!(res.logits.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]
+    fn thread_count_does_not_change_logits() {
+        // Acceptance: batched inference must be numerically identical (well
+        // under 1e-5) between GCNP_THREADS=1 and 8 — chunk boundaries only
+        // partition rows, they never reorder per-row accumulation.
+        fn star(n: usize) -> CsrMatrix {
+            let mut e = Vec::new();
+            for i in 1..n as u32 {
+                e.push((0, i));
+                e.push((i, 0));
+            }
+            CsrMatrix::adjacency(n, &e)
+        }
+        for adj in [ring(64), star(64)] {
+            let n = adj.n_rows();
+            let x = Matrix::rand_uniform(n, 12, -1.0, 1.0, &mut seeded_rng(11));
+            let model = zoo::graphsage(12, 16, 5, 13);
+            let targets: Vec<usize> = (0..n).step_by(3).collect();
+            let infer_with = |threads: usize| {
+                gcnp_tensor::set_num_threads(threads);
+                let mut engine =
+                    BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+                engine.infer(&targets).logits
+            };
+            let serial = infer_with(1);
+            let parallel = infer_with(8);
+            gcnp_tensor::set_num_threads(0);
+            for r in 0..serial.rows() {
+                for c in 0..serial.cols() {
+                    let (a, b) = (serial.get(r, c), parallel.get(r, c));
+                    assert!(
+                        (a - b).abs() <= 1e-5,
+                        "row {r} col {c}: {a} (1 thread) vs {b} (8 threads)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn duplicate_targets_dedupe() {
         let (adj, x, model) = setup();
-        let mut engine =
-            BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
         let res = engine.infer(&[7, 7, 8]);
         assert_eq!(res.targets, vec![7, 8]);
         assert_eq!(res.logits.rows(), 2);

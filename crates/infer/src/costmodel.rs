@@ -14,7 +14,10 @@ pub struct CostModel {
 impl CostModel {
     /// Create a cost model for the given graph statistics.
     pub fn new(n_nodes: usize, avg_degree: f64) -> Self {
-        Self { n_nodes, avg_degree }
+        Self {
+            n_nodes,
+            avg_degree,
+        }
     }
 
     /// Full-inference MACs **per node** (Eq. 2):
@@ -65,8 +68,7 @@ impl CostModel {
             Some(c) => self.avg_degree.min(c as f64),
             None => self.avg_degree,
         };
-        let graph_layers =
-            model.layers.iter().filter(|l| l.uses_graph()).count();
+        let graph_layers = model.layers.iter().filter(|l| l.uses_graph()).count();
         let mut macs = 0.0f64;
         let mut depth_below = graph_layers; // hops of expansion below layer i
         for layer in &model.layers {
@@ -133,8 +135,9 @@ mod tests {
                 .select_rows(&(0..32).collect::<Vec<_>>())
                 .select_cols(&(0..16).collect::<Vec<_>>());
         }
-        pruned.layers[2].branches[0].weight =
-            pruned.layers[2].branches[0].weight.select_rows(&(0..32).collect::<Vec<_>>());
+        pruned.layers[2].branches[0].weight = pruned.layers[2].branches[0]
+            .weight
+            .select_rows(&(0..32).collect::<Vec<_>>());
         if let Some(bias) = &mut pruned.layers[0].bias {
             *bias = bias.select_cols(&(0..32).collect::<Vec<_>>());
         }
@@ -145,8 +148,7 @@ mod tests {
         assert!(cm.full_macs_per_node(&pruned) < 0.6 * cm.full_macs_per_node(&full));
         assert!(cm.full_memory_bytes(&pruned) < cm.full_memory_bytes(&full));
         assert!(
-            cm.batched_macs_per_node(&pruned, Some(32))
-                < cm.batched_macs_per_node(&full, Some(32))
+            cm.batched_macs_per_node(&pruned, Some(32)) < cm.batched_macs_per_node(&full, Some(32))
         );
     }
 

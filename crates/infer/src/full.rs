@@ -73,7 +73,9 @@ mod tests {
     fn setup() -> (CsrMatrix, Matrix, GnnModel) {
         let adj = CsrMatrix::adjacency(
             20,
-            &(0u32..19).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect::<Vec<_>>(),
+            &(0u32..19)
+                .flat_map(|i| [(i, i + 1), (i + 1, i)])
+                .collect::<Vec<_>>(),
         )
         .normalized(Normalization::Row);
         let x = Matrix::rand_uniform(20, 6, -1.0, 1.0, &mut seeded_rng(1));

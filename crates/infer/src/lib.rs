@@ -27,6 +27,6 @@ pub use batched::{BatchResult, BatchedEngine, StorePolicy};
 pub use costmodel::CostModel;
 pub use full::{FullEngine, FullResult};
 pub use quantized::QuantizedGnn;
-pub use serving::{simulate, ServingConfig, ServingReport};
+pub use serving::{serve_multi, simulate, MultiServingReport, ServingConfig, ServingReport};
 pub use store::FeatureStore;
 pub use timing::time_it;

@@ -170,7 +170,12 @@ mod tests {
         let (_, _, model) = setup();
         let q = QuantizedGnn::from_model(&model);
         let f32_bytes = model.n_weights() * 4;
-        assert!(q.weight_bytes() < f32_bytes / 2, "{} vs {}", q.weight_bytes(), f32_bytes);
+        assert!(
+            q.weight_bytes() < f32_bytes / 2,
+            "{} vs {}",
+            q.weight_bytes(),
+            f32_bytes
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct Branch {
 impl Branch {
     /// An unpruned branch.
     pub fn new(k: usize, weight: Matrix) -> Self {
-        Self { k, weight, keep: None }
+        Self {
+            k,
+            weight,
+            keep: None,
+        }
     }
 
     /// Output width of this branch.
@@ -64,7 +68,12 @@ pub struct BranchLayer {
 impl BranchLayer {
     /// A dense (non-graph) layer: `k = 0` branch only.
     pub fn dense(weight: Matrix, bias: Option<Matrix>, activation: Activation) -> Self {
-        Self { branches: vec![Branch::new(0, weight)], bias, combine: CombineMode::Concat, activation }
+        Self {
+            branches: vec![Branch::new(0, weight)],
+            bias,
+            combine: CombineMode::Concat,
+            activation,
+        }
     }
 
     /// Total output width.
@@ -121,7 +130,10 @@ impl BranchLayer {
     /// Per-branch pre-combination outputs `(Ãᵏ H)[:, keep] · Wₖ`.
     pub fn branch_outputs(&self, adj: Option<&CsrMatrix>, input: &Matrix) -> Vec<Matrix> {
         let max_k = self.max_k();
-        assert!(max_k == 0 || adj.is_some(), "branch_outputs: graph layer needs adjacency");
+        assert!(
+            max_k == 0 || adj.is_some(),
+            "branch_outputs: graph layer needs adjacency"
+        );
         // Progressive powers: z_k = Ã^k · input.
         let mut powers: Vec<Matrix> = Vec::with_capacity(max_k + 1);
         powers.push(input.clone());
@@ -153,9 +165,16 @@ impl BranchLayer {
         input: Var,
         pvars: &[Var],
     ) -> Var {
-        assert_eq!(pvars.len(), self.n_params(), "forward_tape: wrong param count");
+        assert_eq!(
+            pvars.len(),
+            self.n_params(),
+            "forward_tape: wrong param count"
+        );
         let max_k = self.max_k();
-        assert!(max_k == 0 || adj.is_some(), "forward_tape: graph layer needs adjacency");
+        assert!(
+            max_k == 0 || adj.is_some(),
+            "forward_tape: graph layer needs adjacency"
+        );
         let mut powers: Vec<Var> = Vec::with_capacity(max_k + 1);
         powers.push(input);
         for _ in 0..max_k {
@@ -198,8 +217,11 @@ impl BranchLayer {
 
     /// Register this layer's parameters on a tape (weights then bias).
     pub fn register_params(&self, t: &mut Tape) -> Vec<Var> {
-        let mut vars: Vec<Var> =
-            self.branches.iter().map(|b| t.param(b.weight.clone())).collect();
+        let mut vars: Vec<Var> = self
+            .branches
+            .iter()
+            .map(|b| t.param(b.weight.clone()))
+            .collect();
         if let Some(b) = &self.bias {
             vars.push(t.param(b.clone()));
         }
@@ -214,8 +236,7 @@ impl BranchLayer {
     /// Mutable references to this layer's parameters, same order as
     /// [`BranchLayer::register_params`].
     pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        let mut v: Vec<&mut Matrix> =
-            self.branches.iter_mut().map(|b| &mut b.weight).collect();
+        let mut v: Vec<&mut Matrix> = self.branches.iter_mut().map(|b| &mut b.weight).collect();
         if let Some(b) = &mut self.bias {
             v.push(b);
         }
@@ -236,8 +257,7 @@ mod tests {
     use gcnp_tensor::init::seeded_rng;
 
     fn tiny_adj() -> CsrMatrix {
-        CsrMatrix::adjacency(3, &[(0, 1), (1, 0), (1, 2), (2, 1)])
-            .normalized(Normalization::Row)
+        CsrMatrix::adjacency(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).normalized(Normalization::Row)
     }
 
     fn sage_layer(fin: usize, fout: usize, seed: u64) -> BranchLayer {
@@ -292,7 +312,11 @@ mod tests {
         let mut layer = sage_layer(4, 3, 7);
         // Keep channels {0, 2} in branch 1 with a compacted weight.
         let w1 = layer.branches[1].weight.select_rows(&[0, 2]);
-        layer.branches[1] = Branch { k: 1, weight: w1, keep: Some(vec![0, 2]) };
+        layer.branches[1] = Branch {
+            k: 1,
+            weight: w1,
+            keep: Some(vec![0, 2]),
+        };
         let adj = tiny_adj();
         let x = Matrix::rand_uniform(3, 4, -1.0, 1.0, &mut seeded_rng(8));
         let out = layer.forward(Some(&adj), &x);
@@ -321,7 +345,10 @@ mod tests {
         };
         let x = Matrix::rand_uniform(3, 4, -1.0, 1.0, &mut rng);
         let out = layer.forward(None, &x);
-        assert!(out.approx_eq(&x.matmul(&w), 1e-5), "mean of identical branches");
+        assert!(
+            out.approx_eq(&x.matmul(&w), 1e-5),
+            "mean of identical branches"
+        );
         assert_eq!(layer.out_dim(), 3);
     }
 

@@ -20,8 +20,11 @@ impl Metrics {
                     return 0.0;
                 }
                 let preds = logits.argmax_rows();
-                let correct =
-                    idx.iter().enumerate().filter(|&(r, &v)| preds[r] == y[v]).count();
+                let correct = idx
+                    .iter()
+                    .enumerate()
+                    .filter(|&(r, &v)| preds[r] == y[v])
+                    .count();
                 correct as f64 / idx.len() as f64
             }
             Labels::Multi(y) => {
@@ -89,8 +92,7 @@ mod tests {
     fn single_label_perfect_and_chance() {
         let labels = Labels::Single(vec![0, 1, 1, 0], 2);
         let idx = [0, 1, 2, 3];
-        let perfect =
-            Matrix::from_vec(4, 2, vec![5., 0., 0., 5., 0., 5., 5., 0.]);
+        let perfect = Matrix::from_vec(4, 2, vec![5., 0., 0., 5., 0., 5., 5., 0.]);
         assert_eq!(Metrics::f1_micro(&perfect, &labels, &idx), 1.0);
         let wrong = Matrix::from_vec(4, 2, vec![0., 5., 5., 0., 5., 0., 0., 5.]);
         assert_eq!(Metrics::f1_micro(&wrong, &labels, &idx), 0.0);
@@ -135,8 +137,7 @@ mod tests {
     #[test]
     fn full_variant_gathers_rows() {
         let labels = Labels::Single(vec![0, 1, 0], 2);
-        let logits =
-            Matrix::from_vec(3, 2, vec![5., 0., 0., 5., 5., 0.]);
+        let logits = Matrix::from_vec(3, 2, vec![5., 0., 0., 5., 5., 0.]);
         assert_eq!(Metrics::f1_micro_full(&logits, &labels, &[0, 1, 2]), 1.0);
         assert_eq!(Metrics::f1_micro_full(&logits, &labels, &[2]), 1.0);
     }

@@ -43,7 +43,9 @@ impl GnnModel {
     /// Full-graph inference: forward all nodes through every layer.
     /// `adj` may be `None` for pure-MLP models.
     pub fn forward_full(&self, adj: Option<&CsrMatrix>, x: &Matrix) -> Matrix {
-        self.forward_collect(adj, x).pop().expect("model has layers")
+        self.forward_collect(adj, x)
+            .pop()
+            .expect("model has layers")
     }
 
     /// Like [`GnnModel::forward_full`] but returns every layer's
@@ -69,7 +71,10 @@ impl GnnModel {
 
     /// Register all parameters on a tape (layer order, weights then bias).
     pub fn register_params(&self, t: &mut Tape) -> Vec<Var> {
-        self.layers.iter().flat_map(|l| l.register_params(t)).collect()
+        self.layers
+            .iter()
+            .flat_map(|l| l.register_params(t))
+            .collect()
     }
 
     /// Tape forward for training; `pvars` from [`GnnModel::register_params`].
@@ -101,7 +106,10 @@ impl GnnModel {
 
     /// Mutable parameter references in registration order.
     pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 }
 
@@ -176,9 +184,11 @@ mod tests {
         let mut rng = seeded_rng(5);
         let l1 = BranchLayer::dense(Matrix::glorot(6, 4, &mut rng), None, Activation::Relu);
         let l2 = BranchLayer::dense(Matrix::glorot(4, 4, &mut rng), None, Activation::Relu);
-        let cls =
-            BranchLayer::dense(Matrix::glorot(8, 2, &mut rng), None, Activation::None);
-        let m = GnnModel { layers: vec![l1, l2, cls], jk: true };
+        let cls = BranchLayer::dense(Matrix::glorot(8, 2, &mut rng), None, Activation::None);
+        let m = GnnModel {
+            layers: vec![l1, l2, cls],
+            jk: true,
+        };
         let x = Matrix::rand_uniform(3, 6, -1.0, 1.0, &mut rng);
         // Classifier input dim is 4 + 4 = 8 -> must not panic, output 3x2.
         assert_eq!(m.forward_full(None, &x).shape(), (3, 2));

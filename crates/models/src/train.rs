@@ -98,10 +98,16 @@ impl Trainer {
         let t0 = std::time::Instant::now();
         let (train_adj, train_nodes) = data.train_adj();
         let train_x = data.features.gather_rows(&train_nodes);
-        let sampler = RandomWalkSampler { roots: cfg.saint_roots, walk_len: cfg.walk_len };
+        let sampler = RandomWalkSampler {
+            roots: cfg.saint_roots,
+            walk_len: cfg.walk_len,
+        };
         let loss_kind = LossKind::for_labels(&data.labels);
         let mut rng = seeded_rng(cfg.seed);
-        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let full_adj = data.adj.normalized(Normalization::Row);
 
         let all_train: Vec<usize> = (0..train_nodes.len()).collect();
@@ -137,8 +143,7 @@ impl Trainer {
                     tape.softmax_xent(logits, &sub_labels)
                 }
                 (Labels::Multi(y), LossKind::Bce) => {
-                    let globals: Vec<usize> =
-                        sub_nodes.iter().map(|&i| train_nodes[i]).collect();
+                    let globals: Vec<usize> = sub_nodes.iter().map(|&i| train_nodes[i]).collect();
                     tape.bce_logits(logits, y.gather_rows(&globals))
                 }
                 _ => unreachable!("loss kind always matches label mode"),
@@ -159,8 +164,7 @@ impl Trainer {
                 );
                 if f1 > best_f1 {
                     best_f1 = f1;
-                    best_params =
-                        Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
+                    best_params = Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
                     strikes = 0;
                 } else {
                     strikes += 1;
@@ -201,7 +205,10 @@ impl Trainer {
         let t0 = std::time::Instant::now();
         let shared = adj.map(|a| SharedAdj::new(a.clone()));
         let mut rng = seeded_rng(cfg.seed);
-        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let mut best_f1 = -1.0f64;
         let mut best_params: Option<Vec<Matrix>> = None;
         let mut strikes = 0usize;
@@ -239,8 +246,7 @@ impl Trainer {
                 let f1 = Self::evaluate(model, adj, x, labels, val);
                 if f1 > best_f1 {
                     best_f1 = f1;
-                    best_params =
-                        Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
+                    best_params = Some(model.params_mut().iter().map(|p| (**p).clone()).collect());
                     strikes = 0;
                 } else {
                     strikes += 1;
@@ -316,7 +322,11 @@ mod tests {
             ..Default::default()
         };
         let stats = Trainer::train_saint(&mut model, &data, &cfg);
-        assert!(stats.best_val_f1 > 0.5, "multi-label F1 {}", stats.best_val_f1);
+        assert!(
+            stats.best_val_f1 > 0.5,
+            "multi-label F1 {}",
+            stats.best_val_f1
+        );
     }
 
     #[test]
@@ -324,7 +334,12 @@ mod tests {
         let data = tiny_dataset(false);
         let adj = data.adj.normalized(Normalization::Row);
         let mut model = zoo::mlp(16, 16, 3, 17);
-        let cfg = TrainConfig { steps: 80, eval_every: 10, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 80,
+            eval_every: 10,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let stats = Trainer::train_full_batch(
             &mut model,
             Some(&adj),
@@ -335,7 +350,11 @@ mod tests {
             &cfg,
             None,
         );
-        assert!(stats.best_val_f1 > 0.6, "full-batch F1 {}", stats.best_val_f1);
+        assert!(
+            stats.best_val_f1 > 0.6,
+            "full-batch F1 {}",
+            stats.best_val_f1
+        );
     }
 
     #[test]
@@ -351,8 +370,10 @@ mod tests {
         };
         let stats = Trainer::train_saint(&mut model, &data, &cfg);
         let adj = data.adj.normalized(Normalization::Row);
-        let f1_now =
-            Trainer::evaluate(&model, Some(&adj), &data.features, &data.labels, &data.val);
-        assert!((f1_now - stats.best_val_f1).abs() < 1e-9, "restored params match best");
+        let f1_now = Trainer::evaluate(&model, Some(&adj), &data.features, &data.labels, &data.val);
+        assert!(
+            (f1_now - stats.best_val_f1).abs() < 1e-9,
+            "restored params match best"
+        );
     }
 }

@@ -16,8 +16,13 @@ use crate::train::{TrainConfig, TrainStats, Trainer};
 
 /// A GraphSAGE layer (Eq. 1 with `K′=0, K=1`, concat): `fin → fout`
 /// via two `fout/2`-wide branches.
-pub fn sage_layer(fin: usize, fout: usize, act: Activation, rng: &mut rand::rngs::StdRng) -> BranchLayer {
-    assert!(fout % 2 == 0, "sage_layer: fout must be even");
+pub fn sage_layer(
+    fin: usize,
+    fout: usize,
+    act: Activation,
+    rng: &mut rand::rngs::StdRng,
+) -> BranchLayer {
+    assert!(fout.is_multiple_of(2), "sage_layer: fout must be even");
     BranchLayer {
         branches: vec![
             Branch::new(0, Matrix::glorot(fin, fout / 2, rng)),
@@ -69,7 +74,9 @@ pub fn mixhop(fin: usize, hidden: usize, classes: usize, seed: u64) -> GnnModel 
     let mut rng = seeded_rng(seed);
     let per = (hidden / 3).max(1);
     let l1 = BranchLayer {
-        branches: (0..=2).map(|k| Branch::new(k, Matrix::glorot(fin, per, &mut rng))).collect(),
+        branches: (0..=2)
+            .map(|k| Branch::new(k, Matrix::glorot(fin, per, &mut rng)))
+            .collect(),
         bias: Some(Matrix::zeros(1, 3 * per)),
         combine: CombineMode::Concat,
         activation: Activation::Relu,
@@ -93,7 +100,10 @@ pub fn jk(fin: usize, hidden: usize, classes: usize, seed: u64) -> GnnModel {
         Some(Matrix::zeros(1, classes)),
         Activation::None,
     );
-    GnnModel { layers: vec![l1, l2, cls], jk: true }
+    GnnModel {
+        layers: vec![l1, l2, cls],
+        jk: true,
+    }
 }
 
 /// 2-layer MLP (the paper's MLP-2 baseline, Table 5) — no graph access.
@@ -209,7 +219,11 @@ impl AppnpModel {
     /// Fresh model with an `fin → hidden → classes` head.
     pub fn new(fin: usize, hidden: usize, classes: usize, alpha: f32, k: usize, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "AppnpModel: alpha in [0,1]");
-        Self { head: mlp(fin, hidden, classes, seed), alpha, k }
+        Self {
+            head: mlp(fin, hidden, classes, seed),
+            alpha,
+            k,
+        }
     }
 
     /// Full inference: MLP then K propagation steps.
@@ -230,7 +244,10 @@ impl AppnpModel {
         let train_shared = SharedAdj::new(train_adj.normalized(Normalization::Row));
         let train_x = data.features.gather_rows(&train_nodes);
         let full_norm = data.adj.normalized(Normalization::Row);
-        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let mut best_f1 = -1.0f64;
         let mut best: Option<Vec<Matrix>> = None;
         let mut strikes = 0;
@@ -266,7 +283,13 @@ impl AppnpModel {
                 let f1 = Metrics::f1_micro_full(&logits, &data.labels, &data.val);
                 if f1 > best_f1 {
                     best_f1 = f1;
-                    best = Some(self.head.params_mut().iter().map(|p| (**p).clone()).collect());
+                    best = Some(
+                        self.head
+                            .params_mut()
+                            .iter()
+                            .map(|p| (**p).clone())
+                            .collect(),
+                    );
                     strikes = 0;
                 } else {
                     strikes += 1;
@@ -345,8 +368,14 @@ impl GatModel {
     /// Register parameters on a tape in the [`GatModel::params_mut`] order.
     pub fn register_params(&self, t: &mut Tape) -> Vec<Var> {
         [
-            &self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2,
-            &self.w_cls, &self.b_cls,
+            &self.w1,
+            &self.a_src1,
+            &self.a_dst1,
+            &self.w2,
+            &self.a_src2,
+            &self.a_dst2,
+            &self.w_cls,
+            &self.b_cls,
         ]
         .into_iter()
         .map(|m| t.param(m.clone()))
@@ -377,8 +406,14 @@ impl GatModel {
         let mut t = Tape::new();
         let xv = t.constant(x.clone());
         let p: Vec<Var> = [
-            &self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2,
-            &self.w_cls, &self.b_cls,
+            &self.w1,
+            &self.a_src1,
+            &self.a_dst1,
+            &self.w2,
+            &self.a_src2,
+            &self.a_dst2,
+            &self.w_cls,
+            &self.b_cls,
         ]
         .into_iter()
         .map(|m| t.constant(m.clone()))
@@ -395,7 +430,10 @@ impl GatModel {
         let train_shared = SharedAdj::new(train_adj.with_self_loops());
         let full_shared = SharedAdj::new(data.adj.with_self_loops());
         let train_x = data.features.gather_rows(&train_nodes);
-        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let mut best_f1 = -1.0f64;
         let mut best: Option<Vec<Matrix>> = None;
         let mut strikes = 0;
@@ -464,7 +502,10 @@ pub struct PprgoModel {
 impl PprgoModel {
     /// Fresh model with an `fin → hidden → classes` head.
     pub fn new(fin: usize, hidden: usize, classes: usize, ppr: PprConfig, seed: u64) -> Self {
-        Self { head: mlp(fin, hidden, classes, seed), ppr }
+        Self {
+            head: mlp(fin, hidden, classes, seed),
+            ppr,
+        }
     }
 
     /// Predict logits for `targets`: `Π_targets · f(X)` (two-pass inference).
@@ -483,7 +524,10 @@ impl PprgoModel {
         // Π over training nodes (rows: train node i, cols: train graph).
         let all_train: Vec<usize> = (0..train_nodes.len()).collect();
         let pi = SharedAdj::new(ppr_matrix(&train_adj, &all_train, &self.ppr));
-        let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        });
         let mut best_f1 = -1.0f64;
         let mut best: Option<Vec<Matrix>> = None;
         let mut strikes = 0;
@@ -513,7 +557,13 @@ impl PprgoModel {
                 let f1 = Metrics::f1_micro(&logits, &data.labels, &data.val);
                 if f1 > best_f1 {
                     best_f1 = f1;
-                    best = Some(self.head.params_mut().iter().map(|p| (**p).clone()).collect());
+                    best = Some(
+                        self.head
+                            .params_mut()
+                            .iter()
+                            .map(|p| (**p).clone())
+                            .collect(),
+                    );
                     strikes = 0;
                 } else {
                     strikes += 1;
@@ -595,7 +645,12 @@ mod tests {
     fn gat_trains_above_chance() {
         let d = tiny();
         let mut gat = GatModel::new(12, 8, 3, 5);
-        let cfg = TrainConfig { steps: 40, eval_every: 10, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 40,
+            eval_every: 10,
+            lr: 0.02,
+            ..Default::default()
+        };
         let stats = gat.train(&d, &cfg);
         assert!(stats.best_val_f1 > 0.5, "GAT val F1 {}", stats.best_val_f1);
     }
@@ -614,9 +669,18 @@ mod tests {
     fn pprgo_trains_above_chance() {
         let d = tiny();
         let mut m = PprgoModel::new(12, 8, 3, PprConfig::default(), 7);
-        let cfg = TrainConfig { steps: 50, eval_every: 10, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 50,
+            eval_every: 10,
+            lr: 0.02,
+            ..Default::default()
+        };
         let stats = m.train(&d, &cfg);
-        assert!(stats.best_val_f1 > 0.5, "PPRGo val F1 {}", stats.best_val_f1);
+        assert!(
+            stats.best_val_f1 > 0.5,
+            "PPRGo val F1 {}",
+            stats.best_val_f1
+        );
         let logits = m.predict(&d.adj, &d.features, &d.test);
         assert_eq!(logits.shape(), (d.test.len(), 3));
     }
@@ -626,7 +690,10 @@ mod tests {
         let adj = CsrMatrix::adjacency(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
         let g = gin_adjacency(&adj, 0.5);
         for r in 0..3 {
-            let diag = g.row_iter(r).find(|&(c, _)| c as usize == r).map(|(_, v)| v);
+            let diag = g
+                .row_iter(r)
+                .find(|&(c, _)| c as usize == r)
+                .map(|(_, v)| v);
             assert_eq!(diag, Some(1.5));
         }
         // Off-diagonal edges preserved with weight 1.
@@ -638,9 +705,21 @@ mod tests {
         let d = tiny();
         let mut model = gin(12, 8, 3, 3);
         let gin_adj = gin_adjacency(&d.adj, 0.1);
-        let cfg = TrainConfig { steps: 60, eval_every: 10, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 60,
+            eval_every: 10,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let stats = Trainer::train_full_batch(
-            &mut model, Some(&gin_adj), &d.features, &d.labels, &d.train, &d.val, &cfg, None,
+            &mut model,
+            Some(&gin_adj),
+            &d.features,
+            &d.labels,
+            &d.train,
+            &d.val,
+            &cfg,
+            None,
         );
         assert!(stats.best_val_f1 > 0.5, "GIN val F1 {}", stats.best_val_f1);
     }
@@ -649,9 +728,18 @@ mod tests {
     fn appnp_trains_above_chance() {
         let d = tiny();
         let mut m = AppnpModel::new(12, 8, 3, 0.2, 3, 5);
-        let cfg = TrainConfig { steps: 50, eval_every: 10, lr: 0.02, ..Default::default() };
+        let cfg = TrainConfig {
+            steps: 50,
+            eval_every: 10,
+            lr: 0.02,
+            ..Default::default()
+        };
         let stats = m.train(&d, &cfg);
-        assert!(stats.best_val_f1 > 0.5, "APPNP val F1 {}", stats.best_val_f1);
+        assert!(
+            stats.best_val_f1 > 0.5,
+            "APPNP val F1 {}",
+            stats.best_val_f1
+        );
         let adj = d.adj.normalized(Normalization::Row);
         assert_eq!(m.forward_full(&adj, &d.features).shape(), (240, 3));
     }
@@ -663,7 +751,10 @@ mod tests {
         let adj = d.adj.normalized(Normalization::Row);
         let propagated = m.forward_full(&adj, &d.features);
         let plain = m.head.forward_full(None, &d.features);
-        assert!(propagated.approx_eq(&plain, 1e-4), "alpha=1 ignores the graph");
+        assert!(
+            propagated.approx_eq(&plain, 1e-4),
+            "alpha=1 ignores the graph"
+        );
     }
 
     #[test]
@@ -693,6 +784,10 @@ mod tests {
             &cfg,
             Some((&teacher_logits, 0.5)),
         );
-        assert!(stats.best_val_f1 > 0.5, "student val F1 {}", stats.best_val_f1);
+        assert!(
+            stats.best_val_f1 > 0.5,
+            "student val F1 {}",
+            stats.best_val_f1
+        );
     }
 }

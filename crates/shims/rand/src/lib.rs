@@ -1,0 +1,264 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of `rand`'s API it actually uses:
+//! a seeded [`rngs::StdRng`] (xoshiro256++ behind a SplitMix64 seeder),
+//! the [`Rng`] / [`SeedableRng`] traits, and [`RngExt::random_range`]
+//! over half-open and inclusive integer/float ranges.
+//!
+//! Determinism contract: a given seed always produces the same stream,
+//! on every platform — experiments are bit-reproducible from their seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: raw word generation.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Callers guarantee a non-empty range.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as u64;
+                let hi_w = hi as u64;
+                let span = {
+                    let s = hi_w.wrapping_sub(lo_w);
+                    if inclusive { s.wrapping_add(1) } else { s }
+                };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling with a power-of-two mask: unbiased and
+                // deterministic given the seed.
+                let mask = if span.is_power_of_two() {
+                    span - 1
+                } else if span > (1u64 << 63) {
+                    u64::MAX
+                } else {
+                    span.next_power_of_two() - 1
+                };
+                loop {
+                    let v = rng.next_u64() & mask;
+                    if v < span {
+                        return lo_w.wrapping_add(v) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        // 53 random mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + (hi - lo) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= hi {
+            f64::from_bits(hi.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = lo + (hi - lo) * u;
+        if v >= hi {
+            f32::from_bits(hi.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn bounds(self) -> (T, T, bool) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi, true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi, inclusive) = range.bounds();
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "random_range: empty range"
+        );
+        T::sample_range(self, lo, hi, inclusive)
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_range(self, 0.0, 1.0, false) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Not the real `rand::rngs::StdRng` (ChaCha12) — this repo only needs
+    /// deterministic, well-distributed streams, not cryptographic strength.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(0u32..1);
+            assert_eq!(w, 0);
+            let x = rng.random_range(2usize..=4);
+            assert!((2..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f32 = rng.random_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            let u: f64 = rng.random_range(f64::EPSILON..1.0);
+            assert!(u >= f64::EPSILON && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no network), so the item is parsed by
+//! walking the raw `TokenStream` and the impls are emitted as source
+//! strings. Supported shapes — exactly what the gcnp workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit variants and tuple variants.
+//!
+//! Structs serialize to a field-name map; enums are externally tagged
+//! (`"Variant"` for unit variants, `{"Variant": payload}` otherwise),
+//! mirroring serde_json's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Walk the item tokens: skip attributes and visibility, identify
+/// `struct`/`enum`, the type name, and the body group.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` attribute (doc comments arrive in this form too).
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                panic!("serde_derive shim: unexpected token `{kw}`");
+            }
+            other => panic!("serde_derive shim: unexpected token {other:?}"),
+        }
+    }
+    let is_struct = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string() == "struct",
+        _ => unreachable!(),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "serde_derive shim: `{name}` has no braced body (tuple/unit structs unsupported)"
+            )
+        });
+
+    if is_struct {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Split a token list on top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut groups = vec![Vec::new()];
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => groups.push(Vec::new()),
+            _ => groups.last_mut().unwrap().push(t),
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// Field name = first identifier after attributes/visibility, before `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            loop {
+                match field.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        i += 1;
+                        if let Some(TokenTree::Group(g)) = field.get(i) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                i += 1;
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) => return id.to_string(),
+                    other => panic!("serde_derive shim: bad field tokens {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Variant = name + payload arity (0 for unit variants).
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    split_commas(body)
+        .into_iter()
+        .map(|variant| {
+            let mut i = 0;
+            while let Some(TokenTree::Punct(p)) = variant.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match variant.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: bad variant tokens {other:?}"),
+            };
+            let arity = match variant.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    split_commas(g.stream()).len()
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!("serde_derive shim: struct variant `{name}` is not supported")
+                }
+                _ => 0,
+            };
+            (name, arity)
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(a0) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                          ::serde::Serialize::to_value(a0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let reads: String = (0..*arity)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match payload {{\n\
+                                 ::serde::Value::Seq(items) if items.len() == {arity} =>\n\
+                                     ::std::result::Result::Ok({name}::{v}({reads})),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                     \"variant {v}: expected {arity}-element sequence\")),\n\
+                             }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                 ::std::format!(\"bad value for {name}: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -55,8 +55,11 @@ impl CsrMatrix {
         let mut out_vals = Vec::with_capacity(edges.len());
         for r in 0..n_rows {
             let (s, e) = (counts[r], counts[r + 1]);
-            let mut row: Vec<(u32, f32)> =
-                cols[s..e].iter().copied().zip(vals[s..e].iter().copied()).collect();
+            let mut row: Vec<(u32, f32)> = cols[s..e]
+                .iter()
+                .copied()
+                .zip(vals[s..e].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             for (c, v) in row {
                 if out_cols.len() > out_indptr[r] && *out_cols.last().unwrap() == c {
@@ -68,7 +71,13 @@ impl CsrMatrix {
             }
             out_indptr[r + 1] = out_cols.len();
         }
-        Self { n_rows, n_cols, indptr: out_indptr, indices: out_cols, values: out_vals }
+        Self {
+            n_rows,
+            n_cols,
+            indptr: out_indptr,
+            indices: out_cols,
+            values: out_vals,
+        }
     }
 
     /// Build an unweighted adjacency (all values 1.0) from `(src, dst)` pairs.
@@ -96,8 +105,16 @@ impl CsrMatrix {
         values: Vec<f32>,
     ) -> Self {
         assert_eq!(indptr.len(), n_rows + 1, "from_parts: indptr length");
-        assert_eq!(indices.len(), values.len(), "from_parts: indices/values length");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "from_parts: nnz mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "from_parts: indices/values length"
+        );
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "from_parts: nnz mismatch"
+        );
         for w in indptr.windows(2) {
             assert!(w[0] <= w[1], "from_parts: indptr not monotone");
         }
@@ -110,12 +127,24 @@ impl CsrMatrix {
                 assert!((last as usize) < n_cols, "from_parts: col out of bounds");
             }
         }
-        Self { n_rows, n_cols, indptr, indices, values }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An empty `n_rows × n_cols` matrix.
     pub fn empty(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, indptr: vec![0; n_rows + 1], indices: vec![], values: vec![] }
+        Self {
+            n_rows,
+            n_cols,
+            indptr: vec![0; n_rows + 1],
+            indices: vec![],
+            values: vec![],
+        }
     }
 
     #[inline]
@@ -163,7 +192,10 @@ impl CsrMatrix {
 
     /// Iterate `(col, value)` over row `r`.
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.row_indices(r).iter().copied().zip(self.row_values(r).iter().copied())
+        self.row_indices(r)
+            .iter()
+            .copied()
+            .zip(self.row_values(r).iter().copied())
     }
 
     /// The raw `indptr` array.
@@ -198,20 +230,23 @@ impl CsrMatrix {
     /// Sparse·dense product restricted to a set of output rows: returns a
     /// `rows.len() × rhs.cols()` dense matrix where row `i` is
     /// `self.row(rows[i]) · rhs`. This is the batched-inference aggregation
-    /// (only supporting nodes are computed).
+    /// (only supporting nodes are computed). Parallel across output rows.
     pub fn spmm_rows(&self, rows: &[usize], rhs: &Matrix) -> Matrix {
         assert_eq!(rhs.rows(), self.n_cols, "spmm_rows: dimension mismatch");
         let f = rhs.cols();
         let mut out = Matrix::zeros(rows.len(), f);
-        for (i, &row) in rows.iter().enumerate() {
-            let out_row = out.row_mut(i);
-            for (c, v) in self.row_iter(row) {
-                let src = rhs.row(c as usize);
-                for (o, &s) in out_row.iter_mut().zip(src) {
-                    *o += v * s;
+        let rhs_data = rhs.as_slice();
+        parallel_row_chunks(out.as_mut_slice(), rows.len(), f, |start, chunk| {
+            for (i, out_row) in chunk.chunks_mut(f).enumerate() {
+                let row = rows[start + i];
+                for (c, v) in self.row_iter(row) {
+                    let src = &rhs_data[c as usize * f..(c as usize + 1) * f];
+                    for (o, &s) in out_row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -247,7 +282,10 @@ impl CsrMatrix {
     /// Add unit self-loops (entries on the diagonal); existing diagonal
     /// entries are overwritten with 1.0.
     pub fn with_self_loops(&self) -> CsrMatrix {
-        assert_eq!(self.n_rows, self.n_cols, "with_self_loops: matrix must be square");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "with_self_loops: matrix must be square"
+        );
         let mut edges: Vec<(u32, u32, f32)> = Vec::with_capacity(self.nnz() + self.n_rows);
         for r in 0..self.n_rows {
             for (c, v) in self.row_iter(r) {
@@ -265,7 +303,10 @@ impl CsrMatrix {
     /// Isolated nodes (zero degree) keep all-zero rows: their aggregation
     /// contributes nothing, matching mean-aggregator semantics.
     pub fn normalized(&self, mode: Normalization) -> CsrMatrix {
-        assert_eq!(self.n_rows, self.n_cols, "normalized: matrix must be square");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "normalized: matrix must be square"
+        );
         let mut out = self.clone();
         match mode {
             Normalization::Row => {
@@ -282,11 +323,13 @@ impl CsrMatrix {
             Normalization::Symmetric => {
                 // Degree of the undirected interpretation: row sums.
                 let mut deg = vec![0f32; self.n_rows];
-                for r in 0..self.n_rows {
-                    deg[r] = self.row_values(r).iter().sum();
+                for (r, d) in deg.iter_mut().enumerate() {
+                    *d = self.row_values(r).iter().sum();
                 }
-                let inv_sqrt: Vec<f32> =
-                    deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+                let inv_sqrt: Vec<f32> = deg
+                    .iter()
+                    .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+                    .collect();
                 for r in 0..self.n_rows {
                     let (s, e) = (self.indptr[r], self.indptr[r + 1]);
                     for (i, v) in out.values[s..e].iter_mut().enumerate() {
@@ -319,8 +362,11 @@ impl CsrMatrix {
             }
             // Keep row sorted: relabelling is not order-preserving.
             let s = indptr[new];
-            let mut row: Vec<(u32, f32)> =
-                indices[s..].iter().copied().zip(values[s..].iter().copied()).collect();
+            let mut row: Vec<(u32, f32)> = indices[s..]
+                .iter()
+                .copied()
+                .zip(values[s..].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             for (i, (c, v)) in row.into_iter().enumerate() {
                 indices[s + i] = c;
@@ -328,7 +374,13 @@ impl CsrMatrix {
             }
             indptr[new + 1] = indices.len();
         }
-        CsrMatrix { n_rows: nodes.len(), n_cols: nodes.len(), indptr, indices, values }
+        CsrMatrix {
+            n_rows: nodes.len(),
+            n_cols: nodes.len(),
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Estimated heap footprint in bytes (index + value arrays).

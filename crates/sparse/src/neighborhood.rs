@@ -161,7 +161,11 @@ impl BatchSupport {
             needed = next_needed;
         }
         layers.reverse();
-        BatchSupport { targets: targets_dedup, layers, input_nodes: needed }
+        BatchSupport {
+            targets: targets_dedup,
+            layers,
+            input_nodes: needed,
+        }
     }
 
     /// Total number of distinct supporting nodes whose raw attributes are
@@ -221,7 +225,9 @@ mod tests {
         let adj = path5();
         // h^(1) of node 1 is stored => node 1 not computed at layer 1, and
         // node 0 never becomes a supporting node.
-        let s = BatchSupport::build(&adj, &[2], &[true, true], &[], 0, |lvl, v| lvl == 1 && v == 1);
+        let s = BatchSupport::build(&adj, &[2], &[true, true], &[], 0, |lvl, v| {
+            lvl == 1 && v == 1
+        });
         assert_eq!(s.layers[0].stored, vec![1]);
         let mut c = s.layers[0].compute.clone();
         c.sort_unstable();

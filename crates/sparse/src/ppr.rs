@@ -20,7 +20,11 @@ pub struct PprConfig {
 
 impl Default for PprConfig {
     fn default() -> Self {
-        Self { alpha: 0.25, epsilon: 1e-4, top_k: 32 }
+        Self {
+            alpha: 0.25,
+            epsilon: 1e-4,
+            top_k: 32,
+        }
     }
 }
 
@@ -28,7 +32,10 @@ impl Default for PprConfig {
 /// Returns `(node, score)` pairs: the `top_k` largest entries, L1-normalized.
 pub fn ppr_push(adj: &CsrMatrix, seed: usize, cfg: &PprConfig) -> Vec<(usize, f32)> {
     assert!(seed < adj.n_rows(), "ppr_push: seed out of bounds");
-    assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0, "ppr_push: alpha must be in (0,1)");
+    assert!(
+        cfg.alpha > 0.0 && cfg.alpha < 1.0,
+        "ppr_push: alpha must be in (0,1)"
+    );
     let n = adj.n_rows();
     let mut p = vec![0f32; n];
     let mut r = vec![0f32; n];
@@ -66,8 +73,12 @@ pub fn ppr_push(adj: &CsrMatrix, seed: usize, cfg: &PprConfig) -> Vec<(usize, f3
             }
         }
     }
-    let mut entries: Vec<(usize, f32)> =
-        p.iter().enumerate().filter(|&(_, &s)| s > 0.0).map(|(i, &s)| (i, s)).collect();
+    let mut entries: Vec<(usize, f32)> = p
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(i, &s)| (i, s))
+        .collect();
     entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     entries.truncate(cfg.top_k.max(1));
     let total: f32 = entries.iter().map(|&(_, s)| s).sum();
@@ -111,7 +122,10 @@ mod tests {
     fn seed_has_largest_score() {
         let adj = ring(30);
         let entries = ppr_push(&adj, 7, &PprConfig::default());
-        let best = entries.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let best = entries
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(best.0, 7, "seed should dominate its own PPR vector");
     }
 
@@ -127,7 +141,11 @@ mod tests {
     #[test]
     fn top_k_truncates() {
         let adj = ring(50);
-        let cfg = PprConfig { top_k: 5, epsilon: 1e-6, ..Default::default() };
+        let cfg = PprConfig {
+            top_k: 5,
+            epsilon: 1e-6,
+            ..Default::default()
+        };
         let entries = ppr_push(&adj, 0, &cfg);
         assert!(entries.len() <= 5);
         assert!(entries.iter().any(|&(i, _)| i == 0));
@@ -136,9 +154,18 @@ mod tests {
     #[test]
     fn locality_decays_with_distance() {
         let adj = ring(40);
-        let cfg = PprConfig { top_k: 40, epsilon: 1e-7, ..Default::default() };
+        let cfg = PprConfig {
+            top_k: 40,
+            epsilon: 1e-7,
+            ..Default::default()
+        };
         let entries = ppr_push(&adj, 0, &cfg);
-        let score = |v: usize| entries.iter().find(|&&(i, _)| i == v).map_or(0.0, |&(_, s)| s);
+        let score = |v: usize| {
+            entries
+                .iter()
+                .find(|&&(i, _)| i == v)
+                .map_or(0.0, |&(_, s)| s)
+        };
         assert!(score(1) > score(2), "closer nodes score higher");
         assert!(score(2) >= score(3));
     }
@@ -158,8 +185,7 @@ mod tests {
         let cfg = PprConfig::default();
         let m = ppr_matrix(&adj, &[3, 5], &cfg);
         assert_eq!(m.n_rows(), 2);
-        let row0: Vec<(usize, f32)> =
-            m.row_iter(0).map(|(c, v)| (c as usize, v)).collect();
+        let row0: Vec<(usize, f32)> = m.row_iter(0).map(|(c, v)| (c as usize, v)).collect();
         assert_eq!(row0, ppr_push(&adj, 3, &cfg));
     }
 }

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn walk_visits_connected_nodes() {
         let adj = ring(20);
-        let s = RandomWalkSampler { roots: 3, walk_len: 4 };
+        let s = RandomWalkSampler {
+            roots: 3,
+            walk_len: 4,
+        };
         let mut rng = sampler_rng(1);
         let nodes = s.sample(&adj, &(0..20).collect::<Vec<_>>(), &mut rng);
         assert!(!nodes.is_empty());
@@ -112,7 +115,10 @@ mod tests {
     #[test]
     fn walk_is_deterministic_per_seed() {
         let adj = ring(20);
-        let s = RandomWalkSampler { roots: 5, walk_len: 3 };
+        let s = RandomWalkSampler {
+            roots: 5,
+            walk_len: 3,
+        };
         let pool: Vec<usize> = (0..20).collect();
         let a = s.sample(&adj, &pool, &mut sampler_rng(9));
         let b = s.sample(&adj, &pool, &mut sampler_rng(9));
@@ -122,7 +128,10 @@ mod tests {
     #[test]
     fn walk_stops_at_isolated_nodes() {
         let adj = CsrMatrix::empty(5, 5);
-        let s = RandomWalkSampler { roots: 2, walk_len: 10 };
+        let s = RandomWalkSampler {
+            roots: 2,
+            walk_len: 10,
+        };
         let nodes = s.sample(&adj, &[3], &mut sampler_rng(0));
         assert_eq!(nodes, vec![3]);
     }

@@ -37,7 +37,11 @@ pub fn degree_stats(adj: &CsrMatrix) -> DegreeStats {
 /// The GNN-beats-MLP effect the paper's benchmarks exhibit requires high
 /// homophily; the generators target ~0.8.
 pub fn edge_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
-    assert_eq!(labels.len(), adj.n_rows(), "edge_homophily: label count mismatch");
+    assert_eq!(
+        labels.len(),
+        adj.n_rows(),
+        "edge_homophily: label count mismatch"
+    );
     let mut same = 0usize;
     let mut total = 0usize;
     for v in 0..adj.n_rows() {
@@ -58,7 +62,10 @@ pub fn edge_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
 /// Histogram of degrees with the given bucket boundaries (right-open);
 /// returns one count per bucket plus an overflow bucket.
 pub fn degree_histogram(adj: &CsrMatrix, bounds: &[usize]) -> Vec<usize> {
-    assert!(bounds.windows(2).all(|w| w[0] < w[1]), "degree_histogram: bounds must increase");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "degree_histogram: bounds must increase"
+    );
     let mut counts = vec![0usize; bounds.len() + 1];
     for v in 0..adj.n_rows() {
         let d = adj.degree(v);

@@ -26,15 +26,27 @@ impl Matrix {
     /// Uniform random matrix in `[lo, hi)`.
     pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
         assert!(lo < hi, "rand_uniform: empty range");
-        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect())
-    }
-
-    /// Normal random matrix with the given mean and standard deviation.
-    pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Matrix {
         Matrix::from_vec(
             rows,
             cols,
-            (0..rows * cols).map(|_| mean + std * sample_normal(rng)).collect(),
+            (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect(),
+        )
+    }
+
+    /// Normal random matrix with the given mean and standard deviation.
+    pub fn rand_normal(
+        rows: usize,
+        cols: usize,
+        mean: f32,
+        std: f32,
+        rng: &mut impl Rng,
+    ) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| mean + std * sample_normal(rng))
+                .collect(),
         )
     }
 
@@ -86,8 +98,12 @@ mod tests {
     fn normal_moments_are_sane() {
         let m = Matrix::rand_normal(200, 200, 2.0, 3.0, &mut seeded_rng(9));
         let mean = m.mean();
-        let var =
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
         assert!((var.sqrt() - 3.0).abs() < 0.1, "std={}", var.sqrt());
     }

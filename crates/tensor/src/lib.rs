@@ -21,5 +21,5 @@ pub mod parallel;
 pub mod quant;
 
 pub use matrix::Matrix;
-pub use parallel::{num_threads, parallel_row_chunks};
+pub use parallel::{num_threads, parallel_row_chunks, set_num_threads};
 pub use quant::{qmatmul, QuantMatrix};

@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create an identity matrix of size `n`.
@@ -63,7 +71,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -141,9 +153,11 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Iterate over rows as slices.
+    /// Iterate over rows as slices. Yields exactly `rows()` items even for
+    /// zero-column matrices (`chunks_exact` over empty data would yield
+    /// none, silently dropping every row from reductions like `col_sums`).
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        (0..self.rows).map(move |r| &self.data[r * self.cols..(r + 1) * self.cols])
     }
 
     /// Copy column `c` into a new vector.
@@ -260,9 +274,15 @@ impl Matrix {
     /// # Panics
     /// Panics if the widths do not sum to `cols`.
     pub fn split_cols(&self, widths: &[usize]) -> Vec<Matrix> {
-        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split_cols: widths mismatch");
-        let mut parts: Vec<Matrix> =
-            widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.cols,
+            "split_cols: widths mismatch"
+        );
+        let mut parts: Vec<Matrix> = widths
+            .iter()
+            .map(|&w| Matrix::zeros(self.rows, w))
+            .collect();
         for r in 0..self.rows {
             let src = self.row(r);
             let mut off = 0;
@@ -306,8 +326,10 @@ impl fmt::Debug for Matrix {
         let show = self.rows.min(6);
         for r in 0..show {
             let cols = self.cols.min(8);
-            let vals: Vec<String> =
-                self.row(r)[..cols].iter().map(|v| format!("{v:>9.4}")).collect();
+            let vals: Vec<String> = self.row(r)[..cols]
+                .iter()
+                .map(|v| format!("{v:>9.4}"))
+                .collect();
             writeln!(
                 f,
                 "  [{}{}]",
@@ -334,6 +356,29 @@ mod tests {
         assert_eq!(m.get(1, 0), 4.0);
         assert_eq!(m.row(1), &[4., 5., 6.]);
         assert_eq!(m.col(1), vec![2., 5.]);
+    }
+
+    #[test]
+    fn rows_iter_yields_every_row() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1., 2.][..], &[3., 4.][..], &[5., 6.][..]]);
+    }
+
+    #[test]
+    fn rows_iter_zero_cols_yields_empty_rows() {
+        // Regression: `chunks_exact` over the empty backing slice yielded
+        // zero items, making n×0 matrices look like 0×0 to every reduction.
+        let m = Matrix::zeros(4, 0);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 4, "n×0 matrix must still have n rows");
+        assert!(rows.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn rows_iter_zero_rows_is_empty() {
+        let m = Matrix::zeros(0, 5);
+        assert_eq!(m.rows_iter().count(), 0);
     }
 
     #[test]

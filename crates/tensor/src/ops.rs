@@ -95,7 +95,11 @@ impl Matrix {
 
     /// `self += alpha * other` in place (axpy).
     pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign: shape mismatch"
+        );
         for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += alpha * b;
         }
@@ -120,7 +124,11 @@ impl Matrix {
 
     /// Apply a function elementwise into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix::from_vec(self.rows(), self.cols(), self.as_slice().iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Combine elementwise with another matrix into a new matrix.
@@ -132,7 +140,11 @@ impl Matrix {
         Matrix::from_vec(
             self.rows(),
             self.cols(),
-            self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect(),
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         )
     }
 
@@ -152,7 +164,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `factors.len() != cols`.
     pub fn scale_cols(&self, factors: &[f32]) -> Matrix {
-        assert_eq!(factors.len(), self.cols(), "scale_cols: factor length mismatch");
+        assert_eq!(
+            factors.len(),
+            self.cols(),
+            "scale_cols: factor length mismatch"
+        );
         let cols = self.cols();
         let mut out = self.clone();
         for row in out.as_mut_slice().chunks_exact_mut(cols) {
@@ -165,7 +181,11 @@ impl Matrix {
 
     /// Scale row `i` by `factors[i]` (e.g. degree normalization).
     pub fn scale_rows(&self, factors: &[f32]) -> Matrix {
-        assert_eq!(factors.len(), self.rows(), "scale_rows: factor length mismatch");
+        assert_eq!(
+            factors.len(),
+            self.rows(),
+            "scale_rows: factor length mismatch"
+        );
         let cols = self.cols();
         let mut out = self.clone();
         for (row, &f) in out.as_mut_slice().chunks_exact_mut(cols).zip(factors) {
@@ -222,7 +242,9 @@ impl Matrix {
     /// Per-row L1 norms (length `rows`). Rows of a weight matrix index input
     /// channels, so this is the "Max Res." channel-importance statistic.
     pub fn row_l1_norms(&self) -> Vec<f32> {
-        self.rows_iter().map(|r| r.iter().map(|v| v.abs()).sum()).collect()
+        self.rows_iter()
+            .map(|r| r.iter().map(|v| v.abs()).sum())
+            .collect()
     }
 
     /// Per-column L2 norms (length `cols`).
@@ -304,7 +326,11 @@ mod tests {
     }
 
     fn seq(rows: usize, cols: usize, mul: f32) -> Matrix {
-        Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| (i as f32 * mul).sin()).collect())
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (i as f32 * mul).sin()).collect(),
+        )
     }
 
     #[test]
@@ -325,9 +351,13 @@ mod tests {
     fn at_b_and_a_bt_match_explicit_transpose() {
         let a = seq(9, 4, 0.2);
         let b = seq(9, 6, 0.5);
-        assert!(a.matmul_at_b(&b).approx_eq(&naive_matmul(&a.transpose(), &b), 1e-4));
+        assert!(a
+            .matmul_at_b(&b)
+            .approx_eq(&naive_matmul(&a.transpose(), &b), 1e-4));
         let c = seq(3, 6, 0.4);
-        assert!(b.matmul_a_bt(&c).approx_eq(&naive_matmul(&b, &c.transpose()), 1e-4));
+        assert!(b
+            .matmul_a_bt(&c)
+            .approx_eq(&naive_matmul(&b, &c.transpose()), 1e-4));
     }
 
     #[test]
@@ -378,6 +408,20 @@ mod tests {
     fn argmax_rows_finds_max() {
         let a = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0]);
         assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reductions_on_zero_col_matrix() {
+        // Regression for the rows_iter zero-column bug: these reductions
+        // must see all n rows of an n×0 matrix, not none.
+        let a = Matrix::zeros(3, 0);
+        assert_eq!(a.col_sums(), Vec::<f32>::new());
+        assert_eq!(
+            a.row_l1_norms(),
+            vec![0.0; 3],
+            "one (empty) L1 norm per row"
+        );
+        assert_eq!(a.argmax_rows(), vec![0; 3], "one argmax per row");
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl QuantMatrix {
                 data[r * cols + c] = (v / scales[c]).round().clamp(-127.0, 127.0) as i8;
             }
         }
-        QuantMatrix { rows, cols, data, scales }
+        QuantMatrix {
+            rows,
+            cols,
+            data,
+            scales,
+        }
     }
 
     /// Number of rows.
@@ -58,8 +63,9 @@ impl QuantMatrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
         for r in 0..self.rows {
             let row = out.row_mut(r);
-            for c in 0..self.cols {
-                row[c] = self.data[r * self.cols + c] as f32 * self.scales[c];
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for ((v, &q), &s) in row.iter_mut().zip(src).zip(&self.scales) {
+                *v = q as f32 * s;
             }
         }
         out
@@ -139,7 +145,11 @@ mod tests {
         let quant = qmatmul(&x, &QuantMatrix::quantize(&w));
         // Relative error of int8 GEMM stays a few percent of the magnitude.
         let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        assert!(exact.max_abs_diff(&quant) < 0.05 * scale, "err {}", exact.max_abs_diff(&quant));
+        assert!(
+            exact.max_abs_diff(&quant) < 0.05 * scale,
+            "err {}",
+            exact.max_abs_diff(&quant)
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn main() {
     println!("graph: {} nodes, {} attrs", data.n_nodes(), data.attr_dim());
 
     let mut model = zoo::graphsage(data.attr_dim(), 128, data.n_classes(), 1);
-    let cfg = TrainConfig { steps: 100, eval_every: 10, ..Default::default() };
+    let cfg = TrainConfig {
+        steps: 100,
+        eval_every: 10,
+        ..Default::default()
+    };
     Trainer::train_saint(&mut model, &data, &cfg);
 
     let (tadj, tnodes) = data.train_adj();

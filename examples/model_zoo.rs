@@ -13,14 +13,28 @@ fn main() {
     let data = DatasetKind::ArxivSim.generate_scaled(0.15, 11);
     let (fin, classes, hidden) = (data.attr_dim(), data.n_classes(), 64);
     let adj_row = data.adj.normalized(Normalization::Row);
-    let adj_sym = data.adj.with_self_loops().normalized(Normalization::Symmetric);
+    let adj_sym = data
+        .adj
+        .with_self_loops()
+        .normalized(Normalization::Symmetric);
     let cm = CostModel::new(data.n_nodes(), data.adj.avg_degree());
-    let cfg = TrainConfig { steps: 80, eval_every: 10, ..Default::default() };
-    println!("{:<12} {:>8} {:>10} {:>12}", "model", "test F1", "params", "kMACs/node");
+    let cfg = TrainConfig {
+        steps: 80,
+        eval_every: 10,
+        ..Default::default()
+    };
+    println!(
+        "{:<12} {:>8} {:>10} {:>12}",
+        "model", "test F1", "params", "kMACs/node"
+    );
 
     // Eq.(1)-family models, trained with GraphSAINT.
     for (name, mut model, adj) in [
-        ("GraphSAGE", zoo::graphsage(fin, hidden, classes, 1), &adj_row),
+        (
+            "GraphSAGE",
+            zoo::graphsage(fin, hidden, classes, 1),
+            &adj_row,
+        ),
         ("GCN", zoo::gcn(fin, hidden, classes, 1), &adj_sym),
         ("MixHop", zoo::mixhop(fin, hidden, classes, 1), &adj_row),
         ("JK", zoo::jk(fin, hidden, classes, 1), &adj_row),
@@ -38,7 +52,14 @@ fn main() {
     {
         let mut mlp = zoo::mlp(fin, hidden, classes, 1);
         Trainer::train_full_batch(
-            &mut mlp, None, &data.features, &data.labels, &data.train, &data.val, &cfg, None,
+            &mut mlp,
+            None,
+            &data.features,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
         );
         let f1 = Trainer::evaluate(&mlp, None, &data.features, &data.labels, &data.test);
         println!(
@@ -54,7 +75,14 @@ fn main() {
         let z = sgc_features(&adj_sym, &data.features, 2);
         let mut sgc = zoo::sgc_model(fin, classes, 1);
         Trainer::train_full_batch(
-            &mut sgc, None, &z, &data.labels, &data.train, &data.val, &cfg, None,
+            &mut sgc,
+            None,
+            &z,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
         );
         let f1 = Trainer::evaluate(&sgc, None, &z, &data.labels, &data.test);
         println!(
@@ -66,7 +94,14 @@ fn main() {
         let zs = sign_features(&adj_sym, &data.features, 2);
         let mut sign = zoo::sign_model(zs.cols(), hidden * 3, classes, 1);
         Trainer::train_full_batch(
-            &mut sign, None, &zs, &data.labels, &data.train, &data.val, &cfg, None,
+            &mut sign,
+            None,
+            &zs,
+            &data.labels,
+            &data.train,
+            &data.val,
+            &cfg,
+            None,
         );
         let f1 = Trainer::evaluate(&sign, None, &zs, &data.labels, &data.test);
         println!(
@@ -80,7 +115,12 @@ fn main() {
     // GAT.
     {
         let mut gat = GatModel::new(fin, hidden, classes, 1);
-        let gat_cfg = TrainConfig { steps: 40, eval_every: 10, lr: 0.02, ..cfg.clone() };
+        let gat_cfg = TrainConfig {
+            steps: 40,
+            eval_every: 10,
+            lr: 0.02,
+            ..cfg.clone()
+        };
         gat.train(&data, &gat_cfg);
         let shared = SharedAdj::new(data.adj.with_self_loops());
         let logits = gat.forward_full(&shared, &data.features);
@@ -91,7 +131,12 @@ fn main() {
     // PPRGo.
     {
         let mut pprgo = PprgoModel::new(fin, hidden, classes, PprConfig::default(), 1);
-        let pcfg = TrainConfig { steps: 60, eval_every: 10, lr: 0.02, ..cfg.clone() };
+        let pcfg = TrainConfig {
+            steps: 60,
+            eval_every: 10,
+            lr: 0.02,
+            ..cfg.clone()
+        };
         pprgo.train(&data, &pcfg);
         let logits = pprgo.predict(&data.adj, &data.features, &data.test);
         let f1 = Metrics::f1_micro(&logits, &data.labels, &data.test);

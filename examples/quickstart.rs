@@ -24,7 +24,12 @@ fn main() {
     // 2. Train the reference 2-layer GraphSAGE with GraphSAINT sampling.
     let hidden = 128;
     let mut model = zoo::graphsage(data.attr_dim(), hidden, data.n_classes(), 1);
-    let cfg = TrainConfig { steps: 120, eval_every: 10, patience: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        steps: 120,
+        eval_every: 10,
+        patience: 6,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let stats = Trainer::train_saint(&mut model, &data, &cfg);
     println!(
@@ -52,8 +57,7 @@ fn main() {
     let tx = data.features.gather_rows(&tnodes);
     let pcfg = PrunerConfig::default();
     let t0 = std::time::Instant::now();
-    let (mut pruned, report) =
-        prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &pcfg);
+    let (mut pruned, report) = prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &pcfg);
     println!(
         "pruned 4x in {:.1}s ({} -> {} weights)",
         t0.elapsed().as_secs_f64(),

@@ -24,7 +24,11 @@ fn main() {
 
     // Train the detector on the base (historical) data.
     let mut model = zoo::graphsage(base.attr_dim(), 64, base.n_classes(), 1);
-    let cfg = TrainConfig { steps: 80, eval_every: 10, ..Default::default() };
+    let cfg = TrainConfig {
+        steps: 80,
+        eval_every: 10,
+        ..Default::default()
+    };
     let stats = Trainer::train_saint(&mut model, &base, &cfg);
     println!("detector trained: val F1 {:.3}", stats.best_val_f1);
 

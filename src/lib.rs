@@ -56,12 +56,11 @@ pub mod prelude {
     };
     pub use gcnp_datasets::{Dataset, DatasetKind, Labels, SpamStream};
     pub use gcnp_infer::{
-        simulate, BatchResult, BatchedEngine, CostModel, FeatureStore, FullEngine,
-        QuantizedGnn, ServingConfig, ServingReport, StorePolicy,
+        simulate, BatchResult, BatchedEngine, CostModel, FeatureStore, FullEngine, QuantizedGnn,
+        ServingConfig, ServingReport, StorePolicy,
     };
     pub use gcnp_models::{
-        zoo, Activation, Branch, BranchLayer, CombineMode, GnnModel, Metrics, TrainConfig,
-        Trainer,
+        zoo, Activation, Branch, BranchLayer, CombineMode, GnnModel, Metrics, TrainConfig, Trainer,
     };
     pub use gcnp_sparse::{CsrMatrix, Normalization};
     pub use gcnp_tensor::Matrix;

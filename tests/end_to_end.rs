@@ -34,28 +34,36 @@ fn train_prune_retrain_preserves_accuracy() {
     let data = small_dataset(1);
     let model = trained_model(&data, 2);
     let adj = data.adj.normalized(Normalization::Row);
-    let base_f1 =
-        Trainer::evaluate(&model, Some(&adj), &data.features, &data.labels, &data.test);
+    let base_f1 = Trainer::evaluate(&model, Some(&adj), &data.features, &data.labels, &data.test);
     assert!(base_f1 > 0.8, "reference model must learn: {base_f1}");
 
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { beta_epochs: 20, w_epochs: 20, batch_size: 128, ..Default::default() };
-    let (mut pruned, report) =
-        prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &cfg);
+    let cfg = PrunerConfig {
+        beta_epochs: 20,
+        w_epochs: 20,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let (mut pruned, report) = prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &cfg);
     assert!(report.weights_after < report.weights_before / 2);
 
     let tcfg = TrainConfig {
-        steps: 40,
+        steps: 80,
         eval_every: 10,
         saint_roots: 60,
         dropout: 0.0,
         ..Default::default()
     };
     Trainer::train_saint(&mut pruned, &data, &tcfg);
-    let pruned_f1 =
-        Trainer::evaluate(&pruned, Some(&adj), &data.features, &data.labels, &data.test);
+    let pruned_f1 = Trainer::evaluate(
+        &pruned,
+        Some(&adj),
+        &data.features,
+        &data.labels,
+        &data.test,
+    );
     assert!(
         pruned_f1 > base_f1 - 0.1,
         "4x pruning + retraining must roughly preserve F1: {pruned_f1} vs {base_f1}"
@@ -131,7 +139,12 @@ fn pruned_batched_model_serves_with_store() {
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { beta_epochs: 10, w_epochs: 10, batch_size: 128, ..Default::default() };
+    let cfg = PrunerConfig {
+        beta_epochs: 10,
+        w_epochs: 10,
+        batch_size: 128,
+        ..Default::default()
+    };
     let (pruned, _) = prune_model(&model, &tadj, &tx, 0.5, Scheme::BatchedInference, &cfg);
 
     let store = FeatureStore::new(data.n_nodes(), pruned.n_layers() - 1);
@@ -149,7 +162,12 @@ fn pruned_batched_model_serves_with_store() {
     let first = engine.infer(&targets);
     let second = engine.infer(&targets);
     assert!(second.store_hits > 0);
-    assert!(second.macs < first.macs, "{} vs {}", second.macs, first.macs);
+    assert!(
+        second.macs < first.macs,
+        "{} vs {}",
+        second.macs,
+        first.macs
+    );
     // Logits stay finite and classify above chance.
     let f1 = Metrics::f1_micro(&second.logits, &data.labels, &second.targets);
     assert!(f1 > 0.5, "pruned+store F1 {f1}");
@@ -166,25 +184,36 @@ fn lasso_beats_random_end_to_end() {
 
     // Without retraining, at an aggressive budget, LASSO reconstruction
     // should lose less accuracy than random channel selection (Fig. 4).
-    let mut f1s = std::collections::HashMap::new();
-    for method in [PruneMethod::Lasso, PruneMethod::Random] {
+    // Random is averaged over several draws — one lucky subset must not
+    // flip the comparison.
+    let eval = |method: PruneMethod, seed: u64| {
         let cfg = PrunerConfig {
             method,
             beta_epochs: 20,
             w_epochs: 20,
             batch_size: 128,
+            seed,
             ..Default::default()
         };
         let (pruned, _) = prune_model(&model, &tadj, &tx, 0.25, Scheme::FullInference, &cfg);
-        let f1 =
-            Trainer::evaluate(&pruned, Some(&adj), &data.features, &data.labels, &data.test);
-        f1s.insert(format!("{method:?}"), f1);
-    }
-    let lasso = f1s["Lasso"];
-    let random = f1s["Random"];
+        Trainer::evaluate(
+            &pruned,
+            Some(&adj),
+            &data.features,
+            &data.labels,
+            &data.test,
+        )
+    };
+    let lasso = eval(PruneMethod::Lasso, 0);
+    let random_seeds = [0u64, 1, 2];
+    let random = random_seeds
+        .iter()
+        .map(|&s| eval(PruneMethod::Random, s))
+        .sum::<f64>()
+        / random_seeds.len() as f64;
     assert!(
         lasso >= random - 0.02,
-        "LASSO ({lasso}) must not lose to Random ({random}) by more than noise"
+        "LASSO ({lasso}) must not lose to mean Random ({random}) by more than noise"
     );
 }
 
@@ -250,6 +279,10 @@ fn spam_stream_serving_pipeline() {
         assert_eq!(res.logits.rows(), res.targets.len());
         served += res.targets.len();
     }
-    assert_eq!(served, big.n_nodes(), "every review gets served exactly once");
+    assert_eq!(
+        served,
+        big.n_nodes(),
+        "every review gets served exactly once"
+    );
     assert!(store.len(1) > 0, "roots accumulated in the store");
 }

@@ -6,21 +6,19 @@ use proptest::prelude::*;
 /// Arbitrary small undirected graph + features.
 fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Matrix)> {
     (5usize..40, 0u64..500).prop_flat_map(|(n, seed)| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 1..n * 4).prop_map(
-            move |pairs| {
-                let mut edges = Vec::with_capacity(pairs.len() * 2);
-                for (a, b) in pairs {
-                    if a != b {
-                        edges.push((a, b));
-                        edges.push((b, a));
-                    }
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..n * 4).prop_map(move |pairs| {
+            let mut edges = Vec::with_capacity(pairs.len() * 2);
+            for (a, b) in pairs {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((b, a));
                 }
-                let adj = CsrMatrix::adjacency(n, &edges);
-                let mut rng = gcnp_tensor::init::seeded_rng(seed);
-                let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut rng);
-                (adj, x)
-            },
-        )
+            }
+            let adj = CsrMatrix::adjacency(n, &edges);
+            let mut rng = gcnp_tensor::init::seeded_rng(seed);
+            let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut rng);
+            (adj, x)
+        })
     })
 }
 

@@ -52,22 +52,42 @@ fn pruning_with_all_zero_channels() {
         x.set(r, 6, 0.0);
     }
     let w = Matrix::rand_uniform(8, 3, -1.0, 1.0, &mut rng);
-    let cfg = PrunerConfig { beta_epochs: 20, w_epochs: 20, batch_size: 32, ..Default::default() };
-    let out = lasso_prune(&[x.clone()], &[w.clone()], 6, &cfg);
-    assert!(!out.keep.contains(&2) && !out.keep.contains(&6), "zero channels pruned: {:?}", out.keep);
+    let cfg = PrunerConfig {
+        beta_epochs: 20,
+        w_epochs: 20,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let out = lasso_prune(std::slice::from_ref(&x), std::slice::from_ref(&w), 6, &cfg);
+    assert!(
+        !out.keep.contains(&2) && !out.keep.contains(&6),
+        "zero channels pruned: {:?}",
+        out.keep
+    );
     assert!(out.rel_error < 1e-3, "rel error {}", out.rel_error);
 }
 
 #[test]
 fn minimum_budget_keeps_one_channel() {
     // A budget that rounds to zero channels must clamp to one.
-    let data = SynthConfig { nodes: 100, classes: 2, communities: 2, attr_dim: 8, ..Default::default() }
-        .generate(4);
+    let data = SynthConfig {
+        nodes: 100,
+        classes: 2,
+        communities: 2,
+        attr_dim: 8,
+        ..Default::default()
+    }
+    .generate(4);
     let model = zoo::graphsage(8, 4, 2, 5);
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { beta_epochs: 3, w_epochs: 3, batch_size: 32, ..Default::default() };
+    let cfg = PrunerConfig {
+        beta_epochs: 3,
+        w_epochs: 3,
+        batch_size: 32,
+        ..Default::default()
+    };
     // budget 0.01 of 4 hidden channels -> floor 0 -> clamped to 1.
     let (pruned, report) = prune_model(&model, &tadj, &tx, 0.01, Scheme::FullInference, &cfg);
     for lr in &report.layers {
@@ -104,15 +124,26 @@ fn multilabel_dataset_with_rare_positives_trains() {
     }
     .generate(7);
     let mut model = zoo::graphsage(16, 8, 20, 8);
-    let cfg = TrainConfig { steps: 20, eval_every: 10, saint_roots: 40, ..Default::default() };
+    let cfg = TrainConfig {
+        steps: 20,
+        eval_every: 10,
+        saint_roots: 40,
+        ..Default::default()
+    };
     let stats = Trainer::train_saint(&mut model, &data, &cfg);
     assert!(stats.final_train_loss.is_finite());
 }
 
 #[test]
 fn model_serde_round_trip() {
-    let data = SynthConfig { nodes: 80, classes: 2, communities: 2, attr_dim: 8, ..Default::default() }
-        .generate(9);
+    let data = SynthConfig {
+        nodes: 80,
+        classes: 2,
+        communities: 2,
+        attr_dim: 8,
+        ..Default::default()
+    }
+    .generate(9);
     let model = zoo::graphsage(8, 4, 2, 10);
     let json = serde_json::to_string(&model).expect("serialize");
     let back: GnnModel = serde_json::from_str(&json).expect("deserialize");
@@ -125,16 +156,26 @@ fn model_serde_round_trip() {
 
 #[test]
 fn pruned_model_serde_round_trip_keeps_keep_lists() {
-    let data = SynthConfig { nodes: 100, classes: 2, communities: 2, attr_dim: 12, ..Default::default() }
-        .generate(11);
+    let data = SynthConfig {
+        nodes: 100,
+        classes: 2,
+        communities: 2,
+        attr_dim: 12,
+        ..Default::default()
+    }
+    .generate(11);
     let model = zoo::graphsage(12, 8, 2, 12);
     let (tadj, tnodes) = data.train_adj();
     let tadj = tadj.normalized(Normalization::Row);
     let tx = data.features.gather_rows(&tnodes);
-    let cfg = PrunerConfig { beta_epochs: 3, w_epochs: 3, batch_size: 32, ..Default::default() };
+    let cfg = PrunerConfig {
+        beta_epochs: 3,
+        w_epochs: 3,
+        batch_size: 32,
+        ..Default::default()
+    };
     let (pruned, _) = prune_model(&model, &tadj, &tx, 0.5, Scheme::BatchedInference, &cfg);
-    let back: GnnModel =
-        serde_json::from_str(&serde_json::to_string(&pruned).unwrap()).unwrap();
+    let back: GnnModel = serde_json::from_str(&serde_json::to_string(&pruned).unwrap()).unwrap();
     assert_eq!(
         pruned.layers[0].branches[1].keep, back.layers[0].branches[1].keep,
         "keep lists survive serialization"
@@ -148,8 +189,14 @@ fn pruned_model_serde_round_trip_keeps_keep_lists() {
 
 #[test]
 fn single_node_batch_and_repeated_serving() {
-    let data = SynthConfig { nodes: 150, classes: 3, communities: 3, attr_dim: 8, ..Default::default() }
-        .generate(13);
+    let data = SynthConfig {
+        nodes: 150,
+        classes: 3,
+        communities: 3,
+        attr_dim: 8,
+        ..Default::default()
+    }
+    .generate(13);
     let model = zoo::graphsage(8, 8, 3, 14);
     let store = FeatureStore::new(150, 2);
     let mut engine = BatchedEngine::new(
@@ -174,11 +221,24 @@ fn single_node_batch_and_repeated_serving() {
 
 #[test]
 fn empty_target_slice_is_rejected_gracefully() {
-    let data = SynthConfig { nodes: 50, classes: 2, communities: 2, attr_dim: 8, ..Default::default() }
-        .generate(15);
+    let data = SynthConfig {
+        nodes: 50,
+        classes: 2,
+        communities: 2,
+        attr_dim: 8,
+        ..Default::default()
+    }
+    .generate(15);
     let model = zoo::graphsage(8, 4, 2, 16);
-    let mut engine =
-        BatchedEngine::new(&model, &data.adj, &data.features, vec![], None, StorePolicy::None, 0);
+    let mut engine = BatchedEngine::new(
+        &model,
+        &data.adj,
+        &data.features,
+        vec![],
+        None,
+        StorePolicy::None,
+        0,
+    );
     let res = engine.infer(&[]);
     assert_eq!(res.logits.rows(), 0);
     assert_eq!(res.targets.len(), 0);

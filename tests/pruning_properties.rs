@@ -34,7 +34,7 @@ proptest! {
         let c = x.cols();
         let n_keep = ((c as f32 * frac) as usize).clamp(1, c);
         for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
-            let out = lasso_prune(&[x.clone()], &[w.clone()], n_keep, &fast_cfg(method, seed));
+            let out = lasso_prune(std::slice::from_ref(&x), std::slice::from_ref(&w), n_keep, &fast_cfg(method, seed));
             prop_assert_eq!(out.keep.len(), n_keep);
             prop_assert!(out.keep.windows(2).all(|p| p[0] < p[1]), "sorted unique");
             prop_assert!(out.keep.iter().all(|&k| k < c));
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn full_budget_lossless((x, w, seed) in arb_problem()) {
         for method in [PruneMethod::Lasso, PruneMethod::MaxResponse, PruneMethod::Random] {
-            let out = lasso_prune(&[x.clone()], &[w.clone()], x.cols(), &fast_cfg(method, seed));
+            let out = lasso_prune(std::slice::from_ref(&x), std::slice::from_ref(&w), x.cols(), &fast_cfg(method, seed));
             let pred = x.select_cols(&out.keep).matmul(&out.weights[0]);
             let target = x.matmul(&w);
             prop_assert!(pred.approx_eq(&target, 1e-4));
