@@ -104,7 +104,8 @@ fn main() {
                 )
             })
             .collect();
-        let rep = serve_multi(&mut engines, &targets, &cfg);
+        let rep =
+            serve_multi(&mut engines, &targets, &cfg).expect("serving benchmark config is valid");
         if w == 1 {
             base = rep.wall_seconds;
         }

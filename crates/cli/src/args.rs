@@ -67,6 +67,19 @@ impl Args {
         }
     }
 
+    /// Optional typed option: `Ok(None)` when absent, `Err` when present but
+    /// unparseable (for flags like `--deadline-ms` whose absence means
+    /// "feature off" rather than a default value).
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
     /// Boolean switch.
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
@@ -98,6 +111,17 @@ mod tests {
         assert_eq!(a.get_or::<usize>("batch", 512).unwrap(), 512);
         assert!(a.require("model").is_ok());
         assert!(a.require("data").is_err());
+    }
+
+    #[test]
+    fn optional_typed_option() {
+        let a = parse("serve --deadline-ms 5").unwrap();
+        assert_eq!(a.get_opt::<f64>("deadline-ms").unwrap(), Some(5.0));
+        assert_eq!(a.get_opt::<usize>("queue-cap").unwrap(), None);
+        assert!(parse("serve --deadline-ms soon")
+            .unwrap()
+            .get_opt::<f64>("deadline-ms")
+            .is_err());
     }
 
     #[test]

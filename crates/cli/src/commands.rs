@@ -5,8 +5,8 @@ use crate::args::Args;
 use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
 use gcnp_infer::{
-    serve_multi, simulate, BatchedEngine, FeatureStore, FullEngine, QuantizedGnn, ServingConfig,
-    StorePolicy,
+    serve_multi, simulate_tiered, BatchedEngine, FaultPlan, FeatureStore, FullEngine, LadderPolicy,
+    QuantizedGnn, ServingConfig, StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
 use gcnp_sparse::Normalization;
@@ -223,14 +223,30 @@ pub fn eval(args: &Args) -> Result<String, String> {
 }
 
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
-///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]`
+///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
+///  [--deadline-ms f] [--queue-cap n] [--retry-cap n] [--faults spec]
+///  [--ladder]`
 ///
 /// With `--workers n` (n > 1) the request trace is drained by `n` engine
 /// replicas sharing one feature store (throughput mode, no latency
-/// percentiles).
+/// percentiles); worker panics are recovered and counted. `--faults`
+/// injects a deterministic chaos schedule (see
+/// [`gcnp_infer::FaultPlan::parse`]), `--deadline-ms`/`--queue-cap` turn on
+/// deadline and admission shedding, and `--ladder` (single-worker) serves
+/// through a full → pruned-2x → pruned-4x degradation ladder.
 pub fn serve(args: &Args) -> Result<String, String> {
+    // Validate the chaos spec before any file I/O so typos fail instantly.
+    let faults = match args.get("faults") {
+        None => None,
+        Some(spec) => Some(
+            FaultPlan::parse(spec)
+                .and_then(|p| p.build())
+                .map_err(|e| e.to_string())?,
+        ),
+    };
     let data = load_dataset(args.require("data")?)?;
     let model = load_model(args.require("model")?)?;
+    let seed: u64 = args.get_or("seed", 0)?;
     let store_holder;
     let store = if args.has("store") {
         let adj = data.adj.normalized(Normalization::Row);
@@ -252,7 +268,11 @@ pub fn serve(args: &Args) -> Result<String, String> {
         max_batch: args.get_or("max-batch", 64)?,
         max_wait: args.get_or::<f64>("max-wait-ms", 20.0)? / 1e3,
         n_requests: args.get_or("requests", 1000)?,
-        seed: args.get_or("seed", 0)?,
+        seed,
+        deadline: args.get_opt::<f64>("deadline-ms")?.map(|ms| ms / 1e3),
+        queue_cap: args.get_opt("queue-cap")?,
+        retry_cap: args.get_or("retry-cap", 3)?,
+        ..Default::default()
     };
     let policy = if store.is_some() {
         StorePolicy::Roots
@@ -263,40 +283,89 @@ pub fn serve(args: &Args) -> Result<String, String> {
     if workers > 1 {
         let mut engines: Vec<BatchedEngine<'_>> = (0..workers)
             .map(|w| {
-                BatchedEngine::new(
+                let mut e = BatchedEngine::new(
                     &model,
                     &data.adj,
                     &data.features,
                     vec![None, Some(32)],
                     store,
                     policy,
-                    args.get_or("seed", 0).unwrap_or(0) ^ w as u64,
-                )
+                    seed ^ w as u64,
+                );
+                if let Some(inj) = &faults {
+                    e.set_faults(std::sync::Arc::clone(inj));
+                }
+                e
             })
             .collect();
-        let rep = serve_multi(&mut engines, &data.test, &cfg);
-        return Ok(format!(
-            "served {} requests in {} batches (mean size {:.1}) on {} workers: {:.0} req/s wall-clock, {:.0} req/s compute-bound",
+        let rep = serve_multi(&mut engines, &data.test, &cfg).map_err(|e| e.to_string())?;
+        let mut msg = format!(
+            "served {}/{} requests in {} batches (mean size {:.1}) on {} workers: {:.0} req/s wall-clock, {:.0} req/s compute-bound",
+            rep.served,
             rep.n_requests,
             rep.n_batches,
             rep.mean_batch_size,
             rep.n_workers,
             rep.throughput,
             rep.compute_throughput
-        ));
+        );
+        if rep.shed + rep.recoveries + rep.failures + rep.retries > 0 {
+            msg.push_str(&format!(
+                "; shed {}, recovered {} panics ({} workers lost), {} clean failures, {} retries",
+                rep.shed, rep.recoveries, rep.workers_lost, rep.failures, rep.retries
+            ));
+        }
+        return Ok(msg);
     }
-    let mut engine = BatchedEngine::new(
-        &model,
-        &data.adj,
-        &data.features,
-        vec![None, Some(32)],
-        store,
-        policy,
-        args.get_or("seed", 0)?,
-    );
-    let rep = simulate(&mut engine, &data.test, &cfg);
-    Ok(format!(
-        "served {} requests in {} batches (mean size {:.1}): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, {:.0} req/s wall-clock ({:.0} req/s compute-bound)",
+    // Single worker: optionally build the degradation ladder from
+    // successively heavier batched-scheme pruning of the served model.
+    let tier_models: Vec<GnnModel> = if args.has("ladder") {
+        let (tadj, tnodes) = data.train_adj();
+        let tadj = tadj.normalized(Normalization::Row);
+        let tx = data.features.gather_rows(&tnodes);
+        let pcfg = PrunerConfig {
+            beta_epochs: 10,
+            w_epochs: 10,
+            batch_size: 128,
+            seed,
+            ..Default::default()
+        };
+        [0.5f32, 0.25]
+            .iter()
+            .map(|&b| prune_model(&model, &tadj, &tx, b, Scheme::BatchedInference, &pcfg).0)
+            .collect()
+    } else {
+        vec![]
+    };
+    let mut tiers: Vec<BatchedEngine<'_>> = std::iter::once(&model)
+        .chain(tier_models.iter())
+        .map(|m| {
+            let mut e = BatchedEngine::new(
+                m,
+                &data.adj,
+                &data.features,
+                vec![None, Some(32)],
+                store,
+                policy,
+                seed,
+            );
+            if let Some(inj) = &faults {
+                e.set_faults(std::sync::Arc::clone(inj));
+            }
+            e
+        })
+        .collect();
+    let ladder = LadderPolicy::default();
+    let rep = simulate_tiered(
+        &mut tiers,
+        &data.test,
+        &cfg,
+        args.has("ladder").then_some(&ladder),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut msg = format!(
+        "served {}/{} requests in {} batches (mean size {:.1}): p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, {:.0} req/s wall-clock ({:.0} req/s compute-bound)",
+        rep.served,
         rep.n_requests,
         rep.n_batches,
         rep.mean_batch_size,
@@ -306,7 +375,20 @@ pub fn serve(args: &Args) -> Result<String, String> {
         rep.max_ms,
         rep.throughput,
         rep.compute_throughput
-    ))
+    );
+    if rep.shed_queue + rep.shed_deadline + rep.deadline_misses > 0 {
+        msg.push_str(&format!(
+            "; shed {} at admission + {} past deadline, {} served late",
+            rep.shed_queue, rep.shed_deadline, rep.deadline_misses
+        ));
+    }
+    if rep.tier_served.len() > 1 {
+        msg.push_str(&format!(
+            "; ladder traffic {:?} across {} switches",
+            rep.tier_served, rep.tier_switches
+        ));
+    }
+    Ok(msg)
 }
 
 /// Dispatch a parsed command line.
@@ -377,12 +459,60 @@ mod tests {
         )))
         .unwrap();
         assert!(msg.contains("p99"));
+
+        // Overload with a deadline and a bounded queue: the report accounts
+        // for shedding instead of pretending everything was served on time.
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {p} --requests 60 --rate 50000 --max-batch 8 \
+             --deadline-ms 5 --queue-cap 24"
+        )))
+        .unwrap();
+        assert!(msg.contains("p99"));
+
+        // Chaos flags: one injected panic on two workers is recovered, not
+        // fatal (retry cap covers it, so every request is still served).
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {p} --requests 60 --workers 2 \
+             --faults panics=1,stragglers=2,horizon=6,seed=3"
+        )))
+        .unwrap();
+        assert!(msg.contains("served 60/60"), "{msg}");
+        assert!(msg.contains("recovered 1 panics"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ladder_serve_reports_tier_traffic() {
+        let dir = std::env::temp_dir().join("gcnp_cli_ladder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.join("d.json").display().to_string();
+        let m = dir.join("m.json").display().to_string();
+        run(&parse(&format!(
+            "generate --dataset yelpchi-sim --scale 0.05 --seed 2 --out {d}"
+        )))
+        .unwrap();
+        run(&parse(&format!(
+            "train --data {d} --hidden 16 --steps 20 --eval-every 10 --out {m}"
+        )))
+        .unwrap();
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {m} --requests 60 --rate 20000 --max-batch 8 --ladder"
+        )))
+        .unwrap();
+        assert!(msg.contains("ladder traffic"), "{msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn unknown_command_and_bad_inputs() {
         assert!(run(&parse("frobnicate")).is_err());
+        assert!(
+            run(&parse(
+                "serve --data x.json --model y.json --faults frobs=1"
+            ))
+            .is_err(),
+            "bad fault spec is rejected before any file I/O matters"
+        );
         assert!(run(&parse("generate --dataset nope --out /tmp/x.json")).is_err());
         assert!(run(&parse(
             "prune --data missing.json --model also-missing.json --out /tmp/x"

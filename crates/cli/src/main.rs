@@ -24,8 +24,14 @@ COMMANDS
             test-set F1 + cost metrics under either inference scenario
   serve     --data <file> --model <file> [--rate f] [--requests n]
             [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
-            simulate real-time serving; reports latency percentiles
-            (--workers > 1: multi-worker throughput mode)
+            [--deadline-ms f] [--queue-cap n] [--retry-cap n]
+            [--faults spec] [--ladder]
+            simulate real-time serving; reports latency percentiles plus
+            shed/recovery accounting (--workers > 1: multi-worker throughput
+            mode with panic recovery; --deadline-ms/--queue-cap: shed stale
+            or over-capacity requests; --ladder: degrade through pruned
+            model tiers under load; --faults e.g.
+            \"panics=3,stragglers=5,horizon=40,seed=7\": deterministic chaos)
 ";
 
 fn main() {

@@ -10,8 +10,11 @@ use gcnp_models::{Branch, CombineMode, GnnModel};
 use gcnp_sparse::{BatchSupport, CsrMatrix};
 use gcnp_tensor::{parallel_row_chunks, Matrix};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
+use crate::error::{ServingError, ServingResult};
+use crate::faults::{Fault, FaultInjector};
 use crate::store::FeatureStore;
 
 /// Sentinel in the dense relabel table: node not present at this level.
@@ -69,6 +72,13 @@ pub struct BatchedEngine<'a> {
     /// Node ids currently set in `relabel`, so resetting between levels is
     /// O(nodes touched), not O(graph).
     touched: Vec<usize>,
+    /// True while a batch is in flight. A batch that panicked or errored out
+    /// leaves this set, and the next call rebuilds the relabel scratch from
+    /// zero — so a recovered engine never serves from corrupt scratch.
+    dirty: bool,
+    /// Optional fault-injection hook (chaos testing); `None` costs one
+    /// branch per batch.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl<'a> BatchedEngine<'a> {
@@ -100,34 +110,107 @@ impl<'a> BatchedEngine<'a> {
             batch_counter: 0,
             relabel: vec![ABSENT; adj.n_rows()],
             touched: Vec::new(),
+            dirty: false,
+            faults: None,
         }
     }
 
-    /// Serve one batch of target nodes.
+    /// Attach a fault injector (see [`crate::faults`]). Fleet replicas
+    /// should share one `Arc` so the attempt counter is global.
+    pub fn set_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// Serve one batch of target nodes, panicking on any serving error —
+    /// the fail-stop wrapper kept for offline/batch callers. Real-time
+    /// serving paths use [`BatchedEngine::try_infer`].
     pub fn infer(&mut self, targets: &[usize]) -> BatchResult {
+        self.try_infer(targets)
+            .unwrap_or_else(|e| panic!("BatchedEngine::infer: {e}"))
+    }
+
+    /// Serve one batch of target nodes, surfacing recoverable failures
+    /// (bad targets, stale/mismatched store rows) as [`ServingError`]s
+    /// instead of panicking. After an error *or* a caught panic the engine
+    /// stays usable: the next call rebuilds its scratch state.
+    pub fn try_infer(&mut self, targets: &[usize]) -> ServingResult<BatchResult> {
         let t0 = Instant::now();
+        let fault = match &self.faults {
+            None => Fault::None,
+            Some(inj) => inj.next_fault(),
+        };
+        if matches!(fault, Fault::Panic) {
+            panic!("gcnp-faults: injected worker panic");
+        }
+        let n_nodes = self.adj.n_rows();
+        for &v in targets {
+            if v >= n_nodes {
+                return Err(ServingError::TargetOutOfRange { node: v, n_nodes });
+            }
+        }
+        // A store-miss storm serves the batch as if the store were cold:
+        // every probe misses, reads and write-backs are skipped.
+        let store = if matches!(fault, Fault::StoreMiss) {
+            None
+        } else {
+            self.store
+        };
         self.batch_counter += 1;
+        let batch_seed = self.seed ^ self.batch_counter;
+
+        // The dense relabel scratch lives on the engine; take it out for the
+        // duration of the batch so the borrow checker allows passing slices
+        // of it alongside `&self` fields. If the previous batch panicked or
+        // errored mid-flight (dirty, or the scratch was dropped during an
+        // unwind), rebuild it from zero.
+        let mut relabel = std::mem::take(&mut self.relabel);
+        let mut touched = std::mem::take(&mut self.touched);
+        if self.dirty || relabel.len() != n_nodes {
+            relabel.clear();
+            relabel.resize(n_nodes, ABSENT);
+            touched.clear();
+        }
+        self.dirty = true;
+        let result = self.infer_core(targets, store, batch_seed, &mut relabel, &mut touched, t0);
+        self.relabel = relabel;
+        self.touched = touched;
+        let mut res = result?; // on Err, dirty stays set -> next call resets
+        self.dirty = false;
+        if let Fault::Straggle { multiplier } = fault {
+            // Stall for (multiplier - 1)x the batch's own compute time,
+            // capped at 1 s so a chaos schedule cannot hang a test job.
+            let stall = (res.seconds * (multiplier - 1.0)).min(1.0);
+            if stall > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(stall));
+            }
+            res.seconds = t0.elapsed().as_secs_f64();
+        }
+        Ok(res)
+    }
+
+    fn infer_core(
+        &self,
+        targets: &[usize],
+        store: Option<&FeatureStore>,
+        batch_seed: u64,
+        relabel: &mut [u32],
+        touched: &mut Vec<usize>,
+        t0: Instant,
+    ) -> ServingResult<BatchResult> {
         let graph_flags: Vec<bool> = self.model.layers.iter().map(|l| l.uses_graph()).collect();
         let n_layers = graph_flags.len();
-        let store = self.store;
         let support = BatchSupport::build(
             self.adj,
             targets,
             &graph_flags,
             &self.caps,
-            self.seed ^ self.batch_counter,
+            batch_seed,
             |level, node| store.is_some_and(|s| s.has(level, node)),
         );
 
         let mut macs: u64 = 0;
         let mut mem_bytes: usize = self.model.n_weights() * 4;
         let mut store_hits = 0usize;
-
-        // The dense relabel scratch lives on the engine; take it out for the
-        // duration of the batch so the borrow checker allows passing slices
-        // of it alongside `&self` fields.
-        let mut relabel = std::mem::take(&mut self.relabel);
-        let mut touched = std::mem::take(&mut self.touched);
 
         // Level 0: raw attributes of the input nodes.
         let mut level_mat = self.features.gather_rows(&support.input_nodes);
@@ -147,8 +230,8 @@ impl<'a> BatchedEngine<'a> {
             let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
             for branch in &layer.branches {
                 let gathered = match branch.k {
-                    0 => gather_selected(&level_mat, &relabel, &ls.compute, branch),
-                    1 => aggregate_mean(&level_mat, &relabel, ls, branch),
+                    0 => gather_selected(&level_mat, relabel, &ls.compute, branch),
+                    1 => aggregate_mean(&level_mat, relabel, ls, branch),
                     _ => unreachable!("validated in constructor"),
                 };
                 // Aggregation adds: one MAC-equivalent per edge per channel.
@@ -191,18 +274,27 @@ impl<'a> BatchedEngine<'a> {
                 touched.push(v);
             }
             for (j, &v) in ls.stored.iter().enumerate() {
-                let copied =
-                    self.store
-                        .expect("stored nodes imply a store")
-                        .with_row(li, v, |row| {
-                            assert_eq!(
-                                row.len(),
-                                width,
-                                "stored feature width mismatch at level {li}"
-                            );
-                            mat.row_mut(ls.compute.len() + j).copy_from_slice(row);
-                        });
-                assert!(copied.is_some(), "support builder verified presence");
+                let s = store.ok_or(ServingError::MissingStoredRow { level: li, node: v })?;
+                let mut wrong_width = None;
+                let copied = s.with_row(li, v, |row| {
+                    if row.len() == width {
+                        mat.row_mut(ls.compute.len() + j).copy_from_slice(row);
+                    } else {
+                        wrong_width = Some(row.len());
+                    }
+                });
+                if let Some(got) = wrong_width {
+                    return Err(ServingError::StoreWidthMismatch {
+                        level: li,
+                        expected: width,
+                        got,
+                    });
+                }
+                if copied.is_none() {
+                    // The support builder saw this row, but a concurrent
+                    // eviction removed it before the read — retryable.
+                    return Err(ServingError::MissingStoredRow { level: li, node: v });
+                }
                 relabel[v] = (ls.compute.len() + j) as u32;
                 touched.push(v);
                 store_hits += 1;
@@ -211,7 +303,7 @@ impl<'a> BatchedEngine<'a> {
 
             // --- write-back policy (middle levels only) -------------------
             if li < n_layers {
-                if let Some(s) = self.store {
+                if let Some(s) = store {
                     match self.policy {
                         StorePolicy::None => {}
                         StorePolicy::Roots => {
@@ -232,7 +324,7 @@ impl<'a> BatchedEngine<'a> {
             }
             level_mat = mat;
         }
-        if let Some(s) = self.store {
+        if let Some(s) = store {
             s.tick();
         }
 
@@ -242,16 +334,13 @@ impl<'a> BatchedEngine<'a> {
             .iter()
             .map(|&v| {
                 let r = relabel[v];
-                assert_ne!(r, ABSENT, "targets are computed at the output layer");
+                debug_assert_ne!(r, ABSENT, "targets are computed at the output layer");
                 r as usize
             })
             .collect();
         let logits = level_mat.gather_rows(&rows);
 
-        self.relabel = relabel;
-        self.touched = touched;
-
-        BatchResult {
+        Ok(BatchResult {
             logits,
             targets: support.targets.clone(),
             seconds: t0.elapsed().as_secs_f64(),
@@ -259,7 +348,7 @@ impl<'a> BatchedEngine<'a> {
             mem_bytes,
             n_supporting: support.n_input_nodes(),
             store_hits,
-        }
+        })
     }
 }
 
@@ -541,5 +630,131 @@ mod tests {
         let res = engine.infer(&[7, 7, 8]);
         assert_eq!(res.targets, vec![7, 8]);
         assert_eq!(res.logits.rows(), 2);
+    }
+
+    #[test]
+    fn try_infer_rejects_out_of_range_target() {
+        let (adj, x, model) = setup();
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let err = engine.try_infer(&[3, 99]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::ServingError::TargetOutOfRange {
+                node: 99,
+                n_nodes: 30
+            }
+        );
+        // The same engine still serves valid requests afterwards.
+        let ok = engine.try_infer(&[3]).unwrap();
+        assert_eq!(ok.targets, vec![3]);
+    }
+
+    #[test]
+    fn try_infer_reports_store_width_mismatch() {
+        let (adj, x, model) = setup();
+        let store = FeatureStore::new(30, 2);
+        store.put(1, 11, &[1.0, 2.0]); // model expects width-8 hidden rows
+        let mut engine =
+            BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
+        // Target 10 aggregates neighbor 11 from the store at level 1.
+        let err = engine.try_infer(&[10]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::ServingError::StoreWidthMismatch {
+                level: 1,
+                expected: 8,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn engine_survives_mid_batch_panic() {
+        // An injected panic fires mid-batch while the relabel scratch is
+        // checked out (`dirty` set): the next call on the same engine must
+        // rebuild the scratch and produce correct logits, because
+        // `serve_multi` retries batches on recovered workers.
+        let (adj, x, model) = setup();
+        let plan = crate::FaultPlan {
+            panics: 1,
+            horizon: 1, // the very first attempt panics
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        engine.set_faults(plan.build().unwrap());
+        let targets = vec![4usize, 17, 25];
+        let crash =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.try_infer(&targets)));
+        assert!(crash.is_err(), "first attempt must panic");
+        let retry = engine.try_infer(&targets).unwrap();
+        let norm = adj.normalized(Normalization::Row);
+        let full = model.forward_full(Some(&norm), &x);
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..4 {
+                assert!(
+                    (retry.logits.get(i, c) - full.get(t, c)).abs() < 1e-4,
+                    "post-panic retry diverged at target {t} class {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_miss_storm_bypasses_the_store() {
+        // Under a StoreMiss fault the engine must behave exactly like a
+        // store-less engine for that batch: full expansion, zero hits, and
+        // no write-backs land.
+        let (adj, x, model) = setup();
+        let norm = adj.normalized(Normalization::Row);
+        let hs = model.forward_collect(Some(&norm), &x);
+        let store = FeatureStore::new(30, 2);
+        let all: Vec<usize> = (0..30).collect();
+        store.put_rows(1, &all, &hs[0]);
+        store.put_rows(2, &all, &hs[1]);
+        let plan = crate::FaultPlan {
+            storms: 1,
+            horizon: 1,
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::AllVisited,
+            0,
+        );
+        engine.set_faults(plan.build().unwrap());
+        let stormed = engine.try_infer(&[10, 11]).unwrap();
+        assert_eq!(stormed.store_hits, 0, "storm batch must miss everything");
+        let warm = engine.try_infer(&[10, 11]).unwrap();
+        assert!(warm.store_hits > 0, "next batch hits the store again");
+    }
+
+    #[test]
+    fn straggler_fault_stretches_wall_time_only() {
+        let (adj, x, model) = setup();
+        let plan = crate::FaultPlan {
+            stragglers: 1,
+            straggle_multiplier: 3.0,
+            horizon: 1,
+            ..Default::default()
+        };
+        let mut fast = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let baseline = fast.try_infer(&[4, 17]).unwrap();
+        let mut slow = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        slow.set_faults(plan.build().unwrap());
+        let straggled = slow.try_infer(&[4, 17]).unwrap();
+        assert!(
+            straggled.seconds > baseline.seconds,
+            "straggler batch ({:.6}s) must be slower than baseline ({:.6}s)",
+            straggled.seconds,
+            baseline.seconds
+        );
+        // Logits are unaffected — the fault only stalls the clock.
+        for c in 0..4 {
+            assert_eq!(straggled.logits.get(0, c), baseline.logits.get(0, c));
+        }
     }
 }

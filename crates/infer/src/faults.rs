@@ -1,0 +1,269 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Real deployments see worker crashes, straggler batches, and cache-miss
+//! storms; the chaos tests reproduce them *deterministically* so that
+//! panic-recovery and load-shedding regressions fail fast in CI. A
+//! [`FaultPlan`] is a seeded schedule of faults keyed by the **global batch
+//! attempt index**: every [`crate::BatchedEngine::try_infer`] call on an
+//! engine carrying a [`FaultInjector`] draws the next index from a shared
+//! atomic counter and fires whatever fault the schedule assigns to it.
+//! Because the schedule is a pure function of `(seed, counts, horizon)`, two
+//! runs of the same trace fire the same faults at the same attempt indices
+//! regardless of worker interleaving — which is what makes the chaos
+//! counters reproducible.
+//!
+//! The hook is zero-cost when disabled: an engine without an injector never
+//! touches the counter (a single `Option` check on the batch path).
+
+use gcnp_tensor::init::seeded_rng;
+use rand::RngExt;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::ServingError;
+
+/// One injected fault, drawn per batch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Nothing injected for this attempt.
+    None,
+    /// Panic inside the engine — models a crashing worker. The panic message
+    /// starts with `"gcnp-faults:"` so recovery paths can distinguish
+    /// injected crashes in logs.
+    Panic,
+    /// Straggler batch: after computing, stall for `multiplier − 1` times
+    /// the batch's own compute time (a 4.0 multiplier makes the batch take
+    /// 4x as long end to end).
+    Straggle { multiplier: f64 },
+    /// Store-miss storm: the engine ignores the feature store for this
+    /// batch (every lookup misses), forcing full supporting-node expansion —
+    /// models a cold or flushed cache.
+    StoreMiss,
+}
+
+/// A seeded fault schedule: how many of each fault to scatter over the
+/// first `horizon` batch attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Worker panics to inject.
+    pub panics: usize,
+    /// Straggler batches to inject.
+    pub stragglers: usize,
+    /// Straggler slowdown multiplier (≥ 1.0).
+    pub straggle_multiplier: f64,
+    /// Store-miss storms to inject.
+    pub storms: usize,
+    /// Attempt-index horizon the faults are scattered over. Every fault
+    /// lands on a distinct index in `[0, horizon)`; a run must execute at
+    /// least `horizon` batch attempts for the whole plan to fire.
+    pub horizon: u64,
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            panics: 0,
+            stragglers: 0,
+            straggle_multiplier: 4.0,
+            storms: 0,
+            horizon: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse a CLI spec: comma-separated `key=value` pairs, e.g.
+    /// `"panics=3,stragglers=5,storms=2,horizon=60,seed=7,multiplier=4"`.
+    /// Unknown keys are rejected so typos fail loudly.
+    pub fn parse(spec: &str) -> Result<FaultPlan, ServingError> {
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                ServingError::InvalidFaultSpec(format!("expected key=value, got {pair:?}"))
+            })?;
+            let bad =
+                |v: &str| ServingError::InvalidFaultSpec(format!("bad value for {key}: {v:?}"));
+            match key.trim() {
+                "panics" => plan.panics = value.trim().parse().map_err(|_| bad(value))?,
+                "stragglers" => plan.stragglers = value.trim().parse().map_err(|_| bad(value))?,
+                "storms" => plan.storms = value.trim().parse().map_err(|_| bad(value))?,
+                "horizon" => plan.horizon = value.trim().parse().map_err(|_| bad(value))?,
+                "seed" => plan.seed = value.trim().parse().map_err(|_| bad(value))?,
+                "multiplier" => {
+                    plan.straggle_multiplier = value.trim().parse().map_err(|_| bad(value))?
+                }
+                other => {
+                    return Err(ServingError::InvalidFaultSpec(format!(
+                        "unknown key {other:?} (panics|stragglers|storms|horizon|seed|multiplier)"
+                    )))
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    fn validate(&self) -> Result<(), ServingError> {
+        let total = (self.panics + self.stragglers + self.storms) as u64;
+        if total > self.horizon {
+            return Err(ServingError::InvalidFaultSpec(format!(
+                "{total} faults do not fit in horizon {}",
+                self.horizon
+            )));
+        }
+        if self.straggle_multiplier < 1.0 {
+            return Err(ServingError::InvalidFaultSpec(format!(
+                "multiplier must be >= 1.0, got {}",
+                self.straggle_multiplier
+            )));
+        }
+        Ok(())
+    }
+
+    /// Materialize the schedule into a shareable injector. Every engine
+    /// replica in a serving fleet should hold a clone of the same `Arc` so
+    /// that the attempt counter is global across workers.
+    pub fn build(&self) -> Result<Arc<FaultInjector>, ServingError> {
+        self.validate()?;
+        let mut rng = seeded_rng(self.seed ^ 0x6661_756c_7473); // "faults"
+        let mut schedule: HashMap<u64, Fault> = HashMap::new();
+        let mut place = |fault: Fault, rng: &mut rand::rngs::StdRng| loop {
+            let idx = rng.random_range(0..self.horizon);
+            if let std::collections::hash_map::Entry::Vacant(e) = schedule.entry(idx) {
+                e.insert(fault);
+                break;
+            }
+        };
+        for _ in 0..self.panics {
+            place(Fault::Panic, &mut rng);
+        }
+        for _ in 0..self.stragglers {
+            place(
+                Fault::Straggle {
+                    multiplier: self.straggle_multiplier,
+                },
+                &mut rng,
+            );
+        }
+        for _ in 0..self.storms {
+            place(Fault::StoreMiss, &mut rng);
+        }
+        Ok(Arc::new(FaultInjector {
+            schedule,
+            counter: AtomicU64::new(0),
+            fired_panics: AtomicUsize::new(0),
+            fired_stragglers: AtomicUsize::new(0),
+            fired_storms: AtomicUsize::new(0),
+        }))
+    }
+}
+
+/// A built fault schedule plus the shared attempt counter. Attach to engines
+/// with [`crate::BatchedEngine::set_faults`].
+pub struct FaultInjector {
+    schedule: HashMap<u64, Fault>,
+    counter: AtomicU64,
+    fired_panics: AtomicUsize,
+    fired_stragglers: AtomicUsize,
+    fired_storms: AtomicUsize,
+}
+
+impl FaultInjector {
+    /// Draw the fault for the next global batch attempt (called once per
+    /// `try_infer` on fault-carrying engines) and record it as fired.
+    pub fn next_fault(&self) -> Fault {
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed);
+        match self.schedule.get(&idx).copied() {
+            None => Fault::None,
+            Some(f) => {
+                match f {
+                    Fault::Panic => self.fired_panics.fetch_add(1, Ordering::Relaxed),
+                    Fault::Straggle { .. } => self.fired_stragglers.fetch_add(1, Ordering::Relaxed),
+                    Fault::StoreMiss => self.fired_storms.fetch_add(1, Ordering::Relaxed),
+                    Fault::None => unreachable!("schedule never stores Fault::None"),
+                };
+                f
+            }
+        }
+    }
+
+    /// Batch attempts drawn so far.
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// `(panics, stragglers, storms)` actually fired so far.
+    pub fn fired(&self) -> (usize, usize, usize) {
+        (
+            self.fired_panics.load(Ordering::Relaxed),
+            self.fired_stragglers.load(Ordering::Relaxed),
+            self.fired_storms.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let plan = FaultPlan::parse("panics=3, stragglers=5,storms=2,horizon=40,seed=9").unwrap();
+        assert_eq!(plan.panics, 3);
+        assert_eq!(plan.stragglers, 5);
+        assert_eq!(plan.storms, 2);
+        assert_eq!(plan.horizon, 40);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("panics").is_err());
+        assert!(FaultPlan::parse("panics=x").is_err());
+        assert!(FaultPlan::parse("frobs=3").is_err());
+        assert!(
+            FaultPlan::parse("panics=9,horizon=4").is_err(),
+            "overfull horizon"
+        );
+        assert!(
+            FaultPlan::parse("multiplier=0.5").is_err(),
+            "sub-1 multiplier"
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_complete() {
+        let plan = FaultPlan {
+            panics: 3,
+            stragglers: 5,
+            storms: 2,
+            horizon: 30,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = plan.build().unwrap();
+        let b = plan.build().unwrap();
+        let drain =
+            |inj: &FaultInjector| -> Vec<Fault> { (0..30).map(|_| inj.next_fault()).collect() };
+        let fa = drain(&a);
+        let fb = drain(&b);
+        assert_eq!(fa, fb, "same seed, same schedule");
+        assert_eq!(a.fired(), (3, 5, 2), "every fault fires within the horizon");
+        assert_eq!(fa.iter().filter(|f| **f == Fault::Panic).count(), 3);
+        // Past the horizon nothing fires.
+        assert_eq!(a.next_fault(), Fault::None);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let inj = FaultPlan::default().build().unwrap();
+        for _ in 0..100 {
+            assert_eq!(inj.next_fault(), Fault::None);
+        }
+        assert_eq!(inj.fired(), (0, 0, 0));
+    }
+}

@@ -15,8 +15,15 @@
 //! * [`CostModel`] — the analytic per-node complexity and memory of
 //!   Eqs. 2–3, reproducing the paper's #kMACs/node and Mem. columns.
 
+//! * [`ServingError`] / [`faults`] — the overload-resilience layer: typed
+//!   serving errors, bounded admission with deadlines, worker panic
+//!   recovery, the pruning-tiered degradation ladder, and deterministic
+//!   fault injection (see DESIGN.md "Failure model & degradation ladder").
+
 pub mod batched;
 pub mod costmodel;
+pub mod error;
+pub mod faults;
 pub mod full;
 pub mod quantized;
 pub mod serving;
@@ -25,8 +32,13 @@ pub mod timing;
 
 pub use batched::{BatchResult, BatchedEngine, StorePolicy};
 pub use costmodel::CostModel;
+pub use error::{ServingError, ServingResult};
+pub use faults::{Fault, FaultInjector, FaultPlan};
 pub use full::{FullEngine, FullResult};
 pub use quantized::QuantizedGnn;
-pub use serving::{serve_multi, simulate, MultiServingReport, ServingConfig, ServingReport};
+pub use serving::{
+    serve_multi, simulate, simulate_tiered, LadderPolicy, MultiServingReport, ServingConfig,
+    ServingReport,
+};
 pub use store::FeatureStore;
 pub use timing::time_it;

@@ -1,5 +1,6 @@
-//! Real-time serving simulation: Poisson request arrivals, micro-batching,
-//! per-request latency percentiles.
+//! Real-time serving: Poisson request arrivals, micro-batching, bounded
+//! admission, per-request deadlines, and a pruning-tiered degradation
+//! ladder.
 //!
 //! The paper's real-time applications (Table 1: recommendation, spam
 //! detection) serve *requests*, not pre-formed batches. This module models
@@ -10,19 +11,55 @@
 //! of a [`crate::BatchedEngine`], so pruning and the feature store shift
 //! the whole latency distribution.
 //!
-//! [`serve_multi`] scales the same request trace across several engine
-//! replicas sharing one feature store, work-stealing micro-batches from a
-//! common arrival queue — the multi-worker serving mode.
+//! Overload behavior is explicit rather than fail-stop: the admission queue
+//! is bounded ([`ServingConfig::queue_cap`], arrivals beyond it are shed),
+//! requests carry deadlines ([`ServingConfig::deadline`], a request whose
+//! projected completion is past its deadline is shed and counted — never
+//! silently stretched), and [`simulate_tiered`] holds a **ladder** of
+//! engines built from successively heavier pruning schemes, stepping to a
+//! cheaper tier when the queue deepens and back up when load recedes
+//! (channel pruning's bounded-accuracy-loss models, Fig. 5, are exactly the
+//! right lever for graceful degradation). [`serve_multi`] scales the trace
+//! across engine replicas sharing one feature store and **survives worker
+//! panics**: a crashed worker's in-flight batch is requeued with a retry
+//! cap, and the fleet finishes the trace with fewer workers.
+//!
+//! # `simulate` vs `serve_multi` batch formation (intentional divergence)
+//!
+//! [`simulate`] models a *single* server: a micro-batch opens when its first
+//! request has arrived **and the server is free** (`open =
+//! max(first_arrival, server_free_at)`), then closes `max_wait` later — so
+//! under load, batches open late and absorb the backlog, growing toward
+//! `max_batch`. [`serve_multi`] instead pre-forms batches from the arrival
+//! trace alone: a batch closes at `first_arrival + max_wait` with **no
+//! server-busy term**, because with K workers there is no single
+//! `server_free_at` clock — the batch former runs ahead of the fleet. The
+//! same trace therefore yields *more, smaller* batches in `serve_multi`
+//! than in an overloaded `simulate`, and mean batch sizes differ between
+//! the two on purpose (covered by `batch_formation_diverges_under_load`).
 
 use crate::batched::BatchedEngine;
+use crate::error::{ServingError, ServingResult};
 use gcnp_tensor::init::seeded_rng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Micro-batching policy.
+/// Safety factor applied to the per-tier compute-time estimate when
+/// projecting a queued request's completion against its deadline: shedding
+/// slightly early keeps the *served* latency distribution under the
+/// deadline even when a batch runs somewhat over its estimate.
+const DEADLINE_EST_SAFETY: f64 = 1.25;
+
+/// EWMA weight of the newest batch compute observation in the per-tier
+/// compute-time estimate (the "p99 estimate" driving deadline projection).
+const EST_ALPHA: f64 = 0.3;
+
+/// Micro-batching + admission policy.
 #[derive(Debug, Clone, Copy)]
 pub struct ServingConfig {
     /// Mean request arrival rate (requests / second).
@@ -34,6 +71,23 @@ pub struct ServingConfig {
     /// Number of requests to simulate.
     pub n_requests: usize,
     pub seed: u64,
+    /// Per-request deadline (seconds from arrival). A queued request whose
+    /// projected completion (batch open + estimated compute) is past its
+    /// deadline is shed at batch formation and counted in
+    /// [`ServingReport::shed_deadline`]. `None` disables deadlines.
+    pub deadline: Option<f64>,
+    /// Bound on the admission queue (requests waiting to be batched).
+    /// Arrivals beyond it are shed on admission and counted in
+    /// [`ServingReport::shed_queue`]. `None` means unbounded (the
+    /// pre-resilience behavior).
+    pub queue_cap: Option<usize>,
+    /// [`serve_multi`]: how many times a batch whose worker panicked (or
+    /// whose `try_infer` errored) is re-queued before being shed.
+    pub retry_cap: u32,
+    /// [`serve_multi`]: base backoff before a failed batch is re-queued
+    /// (milliseconds, doubled per retry) — a poison-pill batch cannot spin
+    /// the fleet.
+    pub backoff_ms: f64,
 }
 
 impl Default for ServingConfig {
@@ -44,121 +98,382 @@ impl Default for ServingConfig {
             max_wait: 0.02,
             n_requests: 1000,
             seed: 0,
+            deadline: None,
+            queue_cap: None,
+            retry_cap: 3,
+            backoff_ms: 1.0,
         }
     }
 }
 
-/// Latency distribution of a serving run.
+impl ServingConfig {
+    fn validate(&self, pool: &[usize]) -> ServingResult<()> {
+        if pool.is_empty() {
+            return Err(ServingError::EmptyPool);
+        }
+        if !self.arrival_rate.is_finite() || self.arrival_rate <= 0.0 {
+            return Err(ServingError::InvalidConfig(format!(
+                "arrival_rate must be > 0, got {}",
+                self.arrival_rate
+            )));
+        }
+        if self.n_requests == 0 {
+            return Err(ServingError::InvalidConfig("n_requests must be > 0".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServingError::InvalidConfig("max_batch must be > 0".into()));
+        }
+        if self.max_wait < 0.0 {
+            return Err(ServingError::InvalidConfig(format!(
+                "max_wait must be >= 0, got {}",
+                self.max_wait
+            )));
+        }
+        if let Some(d) = self.deadline {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ServingError::InvalidConfig(format!(
+                    "deadline must be > 0, got {d}"
+                )));
+            }
+        }
+        if self.queue_cap == Some(0) {
+            return Err(ServingError::InvalidConfig("queue_cap must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// The seeded Poisson arrival trace `(arrival_time, node)` shared by
+    /// [`simulate`] and [`serve_multi`].
+    fn arrivals(&self, pool: &[usize]) -> Vec<(f64, usize)> {
+        let mut rng = seeded_rng(self.seed);
+        let mut arrivals = Vec::with_capacity(self.n_requests);
+        let mut t = 0.0f64;
+        for _ in 0..self.n_requests {
+            let u: f64 = rng.random_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.arrival_rate;
+            arrivals.push((t, pool[rng.random_range(0..pool.len())]));
+        }
+        arrivals
+    }
+}
+
+/// Tier-switch policy for the degradation ladder (see [`simulate_tiered`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LadderPolicy {
+    /// Queue depth (requests still waiting after a batch is formed) at or
+    /// above which the server steps down to the next cheaper tier. Stepping
+    /// down repeats while the depth stays above the threshold, so a sudden
+    /// overload drops straight to the cheapest tier.
+    pub step_down_depth: usize,
+    /// Queue depth at or below which the server steps back up one tier.
+    pub step_up_depth: usize,
+    /// Batches that must be served on the current tier before stepping back
+    /// *up* (hysteresis against flapping). Stepping down is never delayed.
+    pub min_dwell: usize,
+}
+
+impl Default for LadderPolicy {
+    fn default() -> Self {
+        Self {
+            step_down_depth: 128,
+            step_up_depth: 8,
+            min_dwell: 4,
+        }
+    }
+}
+
+/// Latency distribution + accounting of a serving run. Every submitted
+/// request is either served or shed: `served + shed_queue + shed_deadline ==
+/// n_requests`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServingReport {
     pub n_requests: usize,
+    /// Requests actually served (latency percentiles cover these only).
+    pub served: usize,
+    /// Requests shed on admission (bounded queue full).
+    pub shed_queue: usize,
+    /// Requests shed at batch formation (projected completion past the
+    /// deadline).
+    pub shed_deadline: usize,
+    /// Served requests whose measured latency still exceeded the deadline
+    /// (compute ran over its estimate).
+    pub deadline_misses: usize,
     pub n_batches: usize,
     pub mean_batch_size: f64,
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
     pub max_ms: f64,
-    /// Achieved end-to-end requests/second: `n_requests` divided by the
+    /// Requests served on each ladder tier (index 0 = unpruned). Length =
+    /// number of tiers (1 for plain [`simulate`]).
+    pub tier_served: Vec<usize>,
+    /// Ladder tier switches performed during the run.
+    pub tier_switches: usize,
+    /// Achieved end-to-end requests/second: `served` divided by the
     /// **makespan** (first arrival to last batch completion). This is what a
     /// client observes; it includes idle gaps where the server waited for
     /// arrivals, so it saturates at the offered `arrival_rate`.
     pub throughput: f64,
-    /// Compute-bound requests/second: `n_requests` divided by the summed
-    /// batch compute time. This is the server's capacity ceiling, ignoring
+    /// Compute-bound requests/second: `served` divided by the summed batch
+    /// compute time. This is the server's capacity ceiling, ignoring
     /// arrival gaps (the quantity previously misreported as `throughput`).
     pub compute_throughput: f64,
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// value with at least `⌈p·n⌉` samples at or below it. The previous
+/// truncating formula (`(p·(n−1)) as usize`) under-reported tail
+/// percentiles — e.g. p99 of 10 samples returned the 9th-ranked value
+/// instead of the maximum.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
 /// Simulate serving `cfg.n_requests` single-node requests drawn uniformly
 /// from `pool`, coalesced into micro-batches, executed on `engine`.
+/// Single-tier wrapper over [`simulate_tiered`].
 pub fn simulate(
     engine: &mut BatchedEngine<'_>,
     pool: &[usize],
     cfg: &ServingConfig,
-) -> ServingReport {
-    assert!(!pool.is_empty(), "simulate: empty request pool");
-    assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0);
-    let mut rng = seeded_rng(cfg.seed);
-    // Poisson arrivals: exponential inter-arrival times.
-    let mut arrivals = Vec::with_capacity(cfg.n_requests);
-    let mut t = 0.0f64;
-    for _ in 0..cfg.n_requests {
-        let u: f64 = rng.random_range(f64::EPSILON..1.0);
-        t += -u.ln() / cfg.arrival_rate;
-        arrivals.push((t, pool[rng.random_range(0..pool.len())]));
-    }
+) -> ServingResult<ServingReport> {
+    simulate_tiered(std::slice::from_mut(engine), pool, cfg, None)
+}
 
-    let mut latencies_ms = Vec::with_capacity(cfg.n_requests);
-    let mut n_batches = 0usize;
+/// [`simulate`] with a degradation ladder: `tiers[0]` is the full model and
+/// each later entry a successively heavier-pruned engine (e.g. full →
+/// pruned-2x → pruned-4x built with `gcnp_core::prune_model`). When the
+/// post-batch queue depth crosses `ladder.step_down_depth` the server moves
+/// to the next cheaper tier (repeating while the queue stays deep), and
+/// steps back up after `ladder.min_dwell` batches once the depth falls to
+/// `ladder.step_up_depth`. Per-tier served counts in
+/// [`ServingReport::tier_served`] make the accuracy cost of degradation
+/// measurable. `ladder: None` (or a single tier) pins tier 0.
+pub fn simulate_tiered(
+    tiers: &mut [BatchedEngine<'_>],
+    pool: &[usize],
+    cfg: &ServingConfig,
+    ladder: Option<&LadderPolicy>,
+) -> ServingResult<ServingReport> {
+    if tiers.is_empty() {
+        return Err(ServingError::NoEngines);
+    }
+    cfg.validate(pool)?;
+    let arrivals = cfg.arrivals(pool);
+    let n = arrivals.len();
+    let n_tiers = tiers.len();
+    let queue_cap = cfg.queue_cap.unwrap_or(usize::MAX);
+
+    let mut queue: VecDeque<(f64, usize)> = VecDeque::new();
+    let mut i = 0usize; // next arrival not yet admitted
     let mut server_free_at = 0.0f64;
     let mut total_compute = 0.0f64;
-    let mut i = 0usize;
-    while i < arrivals.len() {
-        // The batch opens when its first request is both arrived and the
-        // server is free; it closes at max_batch or max_wait.
-        let (first_arrival, _) = arrivals[i];
-        let open = first_arrival.max(server_free_at);
-        let close = open + cfg.max_wait;
-        let mut batch = Vec::with_capacity(cfg.max_batch);
-        let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
-        while i < arrivals.len() && batch.len() < cfg.max_batch && arrivals[i].0 <= close {
-            batch.push(arrivals[i].1);
-            batch_arrivals.push(arrivals[i].0);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(n);
+    let mut n_batches = 0usize;
+    let mut served = 0usize;
+    let mut shed_queue = 0usize;
+    let mut shed_deadline = 0usize;
+    let mut deadline_misses = 0usize;
+    let mut tier = 0usize;
+    let mut tier_served = vec![0usize; n_tiers];
+    let mut tier_switches = 0usize;
+    let mut dwell = 0usize;
+    // Per-tier EWMA of batch compute seconds: the completion estimate used
+    // for deadline projection (0.0 = no observation yet).
+    let mut est_compute = vec![0.0f64; n_tiers];
+
+    while i < n || !queue.is_empty() {
+        // The next batch window anchors on the oldest waiting request; pull
+        // one from the trace when the queue is idle.
+        if queue.is_empty() {
+            queue.push_back(arrivals[i]);
             i += 1;
         }
+        let first_arrival = queue.front().map(|&(t, _)| t).unwrap_or(0.0);
+        // The batch opens when its first request is both arrived and the
+        // server is free; it closes at max_batch or max_wait.
+        let open = first_arrival.max(server_free_at);
+        let close = open + cfg.max_wait;
+        // Admission control: everything arriving inside the window joins
+        // the queue unless it is full (load shedding).
+        while i < n && arrivals[i].0 <= close {
+            if queue.len() < queue_cap {
+                queue.push_back(arrivals[i]);
+            } else {
+                shed_queue += 1;
+            }
+            i += 1;
+        }
+
+        // Ladder: pick the tier for this batch from the backlog *before*
+        // computing, so a deep queue is served cheaply right away.
+        if let Some(pol) = ladder.filter(|_| n_tiers > 1) {
+            let depth = queue.len();
+            let before = tier;
+            while depth >= pol.step_down_depth.max(1) && tier + 1 < n_tiers {
+                tier += 1;
+            }
+            if tier == before && depth <= pol.step_up_depth && tier > 0 && dwell >= pol.min_dwell {
+                tier -= 1;
+            }
+            if tier != before {
+                tier_switches += 1;
+                dwell = 0;
+            }
+        }
+
+        // Form the batch, shedding requests whose projected completion is
+        // already past their deadline (they are counted, not stretched).
+        let projected_compute = est_compute[tier] * DEADLINE_EST_SAFETY;
+        let mut batch = Vec::with_capacity(cfg.max_batch);
+        let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
+        while batch.len() < cfg.max_batch {
+            let Some(&(t, v)) = queue.front() else { break };
+            queue.pop_front();
+            if let Some(d) = cfg.deadline {
+                if (open - t) + projected_compute > d {
+                    shed_deadline += 1;
+                    continue;
+                }
+            }
+            batch.push(v);
+            batch_arrivals.push(t);
+        }
+        if batch.is_empty() {
+            continue; // whole window shed; re-anchor on the next survivor
+        }
+
         let start = batch_arrivals.last().copied().unwrap_or(open).max(open);
-        let res = engine.infer(&batch);
+        let res = tiers[tier].try_infer(&batch)?;
         let compute = res.seconds;
         total_compute += compute;
+        est_compute[tier] = if est_compute[tier] == 0.0 {
+            compute
+        } else {
+            EST_ALPHA * compute + (1.0 - EST_ALPHA) * est_compute[tier]
+        };
         let done = start + compute;
         server_free_at = done;
         n_batches += 1;
+        dwell += 1;
+        served += batch.len();
+        tier_served[tier] += batch.len();
         for &arr in &batch_arrivals {
-            latencies_ms.push((done - arr) * 1e3);
+            let lat = done - arr;
+            if cfg.deadline.is_some_and(|d| lat > d) {
+                deadline_misses += 1;
+            }
+            latencies_ms.push(lat * 1e3);
         }
     }
+
+    debug_assert_eq!(served + shed_queue + shed_deadline, n, "request accounting");
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| latencies_ms[(p * (latencies_ms.len() - 1) as f64) as usize];
     // Makespan: the arrival clock starts at 0, the last batch finishes at
     // `server_free_at`.
     let makespan = server_free_at.max(f64::EPSILON);
-    ServingReport {
-        n_requests: cfg.n_requests,
+    Ok(ServingReport {
+        n_requests: n,
+        served,
+        shed_queue,
+        shed_deadline,
+        deadline_misses,
         n_batches,
-        mean_batch_size: cfg.n_requests as f64 / n_batches as f64,
-        p50_ms: pct(0.50),
-        p95_ms: pct(0.95),
-        p99_ms: pct(0.99),
-        max_ms: *latencies_ms.last().unwrap(),
-        throughput: cfg.n_requests as f64 / makespan,
-        compute_throughput: cfg.n_requests as f64 / total_compute.max(f64::EPSILON),
-    }
+        mean_batch_size: served as f64 / n_batches.max(1) as f64,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        tier_served,
+        tier_switches,
+        throughput: served as f64 / makespan,
+        compute_throughput: served as f64 / total_compute.max(f64::EPSILON),
+    })
 }
 
-/// Throughput summary of a multi-worker serving run.
+/// Throughput + resilience summary of a multi-worker serving run. Every
+/// submitted request is either served or shed: `served + shed ==
+/// n_requests`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiServingReport {
     pub n_workers: usize,
     pub n_requests: usize,
     pub n_batches: usize,
     pub mean_batch_size: f64,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests shed: their batch exhausted its retries, or no live worker
+    /// remained to serve them.
+    pub shed: usize,
+    /// Worker panics caught and recovered (the in-flight batch was
+    /// requeued or shed; the fleet kept going).
+    pub recoveries: usize,
+    /// Clean `try_infer` errors handled without losing the worker.
+    pub failures: usize,
+    /// Batch re-executions triggered by recoveries/failures.
+    pub retries: usize,
+    /// Workers lost to panics (the run ends with `n_workers -
+    /// workers_lost` live replicas).
+    pub workers_lost: usize,
     /// Wall-clock seconds from first dispatch to last batch completion.
     pub wall_seconds: f64,
     /// Summed per-batch compute seconds across all workers.
     pub compute_seconds: f64,
-    /// End-to-end requests/second over the wall clock — the number that
-    /// should scale with worker count.
+    /// End-to-end served requests/second over the wall clock — the number
+    /// that should scale with worker count.
     pub throughput: f64,
-    /// Requests/second per unit of compute time (aggregate work rate).
+    /// Served requests/second per unit of compute time (aggregate work rate).
     pub compute_throughput: f64,
 }
 
-/// Multi-worker serving: replay the same Poisson-batched request trace as
+impl MultiServingReport {
+    /// The deterministic fields of the report — everything except wall-clock
+    /// timings. With a seeded trace and a seeded fault schedule, two runs
+    /// produce identical values here regardless of worker interleaving.
+    pub fn counters(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
+        (
+            self.n_workers,
+            self.n_requests,
+            self.n_batches,
+            self.served,
+            self.shed,
+            self.recoveries,
+            self.failures,
+            self.retries,
+        )
+    }
+}
+
+/// One queued unit of work: a micro-batch plus how many times it has been
+/// attempted already.
+struct QueuedBatch {
+    nodes: Vec<usize>,
+    attempt: u32,
+}
+
+/// Multi-worker serving: replay the same Poisson request trace as
 /// [`simulate`], but drain it with `engines.len()` engine replicas running
 /// on real threads. The replicas typically share one [`crate::FeatureStore`]
 /// (pass the same store to each [`BatchedEngine::new`]); the arrival queue
 /// is shared and each idle worker steals the next micro-batch from its
 /// front, so a slow batch on one worker never stalls the others.
+///
+/// Batches are pre-formed from the trace alone — a batch closes at
+/// `first_arrival + max_wait` or `max_batch` with no server-busy term (see
+/// the module docs for why this intentionally diverges from [`simulate`]).
+///
+/// Resilience: each batch execution runs under `catch_unwind`. A panicking
+/// worker requeues its in-flight batch (bounded by
+/// [`ServingConfig::retry_cap`] with exponential backoff, so a poison-pill
+/// batch is eventually shed, not looped forever) and leaves the fleet; the
+/// remaining workers finish the trace. If every worker dies, the leftover
+/// batches are shed and counted — no request is ever silently lost:
+/// `served + shed == n_requests`.
 ///
 /// Unlike [`simulate`], the trace is replayed as fast as the workers can
 /// drain it (offered load = ∞), so the report carries throughput only; use
@@ -167,73 +482,162 @@ pub fn serve_multi(
     engines: &mut [BatchedEngine<'_>],
     pool: &[usize],
     cfg: &ServingConfig,
-) -> MultiServingReport {
-    assert!(
-        !engines.is_empty(),
-        "serve_multi: need at least one engine replica"
-    );
-    assert!(!pool.is_empty(), "serve_multi: empty request pool");
-    assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0);
+) -> ServingResult<MultiServingReport> {
+    if engines.is_empty() {
+        return Err(ServingError::NoEngines);
+    }
+    cfg.validate(pool)?;
     let n_workers = engines.len();
 
     // Form micro-batches from the Poisson arrival trace (same RNG stream as
     // `simulate`): a batch closes `max_wait` after its first arrival or at
     // `max_batch`, whichever comes first.
-    let mut rng = seeded_rng(cfg.seed);
-    let mut arrivals = Vec::with_capacity(cfg.n_requests);
-    let mut t = 0.0f64;
-    for _ in 0..cfg.n_requests {
-        let u: f64 = rng.random_range(f64::EPSILON..1.0);
-        t += -u.ln() / cfg.arrival_rate;
-        arrivals.push((t, pool[rng.random_range(0..pool.len())]));
-    }
-    let mut batches: VecDeque<Vec<usize>> = VecDeque::new();
+    let arrivals = cfg.arrivals(pool);
+    let mut batches: VecDeque<QueuedBatch> = VecDeque::new();
     let mut i = 0usize;
     while i < arrivals.len() {
         let close = arrivals[i].0 + cfg.max_wait;
-        let mut batch = Vec::with_capacity(cfg.max_batch);
-        while i < arrivals.len() && batch.len() < cfg.max_batch && arrivals[i].0 <= close {
-            batch.push(arrivals[i].1);
+        let mut nodes = Vec::with_capacity(cfg.max_batch);
+        while i < arrivals.len() && nodes.len() < cfg.max_batch && arrivals[i].0 <= close {
+            nodes.push(arrivals[i].1);
             i += 1;
         }
-        batches.push_back(batch);
+        batches.push_back(QueuedBatch { nodes, attempt: 0 });
     }
     let n_batches = batches.len();
 
     let queue = Mutex::new(batches);
+    // Batches popped but not yet resolved (served / requeued / shed). An
+    // idle worker may only exit when the queue is empty AND nothing is in
+    // flight — otherwise a panicked batch requeued by a dying worker could
+    // be stranded after its peers saw an empty queue and left.
+    let in_flight = AtomicUsize::new(0);
     let compute_seconds = Mutex::new(0.0f64);
+    let served = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let recoveries = AtomicUsize::new(0);
+    let failures = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let workers_lost = AtomicUsize::new(0);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for engine in engines.iter_mut() {
             let queue = &queue;
+            let in_flight = &in_flight;
             let compute_seconds = &compute_seconds;
+            let (served, shed) = (&served, &shed);
+            let (recoveries, failures, retries, workers_lost) =
+                (&recoveries, &failures, &retries, &workers_lost);
             scope.spawn(move || {
                 let mut local = 0.0f64;
-                loop {
-                    let batch = match queue.lock().unwrap().pop_front() {
-                        Some(b) => b,
-                        None => break,
+                let mut lost = false;
+                while !lost {
+                    let popped = {
+                        let mut q = queue.lock().unwrap();
+                        let b = q.pop_front();
+                        if b.is_some() {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                        }
+                        b
                     };
-                    let res = engine.infer(&batch);
-                    local += res.seconds;
+                    let Some(QueuedBatch { nodes, attempt }) = popped else {
+                        if in_flight.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        // A peer may yet requeue its in-flight batch.
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                        continue;
+                    };
+                    // `catch_unwind` needs `AssertUnwindSafe`: the engine is
+                    // only reused after a *clean* result (its scratch
+                    // self-heals via the dirty flag anyway), and a panicking
+                    // worker retires its engine with itself.
+                    let outcome =
+                        panic::catch_unwind(AssertUnwindSafe(|| engine.try_infer(&nodes)));
+                    let failed = match outcome {
+                        Ok(Ok(res)) => {
+                            local += res.seconds;
+                            served.fetch_add(nodes.len(), Ordering::Relaxed);
+                            false
+                        }
+                        Ok(Err(_e)) => {
+                            // Clean serving error: the worker survives.
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            true
+                        }
+                        Err(_panic) => {
+                            // Worker panic: recover the batch, retire the
+                            // replica — the fleet finishes with fewer
+                            // workers rather than dying.
+                            recoveries.fetch_add(1, Ordering::Relaxed);
+                            workers_lost.fetch_add(1, Ordering::Relaxed);
+                            lost = true;
+                            true
+                        }
+                    };
+                    if failed {
+                        if attempt < cfg.retry_cap {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            // Exponential backoff bounded to keep chaos runs
+                            // snappy; a poison-pill batch burns its retries
+                            // and is shed below.
+                            let backoff =
+                                (cfg.backoff_ms * (1u64 << attempt.min(10)) as f64).min(100.0);
+                            if backoff > 0.0 {
+                                std::thread::sleep(std::time::Duration::from_secs_f64(
+                                    backoff / 1e3,
+                                ));
+                            }
+                            queue.lock().unwrap().push_back(QueuedBatch {
+                                nodes,
+                                attempt: attempt + 1,
+                            });
+                        } else {
+                            shed.fetch_add(nodes.len(), Ordering::Relaxed);
+                        }
+                    }
+                    // Resolve AFTER any requeue so idle peers never see
+                    // "queue empty, nothing in flight" while work remains.
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 *compute_seconds.lock().unwrap() += local;
             });
         }
     });
+    // If the whole fleet died, the leftover batches are shed — accounted,
+    // not lost.
+    for b in queue
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        shed.fetch_add(b.nodes.len(), Ordering::Relaxed);
+    }
     let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
-    let compute = compute_seconds.into_inner().unwrap().max(f64::EPSILON);
+    let compute = compute_seconds
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .max(f64::EPSILON);
+    let served = served.into_inner();
+    let shed = shed.into_inner();
+    debug_assert_eq!(served + shed, cfg.n_requests, "request accounting");
 
-    MultiServingReport {
+    Ok(MultiServingReport {
         n_workers,
         n_requests: cfg.n_requests,
         n_batches,
-        mean_batch_size: cfg.n_requests as f64 / n_batches as f64,
+        mean_batch_size: cfg.n_requests as f64 / n_batches.max(1) as f64,
+        served,
+        shed,
+        recoveries: recoveries.into_inner(),
+        failures: failures.into_inner(),
+        retries: retries.into_inner(),
+        workers_lost: workers_lost.into_inner(),
         wall_seconds: wall,
         compute_seconds: compute,
-        throughput: cfg.n_requests as f64 / wall,
-        compute_throughput: cfg.n_requests as f64 / compute,
-    }
+        throughput: served as f64 / wall,
+        compute_throughput: served as f64 / compute,
+    })
 }
 
 #[cfg(test)]
@@ -268,18 +672,40 @@ mod tests {
             n_requests: 200,
             ..Default::default()
         };
-        let rep = simulate(&mut engine, &pool, &cfg);
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
         assert_eq!(rep.n_requests, 200);
+        assert_eq!(rep.served, 200, "no deadline/cap: everything served");
+        assert_eq!(rep.shed_queue + rep.shed_deadline, 0);
         assert!(rep.p50_ms <= rep.p95_ms);
         assert!(rep.p95_ms <= rep.p99_ms);
         assert!(rep.p99_ms <= rep.max_ms);
         assert!(rep.n_batches >= 1);
         assert!(rep.mean_batch_size >= 1.0);
         assert!(rep.throughput > 0.0);
+        assert_eq!(rep.tier_served, vec![200], "single tier serves everything");
         assert!(
             rep.compute_throughput >= rep.throughput,
             "wall-clock rate includes arrival gaps, so it cannot exceed the compute-bound rate"
         );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_pinned() {
+        // Regression for the truncating-index percentile: nearest-rank over
+        // a known 100-sample array (1..=100) must hit exact sample values.
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.95), 95.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.00), 100.0);
+        // Small-n tail: p99 of 10 samples is the MAXIMUM under nearest
+        // rank; the old truncating formula returned the 9th-ranked value.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.99), 10.0);
+        assert_eq!(percentile(&ten, 0.50), 5.0);
+        // Degenerate inputs stay total.
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
     }
 
     #[test]
@@ -296,7 +722,7 @@ mod tests {
             n_requests: 100,
             ..Default::default()
         };
-        let rep = simulate(&mut engine, &pool, &cfg);
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
         assert!(
             rep.throughput < 2.0 * cfg.arrival_rate,
             "wall-clock throughput {} cannot greatly exceed the offered rate {}",
@@ -329,9 +755,14 @@ mod tests {
                 )
             })
             .collect();
-        let rep = serve_multi(&mut engines, &pool, &cfg);
+        let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
         assert_eq!(rep.n_workers, 3);
         assert_eq!(rep.n_requests, 300);
+        assert_eq!(rep.served, 300, "no faults: everything served");
+        assert_eq!(
+            rep.shed + rep.recoveries + rep.retries + rep.workers_lost,
+            0
+        );
         assert!(rep.n_batches >= 1);
         assert!(rep.throughput > 0.0 && rep.compute_throughput > 0.0);
         assert!(
@@ -352,7 +783,7 @@ mod tests {
             n_requests: 30,
             ..Default::default()
         };
-        let rep = simulate(&mut engine, &pool, &cfg);
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
         assert!(
             rep.mean_batch_size < 2.0,
             "mean batch {}",
@@ -371,10 +802,185 @@ mod tests {
             ..Default::default()
         };
         let mut e1 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
-        let a = simulate(&mut e1, &pool, &cfg);
+        let a = simulate(&mut e1, &pool, &cfg).unwrap();
         let mut e2 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
-        let b = simulate(&mut e2, &pool, &cfg);
+        let b = simulate(&mut e2, &pool, &cfg).unwrap();
         assert_eq!(a.n_batches, b.n_batches);
         assert_eq!(a.mean_batch_size, b.mean_batch_size);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        let base = ServingConfig::default();
+        assert_eq!(
+            simulate(&mut engine, &[], &base).unwrap_err(),
+            ServingError::EmptyPool
+        );
+        for bad in [
+            ServingConfig {
+                arrival_rate: 0.0,
+                ..base
+            },
+            ServingConfig {
+                n_requests: 0,
+                ..base
+            },
+            ServingConfig {
+                max_batch: 0,
+                ..base
+            },
+            ServingConfig {
+                max_wait: -1.0,
+                ..base
+            },
+            ServingConfig {
+                deadline: Some(0.0),
+                ..base
+            },
+            ServingConfig {
+                queue_cap: Some(0),
+                ..base
+            },
+        ] {
+            assert!(matches!(
+                simulate(&mut engine, &pool, &bad),
+                Err(ServingError::InvalidConfig(_))
+            ));
+            assert!(matches!(
+                serve_multi(std::slice::from_mut(&mut engine), &pool, &bad),
+                Err(ServingError::InvalidConfig(_))
+            ));
+        }
+        assert_eq!(
+            serve_multi(&mut [], &pool, &base).unwrap_err(),
+            ServingError::NoEngines
+        );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_and_accounts() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        // Offered load far beyond capacity with a tiny queue: most requests
+        // are shed on admission, but all are accounted for.
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 8,
+            n_requests: 400,
+            queue_cap: Some(16),
+            ..Default::default()
+        };
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
+        assert!(rep.shed_queue > 0, "overload must shed");
+        assert_eq!(rep.served + rep.shed_queue + rep.shed_deadline, 400);
+    }
+
+    #[test]
+    fn deadline_sheds_stale_requests_not_serves_them_late() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        // Pre-arrived burst with a deadline far below the backlog drain
+        // time: the tail of the burst must be shed, and everything still
+        // adds up.
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 16,
+            n_requests: 600,
+            deadline: Some(2e-4), // 0.2 ms: only the first batches make it
+            ..Default::default()
+        };
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
+        assert!(rep.shed_deadline > 0, "stale requests are shed");
+        assert_eq!(rep.served + rep.shed_queue + rep.shed_deadline, 600);
+        assert!(
+            rep.served < 600,
+            "an overloaded server with deadlines cannot serve everything"
+        );
+    }
+
+    #[test]
+    fn ladder_steps_down_under_load_and_back_up_as_it_recedes() {
+        // 520 pre-arrived requests, max_batch 64, step_down 64, step_up 8,
+        // dwell 4. Queue depths at the ladder checks run 520, 456, …, 72, 8:
+        // the first check multi-steps straight down to the cheapest tier
+        // (one switch), and the depth-8 check steps back up one tier for the
+        // final batch (second switch). All three tiers share one model here —
+        // the test pins the switching mechanics, not the speed difference.
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 64,
+            n_requests: 520,
+            seed: 1,
+            ..Default::default()
+        };
+        let ladder = LadderPolicy {
+            step_down_depth: 64,
+            step_up_depth: 8,
+            min_dwell: 4,
+        };
+        let mut tiers: Vec<BatchedEngine<'_>> = (0..3)
+            .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+            .collect();
+        let rep = simulate_tiered(&mut tiers, &pool, &cfg, Some(&ladder)).unwrap();
+        assert_eq!(rep.served, 520);
+        assert_eq!(
+            rep.tier_served,
+            vec![0, 8, 512],
+            "overload serves on the cheapest tier, the drained tail one tier up"
+        );
+        assert_eq!(rep.tier_switches, 2, "one multi-step down, one step up");
+    }
+
+    #[test]
+    fn batch_formation_diverges_under_load() {
+        // Intentional divergence (see module docs): `simulate` models
+        // server-busy time, so under overload its batches open late and
+        // absorb backlog; `serve_multi` forms batches from the trace alone.
+        // Same trace, different mean batch sizes — and the trace-only
+        // former is deterministic.
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 20_000.0,
+            max_batch: 64,
+            max_wait: 1e-3,
+            n_requests: 500,
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let sim = simulate(&mut engine, &pool, &cfg).unwrap();
+        let run_multi = || {
+            let mut engines: Vec<BatchedEngine<'_>> = (0..2)
+                .map(|w| {
+                    BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w as u64)
+                })
+                .collect();
+            serve_multi(&mut engines, &pool, &cfg).unwrap()
+        };
+        let ma = run_multi();
+        let mb = run_multi();
+        assert_eq!(
+            ma.n_batches, mb.n_batches,
+            "trace-only batch formation is deterministic"
+        );
+        assert!(
+            sim.mean_batch_size >= ma.mean_batch_size,
+            "busy-server batching ({:.2}) must coalesce at least as much as \
+             trace-only batching ({:.2})",
+            sim.mean_batch_size,
+            ma.mean_batch_size
+        );
     }
 }

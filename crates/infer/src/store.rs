@@ -14,10 +14,14 @@
 //! readers never block readers. The hot read path is [`FeatureStore::with_row`],
 //! which lends the row to a closure under the stripe's read guard — no
 //! per-hit allocation, unlike [`FeatureStore::get`] which copies.
+//!
+//! Crash tolerance: stripe guards recover from lock poisoning (a worker
+//! that panics while writing must not brick the store shared by the
+//! surviving replicas) — see [`read_stripe`] for why recovery is sound.
 
 use gcnp_tensor::Matrix;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of lock stripes; power of two so `node & (N_STRIPES - 1)` selects
 /// the stripe. 16 keeps contention negligible for typical worker counts
@@ -56,6 +60,23 @@ fn stripe_of(node: usize) -> usize {
 #[inline]
 fn local_of(node: usize) -> usize {
     node / N_STRIPES
+}
+
+/// Acquire a stripe read guard, recovering from poison. A stripe is only
+/// poisoned when a thread panicked *while holding the write guard*; every
+/// write path here fully populates its row before the guard drops (the
+/// `Box<[f32]>` is built outside the lock), so the data behind a poisoned
+/// lock is still consistent — a worker crash must not brick the shared
+/// store for the surviving replicas.
+#[inline]
+fn read_stripe(lock: &RwLock<Stripe>) -> RwLockReadGuard<'_, Stripe> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire a stripe write guard, recovering from poison (see [`read_stripe`]).
+#[inline]
+fn write_stripe(lock: &RwLock<Stripe>) -> RwLockWriteGuard<'_, Stripe> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl FeatureStore {
@@ -99,7 +120,7 @@ impl FeatureStore {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return false;
         }
-        let stripe = self.stripes[stripe_of(node)].read().unwrap();
+        let stripe = read_stripe(&self.stripes[stripe_of(node)]);
         stripe.levels[level - 1].rows[local_of(node)].is_some()
     }
 
@@ -110,7 +131,7 @@ impl FeatureStore {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return None;
         }
-        let stripe = self.stripes[stripe_of(node)].read().unwrap();
+        let stripe = read_stripe(&self.stripes[stripe_of(node)]);
         stripe.levels[level - 1].rows[local_of(node)]
             .as_deref()
             .map(f)
@@ -125,7 +146,7 @@ impl FeatureStore {
     /// Store (or overwrite) one node's hidden feature row.
     pub fn put(&self, level: usize, node: usize, row: &[f32]) {
         let clock = self.clock.load(Ordering::Relaxed);
-        let mut stripe = self.stripes[stripe_of(node)].write().unwrap();
+        let mut stripe = write_stripe(&self.stripes[stripe_of(node)]);
         let l = &mut stripe.levels[level - 1];
         let local = local_of(node);
         if l.rows[local].is_none() {
@@ -148,7 +169,7 @@ impl FeatureStore {
     pub fn len(&self, level: usize) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.read().unwrap().levels[level - 1].count)
+            .map(|s| read_stripe(s).levels[level - 1].count)
             .sum()
     }
 
@@ -169,7 +190,7 @@ impl FeatureStore {
     pub fn evict_older_than(&self, max_age: u32) {
         let clock = self.clock.load(Ordering::Relaxed);
         for stripe in &self.stripes {
-            let mut stripe = stripe.write().unwrap();
+            let mut stripe = write_stripe(stripe);
             for l in stripe.levels.iter_mut() {
                 for (row, stamp) in l.rows.iter_mut().zip(&l.stamps) {
                     if row.is_some() && clock.saturating_sub(*stamp) > max_age {
@@ -184,7 +205,7 @@ impl FeatureStore {
     /// Drop everything.
     pub fn clear(&self) {
         for stripe in &self.stripes {
-            let mut stripe = stripe.write().unwrap();
+            let mut stripe = write_stripe(stripe);
             for l in stripe.levels.iter_mut() {
                 for row in l.rows.iter_mut() {
                     *row = None;
@@ -200,7 +221,7 @@ impl FeatureStore {
         self.stripes
             .iter()
             .map(|s| {
-                let stripe = s.read().unwrap();
+                let stripe = read_stripe(s);
                 stripe
                     .levels
                     .iter()
@@ -306,6 +327,41 @@ mod tests {
         for v in 0..n {
             assert_eq!(s.get(1, v), Some(vec![v as f32]));
         }
+    }
+
+    /// Poison recovery: a thread that panics while holding a stripe's write
+    /// guard poisons the `RwLock`; the store must keep serving (reads,
+    /// writes, len, eviction) on that stripe instead of propagating the
+    /// poison panic to every surviving worker.
+    #[test]
+    fn poisoned_stripe_still_serves() {
+        let store = Arc::new(FeatureStore::new(2 * N_STRIPES, 1));
+        store.put(1, 0, &[1.0, 2.0]);
+        store.put(1, N_STRIPES, &[3.0, 4.0]); // same stripe as node 0
+        let s = Arc::clone(&store);
+        let crash = std::thread::spawn(move || {
+            let _guard = s.stripes[stripe_of(0)].write().unwrap();
+            panic!("injected crash while holding the stripe 0 write guard");
+        });
+        assert!(crash.join().is_err(), "the crashing thread must panic");
+        assert!(store.stripes[stripe_of(0)].is_poisoned());
+
+        // Reads on the poisoned stripe recover and see consistent data.
+        assert_eq!(store.get(1, 0), Some(vec![1.0, 2.0]));
+        assert_eq!(
+            store.with_row(1, N_STRIPES, |r| r[0]),
+            Some(3.0),
+            "second row on the poisoned stripe is intact"
+        );
+        // Writes, bookkeeping and eviction keep working too.
+        store.put(1, 0, &[9.0, 9.0]);
+        assert_eq!(store.get(1, 0), Some(vec![9.0, 9.0]));
+        assert_eq!(store.len(1), 2);
+        assert!(store.nbytes() > 0);
+        store.tick();
+        store.tick();
+        store.evict_older_than(0);
+        assert_eq!(store.len(1), 0, "eviction traverses the poisoned stripe");
     }
 
     /// Storm test: writers (`put`/`tick`/`evict_older_than`) race readers

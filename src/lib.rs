@@ -56,8 +56,9 @@ pub mod prelude {
     };
     pub use gcnp_datasets::{Dataset, DatasetKind, Labels, SpamStream};
     pub use gcnp_infer::{
-        simulate, BatchResult, BatchedEngine, CostModel, FeatureStore, FullEngine, QuantizedGnn,
-        ServingConfig, ServingReport, StorePolicy,
+        serve_multi, simulate, simulate_tiered, BatchResult, BatchedEngine, CostModel, Fault,
+        FaultInjector, FaultPlan, FeatureStore, FullEngine, LadderPolicy, MultiServingReport,
+        QuantizedGnn, ServingConfig, ServingError, ServingReport, ServingResult, StorePolicy,
     };
     pub use gcnp_models::{
         zoo, Activation, Branch, BranchLayer, CombineMode, GnnModel, Metrics, TrainConfig, Trainer,

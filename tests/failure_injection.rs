@@ -100,7 +100,9 @@ fn minimum_budget_keeps_one_channel() {
 
 #[test]
 fn store_rejects_wrong_width() {
-    // Reading a stored row of the wrong width must fail loudly, not corrupt.
+    // Reading a stored row of the wrong width must fail loudly, not corrupt —
+    // as a typed error on the fallible path, so serving loops can shed the
+    // request instead of dying.
     let adj = CsrMatrix::adjacency(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
     let x = Matrix::filled(4, 4, 1.0);
     let model = zoo::graphsage(4, 8, 2, 6);
@@ -108,8 +110,17 @@ fn store_rejects_wrong_width() {
     store.put(1, 1, &[1.0, 2.0]); // wrong width: layer 1 emits 8 channels
     let mut engine =
         BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
+    assert_eq!(
+        engine.try_infer(&[0]).unwrap_err(),
+        ServingError::StoreWidthMismatch {
+            level: 1,
+            expected: 8,
+            got: 2
+        }
+    );
+    // The infallible wrapper keeps the old fail-loud contract.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.infer(&[0])));
-    assert!(result.is_err(), "width mismatch must panic");
+    assert!(result.is_err(), "width mismatch must panic via infer()");
 }
 
 #[test]
