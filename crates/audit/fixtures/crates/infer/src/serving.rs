@@ -1,0 +1,47 @@
+//! Seeded-violation fixture for the `no-fail-stop` lint (hot-path file).
+//! Scanned by the gcnp-audit self-test, never compiled.
+
+/// Every construct below must fire `no-fail-stop`.
+pub fn fail_stop_zoo(latencies: &[f64], slot: Option<usize>) -> f64 {
+    let i = slot.unwrap();
+    let j = slot.expect("slot must be set");
+    assert_eq!(i, j);
+    if latencies.is_empty() {
+        panic!("no samples");
+    }
+    latencies[i]
+}
+
+/// Fallible-by-name variants must NOT fire.
+pub fn graceful(latencies: &[f64], slot: Option<usize>) -> f64 {
+    let i = slot.unwrap_or(0);
+    debug_assert!(i < latencies.len());
+    latencies.get(i).copied().unwrap_or(0.0)
+}
+
+/// Same-line allow: suppressed.
+pub fn allowed_same_line(sorted: &[f64]) -> f64 {
+    sorted[0] // audit: allow(no-fail-stop) — fixture: caller guarantees non-empty input
+}
+
+// audit: allow(no-fail-stop) — fixture: rank is clamped into 1..=len by construction
+pub fn allowed_whole_fn(sorted: &[f64], rank: usize) -> f64 {
+    let r = rank.clamp(1, sorted.len());
+    sorted[r - 1]
+}
+
+/// A reasonless allow must NOT suppress: this line still fires.
+pub fn reasonless_allow(xs: &[f64]) -> f64 {
+    xs[1] // audit: allow(no-fail-stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(fail_stop_zoo(&v, Some(0)).partial_cmp(&v[0]).unwrap(), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded-violation fixture for the `lock-discipline` and `pool-hygiene`
+//! lints (plus hot-path `no-fail-stop` context). Scanned by the gcnp-audit
+//! self-test, never compiled.
+
+/// Holding stripe 0's guard while acquiring stripe 1: lock-order hazard.
+pub fn nested_stripe_guards(store: &FeatureStore, node: usize) -> usize {
+    let first = read_stripe(&store.stripes[0]); // audit: allow(no-fail-stop) — fixture: stripe count is fixed
+    let second = write_stripe(&store.stripes[1]); // audit: allow(no-fail-stop) — fixture: stripe count is fixed
+    first.len() + second.len() + node
+}
+
+/// Holding a stripe guard across a kernel dispatch: convoy hazard.
+pub fn guard_across_kernel(store: &FeatureStore, out: &mut [f32]) {
+    let guard = write_stripe(&store.stripes.first().unwrap_or_default());
+    parallel_row_chunks(out, out.len(), 1, |_, chunk| chunk.fill(0.0));
+    drop(guard);
+}
+
+/// Dropping the first guard before the second acquisition is fine.
+pub fn sequential_guards(store: &FeatureStore) -> usize {
+    let first = read_stripe(&store.stripes.first().unwrap_or_default());
+    drop(first);
+    let second = read_stripe(&store.stripes.last().unwrap_or_default());
+    second.len()
+}
+
+/// Rogue thread spawn: kernel parallelism must go through tensor::parallel.
+pub fn rogue_spawn(rows: usize) {
+    std::thread::spawn(move || rows * 2);
+}
+
+/// Rogue env read: thread-count policy belongs to tensor::parallel alone.
+pub fn rogue_env_read() -> usize {
+    std::env::var("GCNP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

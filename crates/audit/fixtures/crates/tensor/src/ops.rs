@@ -1,0 +1,20 @@
+//! Seeded-violation fixture for the `shape-contract` lint. Scanned by the
+//! gcnp-audit self-test, never compiled.
+
+/// Scales each column — but declares no input-shape precondition, so the
+/// `shape-contract` lint must fire.
+pub fn undocumented_scale_cols(m: &Matrix, factors: &[f32]) -> Matrix {
+    m.clone()
+}
+
+/// Row-wise sum of two matrices.
+///
+/// Shapes: `a` and `b` are both `(r, c)`; the result is `(r, c)`.
+pub fn documented_add(a: &Matrix, b: &Matrix) -> Matrix {
+    a.clone()
+}
+
+/// No matrix-like inputs: exempt regardless of docs.
+pub fn identity(n: usize) -> Matrix {
+    Matrix::eye(n)
+}

@@ -1,0 +1,15 @@
+//! Seeded-violation fixture for the `safety-comment` lint. Scanned by the
+//! gcnp-audit self-test, never compiled.
+
+/// Unsafe block with no justification: must fire `safety-comment`.
+pub fn unjustified_read(ptr: *const f32, i: usize) -> f32 {
+    unsafe { *ptr.add(i) }
+}
+
+/// Justified unsafe: must NOT fire.
+pub fn justified_read(ptr: *const f32, i: usize, len: usize) -> f32 {
+    assert!(i < len);
+    // SAFETY: `i < len` was just asserted and the caller guarantees `ptr`
+    // points at `len` initialized f32s, so the read is in bounds.
+    unsafe { *ptr.add(i) }
+}

@@ -1,0 +1,53 @@
+//! `gcnp-audit` — the repo's static-analysis CI gate.
+//!
+//! Usage: `cargo run -p gcnp-audit [-- <root>]`. With no argument the
+//! workspace root (two levels above this crate's manifest) is scanned.
+//! Exit status: 0 when clean, 1 when any lint fires, 2 on I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+        });
+    let findings = match gcnp_audit::scan_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gcnp-audit: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!(
+            "gcnp-audit: clean ({} lints)",
+            gcnp_audit::Lint::all().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    let mut per_lint: Vec<(&str, usize)> = Vec::new();
+    for lint in gcnp_audit::Lint::all() {
+        let n = findings.iter().filter(|f| f.lint == lint).count();
+        if n > 0 {
+            per_lint.push((lint.name(), n));
+        }
+    }
+    let summary: Vec<String> = per_lint
+        .iter()
+        .map(|(name, n)| format!("{name}: {n}"))
+        .collect();
+    eprintln!(
+        "gcnp-audit: {} finding(s) ({})",
+        findings.len(),
+        summary.join(", ")
+    );
+    ExitCode::FAILURE
+}

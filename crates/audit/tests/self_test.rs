@@ -1,0 +1,138 @@
+//! The analyzer is itself tested: every lint must fire on the seeded
+//! fixture tree, the allow hatch must suppress exactly what it covers, and
+//! the real workspace must scan clean (the same invariant CI enforces).
+
+use gcnp_audit::{scan_tree, Finding, Lint};
+use std::path::Path;
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    scan_tree(&root).expect("fixture tree must be readable")
+}
+
+fn in_file<'a>(findings: &'a [Finding], suffix: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| {
+            f.file
+                .to_string_lossy()
+                .replace('\\', "/")
+                .ends_with(suffix)
+        })
+        .collect()
+}
+
+#[test]
+fn every_lint_fires_on_the_fixture_tree() {
+    let findings = fixture_findings();
+    for lint in Lint::all() {
+        assert!(
+            findings.iter().any(|f| f.lint == lint),
+            "lint {} never fired on the fixtures; findings: {findings:#?}",
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn fixture_hot_path_violations_are_pinpointed() {
+    let findings = fixture_findings();
+    let serving = in_file(&findings, "crates/infer/src/serving.rs");
+    // fail_stop_zoo seeds: unwrap, expect, assert_eq!, panic!, indexing —
+    // each on its own line — plus the reasonless-allow line.
+    let fail_stop = serving
+        .iter()
+        .filter(|f| f.lint == Lint::NoFailStop)
+        .count();
+    assert_eq!(
+        fail_stop, 6,
+        "expected the five seeded fail-stop lines plus the reasonless allow: {serving:#?}"
+    );
+}
+
+#[test]
+fn allow_hatch_suppresses_annotated_lines_only() {
+    let findings = fixture_findings();
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/crates/infer/src/serving.rs"),
+    )
+    .expect("fixture readable");
+    let line_of = |needle: &str| {
+        src.lines()
+            .position(|l| l.contains(needle))
+            .map(|p| p + 1)
+            .expect("needle present in fixture")
+    };
+    let suppressed = [
+        line_of("sorted[0] // audit: allow"),
+        line_of("sorted[r - 1]"),
+    ];
+    let still_firing = line_of("xs[1] // audit: allow(no-fail-stop)");
+    for f in in_file(&findings, "crates/infer/src/serving.rs") {
+        assert!(
+            !suppressed.contains(&f.line),
+            "allowed line {} still fired: {f}",
+            f.line
+        );
+    }
+    assert!(
+        in_file(&findings, "crates/infer/src/serving.rs")
+            .iter()
+            .any(|f| f.line == still_firing),
+        "a reasonless allow must not suppress"
+    );
+}
+
+#[test]
+fn lock_discipline_and_pool_hygiene_fire_in_the_store_fixture() {
+    let findings = fixture_findings();
+    let store = in_file(&findings, "crates/infer/src/store.rs");
+    assert!(
+        store
+            .iter()
+            .filter(|f| f.lint == Lint::LockDiscipline)
+            .count()
+            >= 2,
+        "nested guards AND guard-across-kernel must both fire: {store:#?}"
+    );
+    assert_eq!(
+        store.iter().filter(|f| f.lint == Lint::PoolHygiene).count(),
+        2,
+        "rogue spawn and rogue env read: {store:#?}"
+    );
+}
+
+#[test]
+fn safety_and_shape_fixtures_fire_once_each() {
+    let findings = fixture_findings();
+    let simd = in_file(&findings, "crates/tensor/src/simd.rs");
+    assert_eq!(
+        simd.iter()
+            .filter(|f| f.lint == Lint::SafetyComment)
+            .count(),
+        1,
+        "only the unjustified unsafe block fires: {simd:#?}"
+    );
+    let ops = in_file(&findings, "crates/tensor/src/ops.rs");
+    assert_eq!(
+        ops.iter().filter(|f| f.lint == Lint::ShapeContract).count(),
+        1,
+        "only the undocumented kernel fires: {ops:#?}"
+    );
+}
+
+#[test]
+fn the_workspace_scans_clean() {
+    // The CI gate in test form: the real tree must carry zero violations.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_tree(&root).expect("workspace must be readable");
+    assert!(
+        findings.is_empty(),
+        "workspace has unresolved audit findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -206,6 +206,40 @@ mod tests {
     }
 
     #[test]
+    fn scale_grad() {
+        let y = rngm(3, 3, 50);
+        check(rngm(3, 3, 51), move |t, x| {
+            let s = t.scale(x, -1.7);
+            t.mse(s, y.clone())
+        });
+    }
+
+    #[test]
+    fn mse_grad_wrt_pred() {
+        let target = rngm(4, 3, 52);
+        check(rngm(4, 3, 53), move |t, x| t.mse(x, target.clone()));
+    }
+
+    #[test]
+    fn l1_grad() {
+        // Shift inputs off the |x| kink at 0 for a clean central difference.
+        let input = rngm(2, 5, 54).map(|v| if v >= 0.0 { v + 0.5 } else { v - 0.5 });
+        check(input, move |t, x| t.l1(x));
+    }
+
+    #[test]
+    fn dropout_grad() {
+        // The mask is drawn from the tape's RNG; reseed identically on every
+        // rebuild so all perturbed forwards share one mask.
+        let y = rngm(6, 4, 55);
+        check(rngm(6, 4, 56), move |t, x| {
+            let mut rng = seeded_rng(57);
+            let d = t.dropout(x, 0.4, &mut rng);
+            t.mse(d, y.clone())
+        });
+    }
+
+    #[test]
     fn gather_rows_grad() {
         let y = rngm(3, 2, 31);
         check(rngm(5, 2, 32), move |t, x| {

@@ -687,6 +687,19 @@ impl Tape {
             }
             grads[i] = Some(g);
         }
+        if gcnp_tensor::check::enabled() {
+            // Under `strict-invariants`, trap non-finite gradients at the
+            // tape boundary — a NaN here poisons every optimizer step after.
+            for (i, g) in grads.iter().enumerate() {
+                if let Some(g) = g {
+                    gcnp_tensor::check::guard_finite(
+                        "tape.backward.finite",
+                        &format!("gradient of tape node {i}"),
+                        g.as_slice(),
+                    );
+                }
+            }
+        }
         self.grads = grads;
     }
 }

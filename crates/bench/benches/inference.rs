@@ -95,7 +95,7 @@ fn bench_batched_inference(c: &mut Criterion) {
         let store = FeatureStore::new(data.n_nodes(), m4.n_layers() - 1);
         let all: Vec<usize> = (0..data.n_nodes()).collect();
         for level in 1..m4.n_layers() {
-            store.put_rows(level, &all, &hs[level - 1]);
+            store.put_rows(level, &all, &hs[level - 1]).unwrap();
         }
         let mut engine = BatchedEngine::new(
             &m4,

@@ -150,13 +150,15 @@ fn main() {
         if offline_all {
             let all: Vec<usize> = (0..data.n_nodes()).collect();
             for level in 1..=n_levels {
-                store.put_rows(level, &all, &hs_full[level - 1]);
+                store.put_rows(level, &all, &hs_full[level - 1]).unwrap();
             }
         } else if offline_trainval {
             let mut off: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
             off.sort_unstable();
             for level in 1..=n_levels {
-                store.put_rows(level, &off, &hs_full[level - 1].gather_rows(&off));
+                store
+                    .put_rows(level, &off, &hs_full[level - 1].gather_rows(&off))
+                    .unwrap();
             }
         }
         let use_store = name != "none";

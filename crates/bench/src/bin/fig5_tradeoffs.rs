@@ -119,7 +119,9 @@ fn main() {
         let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
         offline.sort_unstable();
         for level in 1..=n_levels {
-            store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+            store
+                .put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+                .unwrap();
         }
         let (lat_store, _) = serve_latencies(model, &data, Some(&store), batch, ctx.seed);
         let row = LatencyRow {
@@ -155,7 +157,9 @@ fn main() {
         let cutoff = data.n_nodes() * pct / 100;
         let nodes: Vec<usize> = (0..cutoff).collect();
         for level in 1..=n_levels {
-            store.put_rows(level, &nodes, &stale_hs[level - 1].gather_rows(&nodes));
+            store
+                .put_rows(level, &nodes, &stale_hs[level - 1].gather_rows(&nodes))
+                .unwrap();
         }
         let store_mb = store.nbytes() as f64 / 1e6;
         let (lat, f1) = serve_latencies(model, &data, Some(&store), 512, ctx.seed);

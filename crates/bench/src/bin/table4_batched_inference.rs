@@ -90,7 +90,9 @@ fn build_store(model: &GnnModel, data: &Dataset) -> FeatureStore {
     let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
     offline.sort_unstable();
     for level in 1..=n_levels {
-        store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        store
+            .put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+            .unwrap();
     }
     store
 }

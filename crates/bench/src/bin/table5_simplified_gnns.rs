@@ -277,7 +277,9 @@ fn main() {
     let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
     offline.sort_unstable();
     for level in 1..=n_levels {
-        store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        store
+            .put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+            .unwrap();
     }
     let (f1, kmacs) = batched_serve(&ours_b.model, &data, Some(&store), ctx.seed);
     rows.push(Row {

@@ -175,7 +175,8 @@ pub fn eval(args: &Args) -> Result<String, String> {
         let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
         offline.sort_unstable();
         for level in 1..model.n_layers() {
-            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+                .map_err(|e| e.to_string())?;
         }
         store_holder = s;
         Some(&store_holder)
@@ -213,12 +214,13 @@ pub fn eval(args: &Args) -> Result<String, String> {
         logits.row_mut(r).copy_from_slice(row);
     }
     let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat.sort_by(f64::total_cmp);
+    let median_ms = lat.get(lat.len() / 2).copied().unwrap_or(0.0);
     Ok(format!(
         "batched inference (batch {batch}{}): test F1 {f1:.3}, {:.0} kMACs/target, median {:.1} ms/batch",
         if store.is_some() { ", w/ store" } else { "" },
         macs as f64 / data.test.len() as f64 / 1e3,
-        lat[lat.len() / 2]
+        median_ms
     ))
 }
 
@@ -256,7 +258,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
         let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
         offline.sort_unstable();
         for level in 1..model.n_layers() {
-            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+            s.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+                .map_err(|e| e.to_string())?;
         }
         store_holder = s;
         Some(&store_holder)

@@ -21,6 +21,10 @@
 pub mod lasso;
 pub mod scheme;
 
+/// Re-export of the runtime invariant layer so downstream code can write
+/// `gcnp_core::check::assert_finite(..)` without a direct gcnp-tensor dep.
+pub use gcnp_tensor::check;
+
 pub use lasso::{
     lasso_prune, ridge_solve, select_channels, LassoOutcome, PruneMethod, PrunerConfig,
 };

@@ -93,11 +93,13 @@ impl<'a> BatchedEngine<'a> {
         seed: u64,
     ) -> Self {
         for layer in &model.layers {
+            // audit: allow(no-fail-stop) — constructor misuse is a programmer error; engines are built once at startup, not per request
             assert!(
                 layer.branches.iter().all(|b| b.k <= 1),
                 "BatchedEngine: only k ∈ {{0,1}} branches supported (GraphSAGE-style)"
             );
         }
+        // audit: allow(no-fail-stop) — constructor misuse is a programmer error (see above)
         assert!(!model.jk, "BatchedEngine: JK models not supported");
         Self {
             model,
@@ -126,6 +128,7 @@ impl<'a> BatchedEngine<'a> {
     /// serving paths use [`BatchedEngine::try_infer`].
     pub fn infer(&mut self, targets: &[usize]) -> BatchResult {
         self.try_infer(targets)
+            // audit: allow(no-fail-stop) — documented fail-stop wrapper for offline callers; serving paths use try_infer
             .unwrap_or_else(|e| panic!("BatchedEngine::infer: {e}"))
     }
 
@@ -140,6 +143,7 @@ impl<'a> BatchedEngine<'a> {
             Some(inj) => inj.next_fault(),
         };
         if matches!(fault, Fault::Panic) {
+            // audit: allow(no-fail-stop) — chaos-injected worker crash; serve_multi recovers it via catch_unwind
             panic!("gcnp-faults: injected worker panic");
         }
         let n_nodes = self.adj.n_rows();
@@ -148,6 +152,15 @@ impl<'a> BatchedEngine<'a> {
                 return Err(ServingError::TargetOutOfRange { node: v, n_nodes });
             }
         }
+        // Enforced under `strict-invariants`, compiled out otherwise: a
+        // feature matrix sized for a different graph must surface as a typed
+        // error here, not as an out-of-bounds panic inside a gather kernel.
+        gcnp_tensor::shape_contract!(
+            "engine.features.rows",
+            self.features.rows() == n_nodes,
+            "feature matrix has {} rows but the graph has {n_nodes} nodes",
+            self.features.rows()
+        );
         // A store-miss storm serves the batch as if the store were cold:
         // every probe misses, reads and write-backs are skipped.
         let store = if matches!(fault, Fault::StoreMiss) {
@@ -214,24 +227,33 @@ impl<'a> BatchedEngine<'a> {
 
         // Level 0: raw attributes of the input nodes.
         let mut level_mat = self.features.gather_rows(&support.input_nodes);
+        // Trap NaN/Inf feature rows at the engine boundary (before any
+        // kernel consumes them) so a poisoned row degrades into a typed,
+        // retryable error. No-op without `strict-invariants`.
+        gcnp_tensor::check::assert_finite(
+            "engine.features.finite",
+            "gathered level-0 feature rows",
+            level_mat.as_slice(),
+        )?;
         for v in touched.drain(..) {
-            relabel[v] = ABSENT;
+            relabel[v] = ABSENT; // audit: allow(no-fail-stop) — touched only ever holds ids previously checked against the graph
         }
         for (i, &v) in support.input_nodes.iter().enumerate() {
-            relabel[v] = i as u32;
+            relabel[v] = i as u32; // audit: allow(no-fail-stop) — BatchSupport expands within this graph, so v < n_nodes
             touched.push(v);
         }
         mem_bytes += level_mat.nbytes();
 
         for li in 1..=n_layers {
-            let ls = &support.layers[li - 1];
-            let layer = &self.model.layers[li - 1];
-            // --- compute branch outputs for ls.compute --------------------
+            let ls = &support.layers[li - 1]; // audit: allow(no-fail-stop) — li ranges over 1..=n_layers and support has one entry per layer
+            let layer = &self.model.layers[li - 1]; // audit: allow(no-fail-stop) — same loop bound
+                                                    // --- compute branch outputs for ls.compute --------------------
             let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
             for branch in &layer.branches {
                 let gathered = match branch.k {
                     0 => gather_selected(&level_mat, relabel, &ls.compute, branch),
                     1 => aggregate_mean(&level_mat, relabel, ls, branch),
+                    // audit: allow(no-fail-stop) — k ∈ {0,1} is enforced by the constructor assert
                     _ => unreachable!("validated in constructor"),
                 };
                 // Aggregation adds: one MAC-equivalent per edge per channel.
@@ -245,8 +267,15 @@ impl<'a> BatchedEngine<'a> {
             let mut out = match layer.combine {
                 CombineMode::Concat => Matrix::concat_cols_all(&refs),
                 CombineMode::Mean => {
-                    let mut acc = parts[0].clone();
-                    for p in &parts[1..] {
+                    let (first, rest) =
+                        parts
+                            .split_first()
+                            .ok_or(ServingError::InvariantViolation {
+                                check: "engine.combine.branches",
+                                detail: format!("layer {li} has no branches to combine"),
+                            })?;
+                    let mut acc = first.clone();
+                    for p in rest {
                         acc.add_assign(p);
                     }
                     acc.scale(1.0 / parts.len() as f32)
@@ -266,11 +295,11 @@ impl<'a> BatchedEngine<'a> {
             let n_rows = ls.compute.len() + ls.stored.len();
             let mut mat = Matrix::zeros(n_rows, width);
             for v in touched.drain(..) {
-                relabel[v] = ABSENT;
+                relabel[v] = ABSENT; // audit: allow(no-fail-stop) — touched only ever holds ids previously checked against the graph
             }
             for (i, &v) in ls.compute.iter().enumerate() {
                 mat.row_mut(i).copy_from_slice(out.row(i));
-                relabel[v] = i as u32;
+                relabel[v] = i as u32; // audit: allow(no-fail-stop) — compute nodes come from BatchSupport over this graph
                 touched.push(v);
             }
             for (j, &v) in ls.stored.iter().enumerate() {
@@ -295,7 +324,7 @@ impl<'a> BatchedEngine<'a> {
                     // eviction removed it before the read — retryable.
                     return Err(ServingError::MissingStoredRow { level: li, node: v });
                 }
-                relabel[v] = (ls.compute.len() + j) as u32;
+                relabel[v] = (ls.compute.len() + j) as u32; // audit: allow(no-fail-stop) — stored nodes come from BatchSupport over this graph
                 touched.push(v);
                 store_hits += 1;
                 mem_bytes += width * 4;
@@ -308,15 +337,15 @@ impl<'a> BatchedEngine<'a> {
                         StorePolicy::None => {}
                         StorePolicy::Roots => {
                             for &v in &support.targets {
-                                let r = relabel[v];
+                                let r = relabel[v]; // audit: allow(no-fail-stop) — targets were range-checked in try_infer
                                 if r != ABSENT && (r as usize) < ls.compute.len() {
-                                    s.put(li, v, mat.row(r as usize));
+                                    s.put(li, v, mat.row(r as usize))?;
                                 }
                             }
                         }
                         StorePolicy::AllVisited => {
                             for (i, &v) in ls.compute.iter().enumerate() {
-                                s.put(li, v, mat.row(i));
+                                s.put(li, v, mat.row(i))?;
                             }
                         }
                     }
@@ -333,7 +362,7 @@ impl<'a> BatchedEngine<'a> {
             .targets
             .iter()
             .map(|&v| {
-                let r = relabel[v];
+                let r = relabel[v]; // audit: allow(no-fail-stop) — targets were range-checked in try_infer
                 debug_assert_ne!(r, ABSENT, "targets are computed at the output layer");
                 r as usize
             })
@@ -354,6 +383,7 @@ impl<'a> BatchedEngine<'a> {
 
 /// Gather rows for `nodes`, selecting the branch's kept channels. `relabel`
 /// is the dense node-id → row table for the current level.
+// audit: allow(no-fail-stop) — relabel slots and kept-channel indices are built by BatchSupport and the pruner from in-graph ids; a miss is a programmer error caught by the debug_asserts
 fn gather_selected(mat: &Matrix, relabel: &[u32], nodes: &[usize], branch: &Branch) -> Matrix {
     let width = branch.in_dim();
     let mut out = Matrix::zeros(nodes.len(), width);
@@ -379,6 +409,7 @@ fn gather_selected(mat: &Matrix, relabel: &[u32], nodes: &[usize], branch: &Bran
 /// computed nodes; each output row accumulates its neighbors in support
 /// order regardless of thread count, so results are bitwise identical
 /// across `GCNP_THREADS` settings.
+// audit: allow(no-fail-stop) — relabel slots and kept-channel indices are built by BatchSupport and the pruner from in-graph ids; a miss is a programmer error caught by the debug_asserts
 fn aggregate_mean(
     mat: &Matrix,
     relabel: &[u32],
@@ -475,8 +506,8 @@ mod tests {
         let hs = model.forward_collect(Some(&norm), &x);
         let store = FeatureStore::new(30, 2);
         let all: Vec<usize> = (0..30).collect();
-        store.put_rows(1, &all, &hs[0]);
-        store.put_rows(2, &all, &hs[1]);
+        store.put_rows(1, &all, &hs[0]).unwrap();
+        store.put_rows(2, &all, &hs[1]).unwrap();
         let mut engine =
             BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
         let res = engine.infer(&[10, 11]);
@@ -502,7 +533,7 @@ mod tests {
         let store = FeatureStore::new(30, 2);
         // Store h^(1) for half the nodes.
         let half: Vec<usize> = (0..15).collect();
-        store.put_rows(1, &half, &hs[0].gather_rows(&half));
+        store.put_rows(1, &half, &hs[0].gather_rows(&half)).unwrap();
         let mut with_store =
             BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
         let res = with_store.infer(&[0, 1, 2]);
@@ -653,7 +684,7 @@ mod tests {
     fn try_infer_reports_store_width_mismatch() {
         let (adj, x, model) = setup();
         let store = FeatureStore::new(30, 2);
-        store.put(1, 11, &[1.0, 2.0]); // model expects width-8 hidden rows
+        store.put(1, 11, &[1.0, 2.0]).unwrap(); // model expects width-8 hidden rows
         let mut engine =
             BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
         // Target 10 aggregates neighbor 11 from the store at level 1.
@@ -709,8 +740,8 @@ mod tests {
         let hs = model.forward_collect(Some(&norm), &x);
         let store = FeatureStore::new(30, 2);
         let all: Vec<usize> = (0..30).collect();
-        store.put_rows(1, &all, &hs[0]);
-        store.put_rows(2, &all, &hs[1]);
+        store.put_rows(1, &all, &hs[0]).unwrap();
+        store.put_rows(2, &all, &hs[1]).unwrap();
         let plan = crate::FaultPlan {
             storms: 1,
             horizon: 1,

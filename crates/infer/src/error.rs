@@ -38,6 +38,20 @@ pub enum ServingError {
     MissingStoredRow { level: usize, node: usize },
     /// Malformed fault-injection spec (CLI `--faults`); the message explains.
     InvalidFaultSpec(String),
+    /// A runtime invariant tripped: a store write addressed out-of-bounds
+    /// slots, or (under `strict-invariants`) a shape contract or finiteness
+    /// check failed at the engine boundary. `check` is the stable check
+    /// identifier (e.g. `"engine.features.finite"`).
+    InvariantViolation { check: &'static str, detail: String },
+}
+
+impl From<gcnp_tensor::CheckError> for ServingError {
+    fn from(e: gcnp_tensor::CheckError) -> Self {
+        ServingError::InvariantViolation {
+            check: e.check,
+            detail: e.detail,
+        }
+    }
 }
 
 impl fmt::Display for ServingError {
@@ -62,6 +76,9 @@ impl fmt::Display for ServingError {
                 "stored row for node {node} at level {level} vanished mid-batch (concurrent eviction?)"
             ),
             ServingError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            ServingError::InvariantViolation { check, detail } => {
+                write!(f, "invariant `{check}` violated: {detail}")
+            }
         }
     }
 }

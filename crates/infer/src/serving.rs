@@ -151,7 +151,7 @@ impl ServingConfig {
         for _ in 0..self.n_requests {
             let u: f64 = rng.random_range(f64::EPSILON..1.0);
             t += -u.ln() / self.arrival_rate;
-            arrivals.push((t, pool[rng.random_range(0..pool.len())]));
+            arrivals.push((t, pool[rng.random_range(0..pool.len())])); // audit: allow(no-fail-stop) — pool verified non-empty by validate()
         }
         arrivals
     }
@@ -231,7 +231,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let n = sorted.len();
     let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
-    sorted[rank - 1]
+    sorted[rank - 1] // audit: allow(no-fail-stop) — rank clamped to 1..=n and n > 0 by the guard above
 }
 
 /// Simulate serving `cfg.n_requests` single-node requests drawn uniformly
@@ -291,7 +291,7 @@ pub fn simulate_tiered(
         // The next batch window anchors on the oldest waiting request; pull
         // one from the trace when the queue is idle.
         if queue.is_empty() {
-            queue.push_back(arrivals[i]);
+            queue.push_back(arrivals[i]); // audit: allow(no-fail-stop) — the loop condition guarantees i < n here when the queue is empty
             i += 1;
         }
         let first_arrival = queue.front().map(|&(t, _)| t).unwrap_or(0.0);
@@ -301,9 +301,10 @@ pub fn simulate_tiered(
         let close = open + cfg.max_wait;
         // Admission control: everything arriving inside the window joins
         // the queue unless it is full (load shedding).
+        // audit: allow(no-fail-stop) — i < n checked in the same condition
         while i < n && arrivals[i].0 <= close {
             if queue.len() < queue_cap {
-                queue.push_back(arrivals[i]);
+                queue.push_back(arrivals[i]); // audit: allow(no-fail-stop) — i < n per the loop condition
             } else {
                 shed_queue += 1;
             }
@@ -329,7 +330,7 @@ pub fn simulate_tiered(
 
         // Form the batch, shedding requests whose projected completion is
         // already past their deadline (they are counted, not stretched).
-        let projected_compute = est_compute[tier] * DEADLINE_EST_SAFETY;
+        let projected_compute = est_compute[tier] * DEADLINE_EST_SAFETY; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         let mut batch = Vec::with_capacity(cfg.max_batch);
         let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
         while batch.len() < cfg.max_batch {
@@ -349,20 +350,21 @@ pub fn simulate_tiered(
         }
 
         let start = batch_arrivals.last().copied().unwrap_or(open).max(open);
-        let res = tiers[tier].try_infer(&batch)?;
+        let res = tiers[tier].try_infer(&batch)?; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         let compute = res.seconds;
         total_compute += compute;
+        // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         est_compute[tier] = if est_compute[tier] == 0.0 {
             compute
         } else {
-            EST_ALPHA * compute + (1.0 - EST_ALPHA) * est_compute[tier]
+            EST_ALPHA * compute + (1.0 - EST_ALPHA) * est_compute[tier] // audit: allow(no-fail-stop) — same tier bound
         };
         let done = start + compute;
         server_free_at = done;
         n_batches += 1;
         dwell += 1;
         served += batch.len();
-        tier_served[tier] += batch.len();
+        tier_served[tier] += batch.len(); // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         for &arr in &batch_arrivals {
             let lat = done - arr;
             if cfg.deadline.is_some_and(|d| lat > d) {
@@ -373,7 +375,10 @@ pub fn simulate_tiered(
     }
 
     debug_assert_eq!(served + shed_queue + shed_deadline, n, "request accounting");
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp is panic-free on NaN (unlike partial_cmp().unwrap()); the
+    // latencies are finite anyway, but the serving path must not be able to
+    // abort on a comparison.
+    latencies_ms.sort_by(f64::total_cmp);
     // Makespan: the arrival clock starts at 0, the last batch finishes at
     // `server_free_at`.
     let makespan = server_free_at.max(f64::EPSILON);
@@ -496,10 +501,11 @@ pub fn serve_multi(
     let mut batches: VecDeque<QueuedBatch> = VecDeque::new();
     let mut i = 0usize;
     while i < arrivals.len() {
-        let close = arrivals[i].0 + cfg.max_wait;
+        let close = arrivals[i].0 + cfg.max_wait; // audit: allow(no-fail-stop) — i < len per the loop condition
         let mut nodes = Vec::with_capacity(cfg.max_batch);
+        // audit: allow(no-fail-stop) — i < len checked in the same condition
         while i < arrivals.len() && nodes.len() < cfg.max_batch && arrivals[i].0 <= close {
-            nodes.push(arrivals[i].1);
+            nodes.push(arrivals[i].1); // audit: allow(no-fail-stop) — i < len per the loop condition
             i += 1;
         }
         batches.push_back(QueuedBatch { nodes, attempt: 0 });
@@ -533,7 +539,11 @@ pub fn serve_multi(
                 let mut lost = false;
                 while !lost {
                     let popped = {
-                        let mut q = queue.lock().unwrap();
+                        // Recover from poison: a peer that panicked while
+                        // holding the queue lock must not take the whole
+                        // fleet down with it (pop/push are atomic enough
+                        // that the queue behind a poisoned lock is intact).
+                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                         let b = q.pop_front();
                         if b.is_some() {
                             in_flight.fetch_add(1, Ordering::SeqCst);
@@ -588,10 +598,12 @@ pub fn serve_multi(
                                     backoff / 1e3,
                                 ));
                             }
-                            queue.lock().unwrap().push_back(QueuedBatch {
-                                nodes,
-                                attempt: attempt + 1,
-                            });
+                            queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(
+                                QueuedBatch {
+                                    nodes,
+                                    attempt: attempt + 1,
+                                },
+                            );
                         } else {
                             shed.fetch_add(nodes.len(), Ordering::Relaxed);
                         }
@@ -600,7 +612,7 @@ pub fn serve_multi(
                     // "queue empty, nothing in flight" while work remains.
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
-                *compute_seconds.lock().unwrap() += local;
+                *compute_seconds.lock().unwrap_or_else(|e| e.into_inner()) += local;
             });
         }
     });

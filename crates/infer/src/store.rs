@@ -19,6 +19,7 @@
 //! that panics while writing must not brick the store shared by the
 //! surviving replicas) — see [`read_stripe`] for why recovery is sound.
 
+use crate::error::{ServingError, ServingResult};
 use gcnp_tensor::Matrix;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -120,8 +121,8 @@ impl FeatureStore {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return false;
         }
-        let stripe = read_stripe(&self.stripes[stripe_of(node)]);
-        stripe.levels[level - 1].rows[local_of(node)].is_some()
+        let stripe = read_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
+        stripe.levels[level - 1].rows[local_of(node)].is_some() // audit: allow(no-fail-stop) — level/node bounds checked above
     }
 
     /// Lend the stored row to `f` under the stripe's read guard — the
@@ -131,8 +132,8 @@ impl FeatureStore {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return None;
         }
-        let stripe = read_stripe(&self.stripes[stripe_of(node)]);
-        stripe.levels[level - 1].rows[local_of(node)]
+        let stripe = read_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
+        stripe.levels[level - 1].rows[local_of(node)] // audit: allow(no-fail-stop) — level/node bounds checked above
             .as_deref()
             .map(f)
     }
@@ -143,33 +144,58 @@ impl FeatureStore {
         self.with_row(level, node, |row| row.to_vec())
     }
 
-    /// Store (or overwrite) one node's hidden feature row.
-    pub fn put(&self, level: usize, node: usize, row: &[f32]) {
+    /// Store (or overwrite) one node's hidden feature row. A write that
+    /// addresses a level or node outside the store's bounds is a typed
+    /// [`ServingError::InvariantViolation`], not a worker panic — a store
+    /// sized for a different graph or model must degrade, not abort.
+    pub fn put(&self, level: usize, node: usize, row: &[f32]) -> ServingResult<()> {
+        if node >= self.n_nodes || level == 0 || level > self.n_levels {
+            return Err(ServingError::InvariantViolation {
+                check: "store.put.bounds",
+                detail: format!(
+                    "level {level} node {node} outside store bounds ({} levels, {} nodes)",
+                    self.n_levels, self.n_nodes
+                ),
+            });
+        }
         let clock = self.clock.load(Ordering::Relaxed);
-        let mut stripe = write_stripe(&self.stripes[stripe_of(node)]);
-        let l = &mut stripe.levels[level - 1];
+        let mut stripe = write_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
+        let l = &mut stripe.levels[level - 1]; // audit: allow(no-fail-stop) — level bounds validated above
         let local = local_of(node);
+        // audit: allow(no-fail-stop) — every node < n_nodes has a local slot by construction
         if l.rows[local].is_none() {
             l.count += 1;
         }
-        l.rows[local] = Some(row.into());
-        l.stamps[local] = clock;
+        l.rows[local] = Some(row.into()); // audit: allow(no-fail-stop) — same validated slot
+        l.stamps[local] = clock; // audit: allow(no-fail-stop) — same validated slot
+        Ok(())
     }
 
     /// Bulk-load rows of `h` for `nodes` at `level` (offline pre-population,
-    /// e.g. training + validation nodes after training).
-    pub fn put_rows(&self, level: usize, nodes: &[usize], h: &Matrix) {
-        assert_eq!(nodes.len(), h.rows(), "put_rows: node/row count mismatch");
-        for (i, &v) in nodes.iter().enumerate() {
-            self.put(level, v, h.row(i));
+    /// e.g. training + validation nodes after training). Rejects a
+    /// node-list/matrix arity mismatch as a typed error.
+    pub fn put_rows(&self, level: usize, nodes: &[usize], h: &Matrix) -> ServingResult<()> {
+        if nodes.len() != h.rows() {
+            return Err(ServingError::InvariantViolation {
+                check: "store.put_rows.arity",
+                detail: format!("{} nodes vs {} matrix rows", nodes.len(), h.rows()),
+            });
         }
+        for (i, &v) in nodes.iter().enumerate() {
+            self.put(level, v, h.row(i))?;
+        }
+        Ok(())
     }
 
-    /// Number of stored rows at `level` (summed across stripes).
+    /// Number of stored rows at `level` (summed across stripes); 0 for a
+    /// level the store does not cover.
     pub fn len(&self, level: usize) -> usize {
+        if level == 0 || level > self.n_levels {
+            return 0;
+        }
         self.stripes
             .iter()
-            .map(|s| read_stripe(s).levels[level - 1].count)
+            .map(|s| read_stripe(s).levels[level - 1].count) // audit: allow(no-fail-stop) — level bounds checked above
             .sum()
     }
 
@@ -247,7 +273,7 @@ mod tests {
     fn put_get_roundtrip() {
         let s = FeatureStore::new(10, 2);
         assert!(!s.has(1, 3));
-        s.put(1, 3, &[1.0, 2.0]);
+        s.put(1, 3, &[1.0, 2.0]).unwrap();
         assert!(s.has(1, 3));
         assert_eq!(s.get(1, 3), Some(vec![1.0, 2.0]));
         assert!(!s.has(2, 3), "levels are independent");
@@ -257,7 +283,7 @@ mod tests {
     #[test]
     fn with_row_lends_without_copy() {
         let s = FeatureStore::new(40, 1);
-        s.put(1, 33, &[3.0, 4.0]);
+        s.put(1, 33, &[3.0, 4.0]).unwrap();
         let norm = s.with_row(1, 33, |row| row.iter().map(|v| v * v).sum::<f32>());
         assert_eq!(norm, Some(25.0));
         assert_eq!(
@@ -269,8 +295,8 @@ mod tests {
     #[test]
     fn overwrite_does_not_double_count() {
         let s = FeatureStore::new(4, 1);
-        s.put(1, 0, &[1.0]);
-        s.put(1, 0, &[2.0]);
+        s.put(1, 0, &[1.0]).unwrap();
+        s.put(1, 0, &[2.0]).unwrap();
         assert_eq!(s.len(1), 1);
         assert_eq!(s.get(1, 0), Some(vec![2.0]));
     }
@@ -279,7 +305,7 @@ mod tests {
     fn bulk_load_from_matrix() {
         let s = FeatureStore::new(6, 1);
         let h = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
-        s.put_rows(1, &[5, 1], &h);
+        s.put_rows(1, &[5, 1], &h).unwrap();
         assert_eq!(s.get(1, 5), Some(vec![1., 2., 3.]));
         assert_eq!(s.get(1, 1), Some(vec![4., 5., 6.]));
         assert_eq!(s.len(1), 2);
@@ -288,10 +314,10 @@ mod tests {
     #[test]
     fn eviction_by_age() {
         let s = FeatureStore::new(4, 1);
-        s.put(1, 0, &[1.0]);
+        s.put(1, 0, &[1.0]).unwrap();
         s.tick();
         s.tick();
-        s.put(1, 1, &[2.0]);
+        s.put(1, 1, &[2.0]).unwrap();
         s.evict_older_than(1);
         assert!(!s.has(1, 0), "old row evicted");
         assert!(s.has(1, 1), "fresh row kept");
@@ -300,8 +326,8 @@ mod tests {
     #[test]
     fn clear_resets() {
         let s = FeatureStore::new(4, 2);
-        s.put(1, 0, &[1.0]);
-        s.put(2, 1, &[2.0]);
+        s.put(1, 0, &[1.0]).unwrap();
+        s.put(2, 1, &[2.0]).unwrap();
         s.clear();
         assert_eq!(s.len(1) + s.len(2), 0);
         assert_eq!(s.nbytes(), 0);
@@ -310,7 +336,7 @@ mod tests {
     #[test]
     fn nbytes_counts_rows() {
         let s = FeatureStore::new(4, 1);
-        s.put(1, 0, &[1.0, 2.0, 3.0]);
+        s.put(1, 0, &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(s.nbytes(), 12);
     }
 
@@ -321,7 +347,7 @@ mod tests {
         let n = 3 * N_STRIPES + 5;
         let s = FeatureStore::new(n, 1);
         for v in 0..n {
-            s.put(1, v, &[v as f32]);
+            s.put(1, v, &[v as f32]).unwrap();
         }
         assert_eq!(s.len(1), n);
         for v in 0..n {
@@ -336,8 +362,8 @@ mod tests {
     #[test]
     fn poisoned_stripe_still_serves() {
         let store = Arc::new(FeatureStore::new(2 * N_STRIPES, 1));
-        store.put(1, 0, &[1.0, 2.0]);
-        store.put(1, N_STRIPES, &[3.0, 4.0]); // same stripe as node 0
+        store.put(1, 0, &[1.0, 2.0]).unwrap();
+        store.put(1, N_STRIPES, &[3.0, 4.0]).unwrap(); // same stripe as node 0
         let s = Arc::clone(&store);
         let crash = std::thread::spawn(move || {
             let _guard = s.stripes[stripe_of(0)].write().unwrap();
@@ -354,7 +380,7 @@ mod tests {
             "second row on the poisoned stripe is intact"
         );
         // Writes, bookkeeping and eviction keep working too.
-        store.put(1, 0, &[9.0, 9.0]);
+        store.put(1, 0, &[9.0, 9.0]).unwrap();
         assert_eq!(store.get(1, 0), Some(vec![9.0, 9.0]));
         assert_eq!(store.len(1), 2);
         assert!(store.nbytes() > 0);
@@ -387,7 +413,7 @@ mod tests {
                             .wrapping_add(1442695040888963407);
                         let node = (x >> 33) as usize % NODES;
                         let level = 1 + (x as usize & 1);
-                        store.put(level, node, &[i as f32, w as f32]);
+                        store.put(level, node, &[i as f32, w as f32]).unwrap();
                         if i % 64 == 0 {
                             store.tick();
                         }

@@ -97,6 +97,8 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the parts are inconsistent (wrong lengths, non-monotone
     /// `indptr`, column out of bounds, or unsorted row indices).
+    ///
+    /// Shapes: `indptr.len() == n_rows + 1`, `indices.len() == values.len() == nnz`, every column `< n_cols`.
     pub fn from_parts(
         n_rows: usize,
         n_cols: usize,
@@ -208,6 +210,8 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics if `rhs.rows() != n_cols`.
+    ///
+    /// Shapes: `self` is `(n_rows, n_cols)` sparse and `rhs` `(n_cols, f)` dense; the result is `(n_rows, f)`.
     pub fn spmm(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(rhs.rows(), self.n_cols, "spmm: dimension mismatch");
         let f = rhs.cols();
@@ -224,6 +228,7 @@ impl CsrMatrix {
                 }
             }
         });
+        gcnp_tensor::check::guard_finite("sparse.spmm.finite", "spmm output", out.as_slice());
         out
     }
 
@@ -231,6 +236,8 @@ impl CsrMatrix {
     /// `rows.len() × rhs.cols()` dense matrix where row `i` is
     /// `self.row(rows[i]) · rhs`. This is the batched-inference aggregation
     /// (only supporting nodes are computed). Parallel across output rows.
+    ///
+    /// Shapes: `rhs` is `(n_cols, f)` and every entry of `rows` `< n_rows`; the result is `(rows.len(), f)`.
     pub fn spmm_rows(&self, rows: &[usize], rhs: &Matrix) -> Matrix {
         assert_eq!(rhs.rows(), self.n_cols, "spmm_rows: dimension mismatch");
         let f = rhs.cols();
@@ -247,6 +254,11 @@ impl CsrMatrix {
                 }
             }
         });
+        gcnp_tensor::check::guard_finite(
+            "sparse.spmm_rows.finite",
+            "spmm_rows output",
+            out.as_slice(),
+        );
         out
     }
 

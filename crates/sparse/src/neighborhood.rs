@@ -59,6 +59,8 @@ impl BatchSupport {
     ///   replacement with the seeded RNG, so batches are reproducible.
     /// * `stored(level, node)` reports whether the hidden-feature store can
     ///   serve `h^(level)` of `node`; such nodes are not expanded.
+    ///
+    /// Shapes: every target is `< adj.n_rows()`; `graph_layer.len()` is the layer count `L` and `caps` indexes hops `0..L`.
     pub fn build(
         adj: &CsrMatrix,
         targets: &[usize],

@@ -30,6 +30,8 @@ impl Default for PprConfig {
 
 /// Approximate the personalized PageRank vector of `seed` by forward push.
 /// Returns `(node, score)` pairs: the `top_k` largest entries, L1-normalized.
+///
+/// Shapes: `seed < adj.n_rows()`; the result holds at most `cfg.top_k` `(node, score)` pairs.
 pub fn ppr_push(adj: &CsrMatrix, seed: usize, cfg: &PprConfig) -> Vec<(usize, f32)> {
     assert!(seed < adj.n_rows(), "ppr_push: seed out of bounds");
     assert!(
@@ -94,6 +96,8 @@ pub fn ppr_push(adj: &CsrMatrix, seed: usize, cfg: &PprConfig) -> Vec<(usize, f3
 /// Build the sparse top-k PPR matrix for a set of seed rows: row `i` holds
 /// the normalized PPR neighborhood of `seeds[i]`. This is PPRGo's
 /// aggregation operator `Π` in `Z = Π · f(X)`.
+///
+/// Shapes: every seed is `< adj.n_rows()`; the result is `(seeds.len(), adj.n_rows())` sparse.
 pub fn ppr_matrix(adj: &CsrMatrix, seeds: &[usize], cfg: &PprConfig) -> CsrMatrix {
     let mut edges = Vec::new();
     for (row, &s) in seeds.iter().enumerate() {

@@ -22,6 +22,8 @@ impl RandomWalkSampler {
     /// Sample a subgraph node set: roots drawn uniformly from `pool`, each
     /// followed for `walk_len` steps. Returns the deduplicated, sorted node
     /// ids visited (sorted so induced subgraphs are canonical).
+    ///
+    /// Shapes: every pool entry is `< adj.n_rows()`; the result is a sorted, deduplicated node set.
     pub fn sample(&self, adj: &CsrMatrix, pool: &[usize], rng: &mut StdRng) -> Vec<usize> {
         assert!(!pool.is_empty(), "sample: empty root pool");
         let mut visited = vec![false; adj.n_rows()];

@@ -18,6 +18,8 @@ pub struct DegreeStats {
 }
 
 /// Compute degree statistics of the (directed) adjacency.
+///
+/// Shapes: `adj` must have at least one row.
 pub fn degree_stats(adj: &CsrMatrix) -> DegreeStats {
     let n = adj.n_rows();
     assert!(n > 0, "degree_stats: empty graph");
@@ -36,6 +38,8 @@ pub fn degree_stats(adj: &CsrMatrix) -> DegreeStats {
 /// Edge homophily: the fraction of edges whose endpoints share a label.
 /// The GNN-beats-MLP effect the paper's benchmarks exhibit requires high
 /// homophily; the generators target ~0.8.
+///
+/// Shapes: `labels.len()` must equal `adj.n_rows()`.
 pub fn edge_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
     assert_eq!(
         labels.len(),
@@ -61,6 +65,8 @@ pub fn edge_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
 
 /// Histogram of degrees with the given bucket boundaries (right-open);
 /// returns one count per bucket plus an overflow bucket.
+///
+/// Shapes: `bounds` is strictly increasing; the result has `bounds.len() + 1` buckets.
 pub fn degree_histogram(adj: &CsrMatrix, bounds: &[usize]) -> Vec<usize> {
     assert!(
         bounds.windows(2).all(|w| w[0] < w[1]),

@@ -1,0 +1,185 @@
+//! Runtime invariant checks, compiled in by the `strict-invariants` feature.
+//!
+//! The static side of the repo's correctness story is `gcnp-audit` (shape
+//! contracts are *declared* in kernel docs and the lint enforces their
+//! presence); this module is the dynamic side: with
+//! `--features strict-invariants` the declared contracts are *checked* at
+//! runtime and non-finite values are trapped at the kernel boundary where
+//! they first appear, instead of three layers later as a mysteriously
+//! wrong logit.
+//!
+//! Two failure channels, matching the two kinds of call sites:
+//!
+//! * Fallible paths (the serving engine) call [`assert_finite`] /
+//!   [`shape_contract!`](crate::shape_contract) and surface a typed
+//!   [`CheckError`] the caller converts into its own error vocabulary —
+//!   a bad request must degrade, never abort.
+//! * Infallible kernels (`matmul`, `spmm`, tape backward) call
+//!   [`guard_finite`], which panics with the check name — in training and
+//!   offline code a NaN is a programmer error and fail-fast is the point.
+//!
+//! Without the feature every helper compiles to a no-op and the macro
+//! expands to nothing, so release serving builds pay zero cost.
+
+use std::fmt;
+
+/// True when the `strict-invariants` feature is compiled in.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "strict-invariants")
+}
+
+/// A failed runtime invariant: which check tripped and what it saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Stable check identifier, e.g. `"engine.features.finite"`.
+    pub check: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant `{}` violated: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Scan `data` for NaN/Inf, returning a typed [`CheckError`] naming the
+/// first offender. Always `Ok` when the feature is off.
+///
+/// Shapes: `data` is any flat buffer; `what` names it in the error detail.
+#[inline]
+pub fn assert_finite(check: &'static str, what: &str, data: &[f32]) -> Result<(), CheckError> {
+    if !enabled() {
+        return Ok(());
+    }
+    match first_non_finite(data) {
+        None => Ok(()),
+        Some((i, v)) => Err(CheckError {
+            check,
+            detail: format!(
+                "{what}: non-finite value {v} at flat index {i} (len {})",
+                data.len()
+            ),
+        }),
+    }
+}
+
+/// Like [`assert_finite`] but for infallible kernels: panics with the check
+/// name. No-op when the feature is off.
+///
+/// Shapes: `data` is any flat buffer; `what` names it in the panic message.
+#[inline]
+pub fn guard_finite(check: &'static str, what: &str, data: &[f32]) {
+    if !enabled() {
+        return;
+    }
+    if let Some((i, v)) = first_non_finite(data) {
+        panic!(
+            "invariant `{check}` violated: {what}: non-finite value {v} at flat index {i} (len {})",
+            data.len()
+        );
+    }
+}
+
+/// First `(index, value)` with a non-finite entry, if any.
+///
+/// Shapes: `data` is any flat buffer.
+#[inline]
+pub fn first_non_finite(data: &[f32]) -> Option<(usize, f32)> {
+    data.iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}
+
+/// Declare (and, under `strict-invariants`, enforce) a shape precondition
+/// in a fallible context. When the condition fails the macro returns
+/// `Err(CheckError { .. }.into())` from the enclosing function, so the
+/// caller's error type only needs a `From<CheckError>` impl. Compiles to
+/// nothing without the feature.
+///
+/// ```
+/// use gcnp_tensor::{check::CheckError, shape_contract};
+/// fn gather(rows: usize, n: usize) -> Result<(), CheckError> {
+///     shape_contract!("gather.bounds", rows <= n, "{rows} rows > {n} nodes");
+///     Ok(())
+/// }
+/// assert!(gather(2, 8).is_ok());
+/// ```
+#[macro_export]
+macro_rules! shape_contract {
+    ($check:expr, $cond:expr, $($fmt:tt)+) => {
+        if $crate::check::enabled() && !($cond) {
+            return Err($crate::check::CheckError {
+                check: $check,
+                detail: format!($($fmt)+),
+            }
+            .into());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_non_finite_finds_the_first() {
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+        let (i, v) = first_non_finite(&[0.0, f32::NAN, f32::INFINITY]).unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
+    }
+
+    #[test]
+    fn check_error_display_names_the_check() {
+        let e = CheckError {
+            check: "unit.test",
+            detail: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("unit.test") && s.contains("boom"));
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    mod strict {
+        use super::*;
+
+        #[test]
+        fn assert_finite_traps_nan() {
+            assert!(assert_finite("t", "buf", &[1.0, 2.0]).is_ok());
+            let err = assert_finite("t.nan", "buf", &[1.0, f32::NAN]).unwrap_err();
+            assert_eq!(err.check, "t.nan");
+            assert!(err.detail.contains("index 1"));
+        }
+
+        #[test]
+        #[should_panic(expected = "t.guard")]
+        fn guard_finite_panics_on_inf() {
+            guard_finite("t.guard", "buf", &[f32::INFINITY]);
+        }
+
+        #[test]
+        fn shape_contract_returns_err() {
+            fn f(n: usize) -> Result<(), CheckError> {
+                shape_contract!("t.shape", n < 4, "n = {n} out of range");
+                Ok(())
+            }
+            assert!(f(1).is_ok());
+            let err = f(9).unwrap_err();
+            assert_eq!(err.check, "t.shape");
+            assert!(err.detail.contains('9'));
+        }
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[test]
+    fn everything_is_a_no_op_without_the_feature() {
+        assert!(!enabled());
+        assert!(assert_finite("t", "buf", &[f32::NAN]).is_ok());
+        guard_finite("t", "buf", &[f32::NAN]); // must not panic
+    }
+}

@@ -14,12 +14,14 @@
 //! Everything is deterministic given a seed, which the experiment harness
 //! relies on for reproducibility.
 
+pub mod check;
 pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
 pub mod quant;
 
+pub use check::CheckError;
 pub use matrix::Matrix;
 pub use parallel::{num_threads, parallel_row_chunks, set_num_threads};
 pub use quant::{qmatmul, QuantMatrix};

@@ -47,6 +47,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
+    ///
+    /// Shapes: `data` is flat row-major with `data.len() == rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(
             data.len(),
@@ -63,6 +65,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if rows have differing lengths.
+    ///
+    /// Shapes: `rows` is `r` rows of one common length `c`; the result is `(r, c)`.
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
@@ -228,6 +232,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if row counts differ.
+    ///
+    /// Shapes: `self` is `(r, c1)` and `other` `(r, c2)`; the result is `(r, c1 + c2)`.
     pub fn concat_cols(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "concat_cols: row mismatch");
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
@@ -239,6 +245,8 @@ impl Matrix {
     }
 
     /// Horizontal concatenation of many matrices.
+    ///
+    /// Shapes: every part shares one row count `r`; the result is `(r, sum of part cols)`.
     pub fn concat_cols_all(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_cols_all: empty input");
         let rows = parts[0].rows;
@@ -257,6 +265,8 @@ impl Matrix {
     }
 
     /// Vertical concatenation of many matrices.
+    ///
+    /// Shapes: every part shares one column count `c`; the result is `(sum of part rows, c)`.
     pub fn concat_rows_all(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_rows_all: empty input");
         let cols = parts[0].cols;
@@ -295,6 +305,8 @@ impl Matrix {
     }
 
     /// Approximate equality within `tol` (absolute, elementwise).
+    ///
+    /// Shapes: any; matrices of different shapes compare unequal.
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
             && self
@@ -305,6 +317,8 @@ impl Matrix {
     }
 
     /// Maximum absolute elementwise difference.
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
         self.data

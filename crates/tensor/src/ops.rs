@@ -13,6 +13,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
+    ///
+    /// Shapes: `self` is `(m, k)` and `other` `(k, n)`; the result is `(m, n)`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
@@ -42,10 +44,13 @@ impl Matrix {
                 }
             }
         });
+        crate::check::guard_finite("tensor.matmul.finite", "matmul output", out.as_slice());
         out
     }
 
     /// `selfᵀ · other` (e.g. `∂W = Xᵀ · ∂Y` in linear-layer backward).
+    ///
+    /// Shapes: `self` is `(n, p)` and `other` `(n, q)`; the result is `(p, q)`.
     pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows(), other.rows(), "matmul_at_b: row mismatch");
         // Transpose-then-GEMM keeps both inner loops contiguous; the
@@ -55,6 +60,8 @@ impl Matrix {
 
     /// `self · otherᵀ` (e.g. `∂X = ∂Y · Wᵀ`). Both operands are read
     /// row-contiguously: `C[i][j] = dot(self.row(i), other.row(j))`.
+    ///
+    /// Shapes: `self` is `(m, k)` and `other` `(n, k)`; the result is `(m, n)`.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols(), other.cols(), "matmul_a_bt: col mismatch");
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
@@ -79,21 +86,29 @@ impl Matrix {
     }
 
     /// Elementwise sum into a new matrix.
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a + b)
     }
 
     /// Elementwise difference into a new matrix.
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product into a new matrix.
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.zip_with(other, |a, b| a * b)
     }
 
     /// `self += alpha * other` in place (axpy).
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
         assert_eq!(
             self.shape(),
@@ -106,6 +121,8 @@ impl Matrix {
     }
 
     /// Elementwise in-place sum.
+    ///
+    /// Shapes: `self` and `other` must share one shape.
     pub fn add_assign(&mut self, other: &Matrix) {
         self.add_scaled_assign(other, 1.0);
     }
@@ -135,6 +152,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on shape mismatch.
+    ///
+    /// Shapes: `self` and `other` must share one shape; the result matches it.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
         Matrix::from_vec(
@@ -163,6 +182,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `factors.len() != cols`.
+    ///
+    /// Shapes: `factors.len()` must equal `self.cols()`.
     pub fn scale_cols(&self, factors: &[f32]) -> Matrix {
         assert_eq!(
             factors.len(),
@@ -180,6 +201,8 @@ impl Matrix {
     }
 
     /// Scale row `i` by `factors[i]` (e.g. degree normalization).
+    ///
+    /// Shapes: `factors.len()` must equal `self.rows()`.
     pub fn scale_rows(&self, factors: &[f32]) -> Matrix {
         assert_eq!(
             factors.len(),
@@ -197,6 +220,8 @@ impl Matrix {
     }
 
     /// Broadcast-add a row vector to every row (bias addition).
+    ///
+    /// Shapes: `bias.len()` must equal `self.cols()`.
     pub fn add_row_vector(&self, bias: &[f32]) -> Matrix {
         assert_eq!(bias.len(), self.cols(), "add_row_vector: length mismatch");
         let cols = self.cols();
@@ -294,12 +319,16 @@ impl Matrix {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Shapes: `a` and `b` must have equal lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// `dst += alpha * src` over slices.
+///
+/// Shapes: `dst` and `src` must have equal lengths.
 pub fn axpy(dst: &mut [f32], src: &[f32], alpha: f32) {
     debug_assert_eq!(dst.len(), src.len());
     for (d, &s) in dst.iter_mut().zip(src) {

@@ -177,6 +177,8 @@ impl ScopeLatch {
 ///
 /// # Panics
 /// Re-raises the first panic raised by `f`, with its original payload.
+///
+/// Shapes: `out.len()` must equal `rows * row_len`; each chunk is a whole number of rows.
 pub fn parallel_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,

@@ -23,6 +23,8 @@ pub struct QuantMatrix {
 
 impl QuantMatrix {
     /// Quantize a weight matrix per output column.
+    ///
+    /// Shapes: `m` is `(r, c)`; the quantized matrix is `(r, c)` with one scale per column.
     pub fn quantize(m: &Matrix) -> QuantMatrix {
         let (rows, cols) = m.shape();
         let mut scales = vec![0f32; cols];
@@ -78,6 +80,8 @@ impl QuantMatrix {
 }
 
 /// Per-tensor symmetric activation quantization scale for `x`.
+///
+/// Shapes: `x` is any matrix; the scale is per-tensor (scalar).
 pub fn activation_scale(x: &Matrix) -> f32 {
     let max = x.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
     if max > 0.0 {
@@ -90,6 +94,8 @@ pub fn activation_scale(x: &Matrix) -> f32 {
 /// Quantized GEMM: `x · w` where `x` is f32 (quantized on the fly per
 /// tensor) and `w` is int8 per-column. Accumulates in i32, dequantizes to
 /// f32. This is the arithmetic an int8 edge accelerator would perform.
+///
+/// Shapes: `x` is `(m, k)` and `w` `(k, n)`; the result is `(m, n)`.
 pub fn qmatmul(x: &Matrix, w: &QuantMatrix) -> Matrix {
     assert_eq!(x.cols(), w.rows, "qmatmul: inner dimension mismatch");
     let sx = activation_scale(x);

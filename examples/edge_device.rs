@@ -47,7 +47,9 @@ fn main() {
     let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
     offline.sort_unstable();
     for level in 1..pruned.n_layers() {
-        store.put_rows(level, &offline, &hs[level - 1].gather_rows(&offline));
+        store
+            .put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
+            .unwrap();
     }
 
     // Int8 weight quantization composes with pruning for edge deployment.

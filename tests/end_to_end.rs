@@ -109,7 +109,7 @@ fn store_round_trip_preserves_batched_logits() {
     let store = FeatureStore::new(data.n_nodes(), model.n_layers() - 1);
     let all: Vec<usize> = (0..data.n_nodes()).collect();
     for level in 1..model.n_layers() {
-        store.put_rows(level, &all, &hs[level - 1]);
+        store.put_rows(level, &all, &hs[level - 1]).unwrap();
     }
     let mut bengine = BatchedEngine::new(
         &model,

@@ -95,7 +95,7 @@ proptest! {
         let store = FeatureStore::new(adj.n_rows(), model.n_layers() - 1);
         let all: Vec<usize> = (0..adj.n_rows()).collect();
         for level in 1..model.n_layers() {
-            store.put_rows(level, &all, &hs[level - 1]);
+            store.put_rows(level, &all, &hs[level - 1]).unwrap();
         }
         let mut engine = BatchedEngine::new(
             &model, &adj, &x, vec![], Some(&store), StorePolicy::None, seed,

@@ -107,7 +107,7 @@ fn store_rejects_wrong_width() {
     let x = Matrix::filled(4, 4, 1.0);
     let model = zoo::graphsage(4, 8, 2, 6);
     let store = FeatureStore::new(4, 2);
-    store.put(1, 1, &[1.0, 2.0]); // wrong width: layer 1 emits 8 channels
+    store.put(1, 1, &[1.0, 2.0]).unwrap(); // wrong width: layer 1 emits 8 channels
     let mut engine =
         BatchedEngine::new(&model, &adj, &x, vec![], Some(&store), StorePolicy::None, 0);
     assert_eq!(
