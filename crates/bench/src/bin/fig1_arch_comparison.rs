@@ -247,7 +247,7 @@ fn main() {
         });
     }
 
-    rows.sort_by(|a, b| b.thpt_kn_s.partial_cmp(&a.thpt_kn_s).unwrap());
+    rows.sort_by(|a, b| b.thpt_kn_s.total_cmp(&a.thpt_kn_s));
     print_table(
         &["Architecture", "F1-Micro", "Thpt(kN/s)", "Train(s)"],
         &rows

@@ -11,17 +11,22 @@
 //! cargo run --release -p gcnp-bench --bin fig5_tradeoffs
 //! ```
 
-use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::harness::{fnum, print_table, StageJson};
 use gcnp_bench::{pipeline, Ctx};
 use gcnp_core::{PruneMethod, Scheme};
 use gcnp_datasets::Dataset;
 use gcnp_datasets::DatasetKind;
-use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_infer::{
+    format_stage_table, stage_breakdown, BatchedEngine, EngineMetrics, FeatureStore, FullEngine,
+    StorePolicy,
+};
 use gcnp_models::{GnnModel, Metrics};
+use gcnp_obs::{median, MetricsRegistry};
 use gcnp_sparse::Normalization;
 use gcnp_tensor::init::{sample_normal, seeded_rng};
 use gcnp_tensor::Matrix;
 use serde::Serialize;
+use std::sync::Arc;
 
 const HOP2_CAP: usize = 32;
 
@@ -44,11 +49,9 @@ struct StoreRow {
 struct Out {
     latency_vs_batch: Vec<LatencyRow>,
     store_tradeoff: Vec<StoreRow>,
-}
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
+    /// Per-stage engine timing accumulated over every serving run above
+    /// (`gcnp-obs` stage histograms; `share` is the fraction of stage time).
+    stage_breakdown: Vec<StageJson>,
 }
 
 fn serve_latencies(
@@ -57,6 +60,7 @@ fn serve_latencies(
     store: Option<&FeatureStore>,
     batch: usize,
     seed: u64,
+    registry: &Arc<MetricsRegistry>,
 ) -> (Vec<f64>, f64) {
     let mut engine = BatchedEngine::new(
         model,
@@ -71,6 +75,7 @@ fn serve_latencies(
         },
         seed,
     );
+    engine.set_metrics(EngineMetrics::new(registry));
     let mut lat = Vec::new();
     let mut preds: Vec<(usize, Vec<f32>)> = Vec::new();
     for chunk in data.test.chunks(batch) {
@@ -106,12 +111,15 @@ fn main() {
     let model = &pruned.model;
     let adj = data.adj.normalized(Normalization::Row);
     let n_levels = model.n_layers() - 1;
+    // One registry across every serving run: the end-of-run breakdown shows
+    // where the figure's total batch time went.
+    let registry = Arc::new(MetricsRegistry::new());
 
     // ---- (a) latency vs batch size ---------------------------------------
     println!("-- Fig 5a: latency vs batch size --");
     let mut latency_rows = Vec::new();
     for batch in [64usize, 128, 256, 512, 1024, 2048] {
-        let (lat_plain, _) = serve_latencies(model, &data, None, batch, ctx.seed);
+        let (lat_plain, _) = serve_latencies(model, &data, None, batch, ctx.seed, &registry);
         // Fresh pre-populated store (train+val) per batch-size run.
         let engine = FullEngine::new(model, Some(&adj));
         let hs = engine.hidden(&data.features);
@@ -123,7 +131,8 @@ fn main() {
                 .put_rows(level, &offline, &hs[level - 1].gather_rows(&offline))
                 .unwrap();
         }
-        let (lat_store, _) = serve_latencies(model, &data, Some(&store), batch, ctx.seed);
+        let (lat_store, _) =
+            serve_latencies(model, &data, Some(&store), batch, ctx.seed, &registry);
         let row = LatencyRow {
             batch_size: batch,
             latency_ms_no_store: median(lat_plain),
@@ -139,7 +148,7 @@ fn main() {
     // ---- (b) store percentage trade-off -----------------------------------
     println!("-- Fig 5b: store percentage trade-off --");
     // Baseline: no store.
-    let (lat0, f1_0) = serve_latencies(model, &data, None, 512, ctx.seed);
+    let (lat0, f1_0) = serve_latencies(model, &data, None, 512, ctx.seed, &registry);
     let base_max = lat0.iter().cloned().fold(0.0f64, f64::max);
     // Stale hidden features: recomputed from perturbed attributes, standing
     // in for features cached before the graph/attributes evolved.
@@ -162,7 +171,7 @@ fn main() {
                 .unwrap();
         }
         let store_mb = store.nbytes() as f64 / 1e6;
-        let (lat, f1) = serve_latencies(model, &data, Some(&store), 512, ctx.seed);
+        let (lat, f1) = serve_latencies(model, &data, Some(&store), 512, ctx.seed, &registry);
         let max_lat = lat.iter().cloned().fold(0.0f64, f64::max);
         let row = StoreRow {
             store_pct: pct,
@@ -204,8 +213,12 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    let stages = stage_breakdown(&registry.snapshot());
+    println!("-- engine stage breakdown (all runs) --");
+    print!("{}", format_stage_table(&stages));
     ctx.write_json(&Out {
         latency_vs_batch: latency_rows,
         store_tradeoff: store_rows,
+        stage_breakdown: stages.iter().map(StageJson::from).collect(),
     });
 }

@@ -7,15 +7,20 @@
 //! cargo run --release -p gcnp-bench --bin table4_batched_inference
 //! ```
 
-use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::harness::{fnum, print_table, StageJson};
 use gcnp_bench::{pipeline, Ctx};
 use gcnp_core::{PruneMethod, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
-use gcnp_infer::{BatchedEngine, FeatureStore, FullEngine, StorePolicy};
+use gcnp_infer::{
+    format_stage_table, stage_breakdown, BatchedEngine, EngineMetrics, FeatureStore, FullEngine,
+    StorePolicy,
+};
 use gcnp_models::{GnnModel, Metrics};
+use gcnp_obs::{median, MetricsRegistry};
 use gcnp_sparse::Normalization;
 use gcnp_tensor::Matrix;
 use serde::Serialize;
+use std::sync::Arc;
 
 const BATCH: usize = 512;
 const HOP2_CAP: usize = 32;
@@ -32,6 +37,14 @@ struct Row {
     lat_impr: f64,
 }
 
+#[derive(Serialize)]
+struct Out {
+    rows: Vec<Row>,
+    /// Per-stage engine timing accumulated over every serving run above
+    /// (`gcnp-obs` stage histograms; `share` is the fraction of stage time).
+    stage_breakdown: Vec<StageJson>,
+}
+
 /// Serve the whole test set in batches; returns (F1, kMACs/target, max
 /// per-batch memory MB, median latency ms, logits rows in test order).
 fn serve(
@@ -39,6 +52,7 @@ fn serve(
     data: &Dataset,
     store: Option<&FeatureStore>,
     seed: u64,
+    registry: &Arc<MetricsRegistry>,
 ) -> (f64, f64, f64, f64) {
     let mut engine = BatchedEngine::new(
         model,
@@ -53,6 +67,7 @@ fn serve(
         },
         seed,
     );
+    engine.set_metrics(EngineMetrics::new(registry));
     let mut lat = Vec::new();
     let mut macs = 0u64;
     let mut mem_max = 0usize;
@@ -73,8 +88,7 @@ fn serve(
         logits.row_mut(r).copy_from_slice(row);
     }
     let f1 = Metrics::f1_micro(&logits, &data.labels, &idx);
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median_lat = lat[lat.len() / 2] * 1e3;
+    let median_lat = median(lat) * 1e3;
     let kmacs = macs as f64 / data.test.len() as f64 / 1e3;
     (f1, kmacs, mem_max as f64 / 1e6, median_lat)
 }
@@ -106,6 +120,9 @@ fn main() {
         DatasetKind::ProductsSim,
     ];
     let mut rows: Vec<Row> = Vec::new();
+    // One registry across every serving run: the end-of-run breakdown shows
+    // where the table's total batch time went.
+    let registry = Arc::new(MetricsRegistry::new());
     for kind in kinds {
         let data = pipeline::dataset(&ctx, kind);
         let reference = pipeline::reference_model(&ctx, kind, &data);
@@ -121,7 +138,7 @@ fn main() {
                 PruneMethod::Lasso,
             );
             // Without stored hidden features.
-            let (f1, kmacs, mem, lat) = serve(&pruned.model, &data, None, ctx.seed);
+            let (f1, kmacs, mem, lat) = serve(&pruned.model, &data, None, ctx.seed, &registry);
             if budget >= 1.0 {
                 base_lat = lat;
             }
@@ -137,7 +154,8 @@ fn main() {
             });
             // With stored hidden features (train+val offline, roots online).
             let store = build_store(&pruned.model, &data);
-            let (f1, kmacs, mem, lat) = serve(&pruned.model, &data, Some(&store), ctx.seed);
+            let (f1, kmacs, mem, lat) =
+                serve(&pruned.model, &data, Some(&store), ctx.seed, &registry);
             rows.push(Row {
                 dataset: data.name.clone(),
                 budget: label.into(),
@@ -177,5 +195,11 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    ctx.write_json(&rows);
+    let stages = stage_breakdown(&registry.snapshot());
+    println!("-- engine stage breakdown (all runs) --");
+    print!("{}", format_stage_table(&stages));
+    ctx.write_json(&Out {
+        rows,
+        stage_breakdown: stages.iter().map(StageJson::from).collect(),
+    });
 }

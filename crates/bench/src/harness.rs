@@ -1,8 +1,37 @@
 //! Experiment context: result persistence and table formatting.
 
+use gcnp_infer::StageRow;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+
+/// Serializable form of an engine stage-breakdown row, emitted by the
+/// experiment binaries alongside their main result tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageJson {
+    /// Stage name (one of [`gcnp_infer::STAGES`]).
+    pub stage: String,
+    /// Batches that recorded this stage.
+    pub batches: u64,
+    /// Summed stage wall time, milliseconds.
+    pub total_ms: f64,
+    /// Mean stage wall time per batch, milliseconds.
+    pub mean_ms: f64,
+    /// Fraction of the summed time across all stages (0..=1).
+    pub share: f64,
+}
+
+impl From<&StageRow> for StageJson {
+    fn from(r: &StageRow) -> Self {
+        Self {
+            stage: r.stage.to_string(),
+            batches: r.batches,
+            total_ms: r.total_ms,
+            mean_ms: r.mean_ms,
+            share: r.share,
+        }
+    }
+}
 
 /// Context shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -48,12 +77,16 @@ impl Ctx {
         println!("results written to {}", path.display());
     }
 
-    /// Path for a cache entry.
+    /// Path for a cache entry. The scale factor is encoded losslessly via its
+    /// IEEE-754 bit pattern: the old `(scale * 1000.0) as u64` truncation
+    /// collided distinct scales (e.g. 0.0014 vs 0.0019 both mapped to `d1`,
+    /// and every scale below 0.001 mapped to `d0`), silently serving one
+    /// run's cached results to another.
     pub fn cache_path(&self, key: &str) -> PathBuf {
         self.results_dir.join("cache").join(format!(
-            "{key}_s{}_d{}.json",
+            "{key}_s{}_d{:016x}.json",
             self.seed,
-            (self.scale * 1000.0) as u64
+            self.scale.to_bits()
         ))
     }
 
@@ -129,5 +162,45 @@ pub fn fnum(v: f64, prec: usize) -> String {
         "-".into()
     } else {
         format!("{v:.prec$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with_scale(scale: f64) -> Ctx {
+        Ctx {
+            name: "test".into(),
+            results_dir: PathBuf::from("/tmp/results"),
+            scale,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn cache_path_distinguishes_close_scales() {
+        // Regression: `(scale * 1000.0) as u64` mapped 0.0014 and 0.0019 to
+        // the same `d1` suffix and every sub-0.001 scale to `d0`.
+        let pairs = [(0.0014, 0.0019), (0.0001, 0.0009), (1.0, 1.0004)];
+        for (a, b) in pairs {
+            assert_ne!(
+                ctx_with_scale(a).cache_path("k"),
+                ctx_with_scale(b).cache_path("k"),
+                "scales {a} and {b} must not share a cache file"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_path_stable_for_equal_scales() {
+        assert_eq!(
+            ctx_with_scale(0.25).cache_path("k"),
+            ctx_with_scale(0.25).cache_path("k")
+        );
+        // Different seeds still get distinct entries.
+        let mut other = ctx_with_scale(0.25);
+        other.seed = 43;
+        assert_ne!(ctx_with_scale(0.25).cache_path("k"), other.cache_path("k"));
     }
 }

@@ -5,13 +5,16 @@ use crate::args::Args;
 use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
 use gcnp_infer::{
-    serve_multi, simulate_tiered, BatchedEngine, FaultPlan, FeatureStore, FullEngine, LadderPolicy,
-    QuantizedGnn, ServingConfig, StorePolicy,
+    format_stage_table, serve_multi, simulate_tiered, stage_breakdown, BatchedEngine,
+    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, QuantizedGnn, ServingConfig,
+    StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
+use gcnp_obs::MetricsRegistry;
 use gcnp_sparse::Normalization;
 use gcnp_tensor::Matrix;
 use std::fs;
+use std::sync::Arc;
 
 fn load_dataset(path: &str) -> Result<Dataset, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -224,10 +227,28 @@ pub fn eval(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Persist a metrics snapshot: JSON exposition to `path`, Prometheus text
+/// to `path.prom`. Returns the epilogue appended to the serve summary
+/// (file locations plus the engine stage-breakdown table, when any stage
+/// histograms recorded samples).
+fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, String> {
+    let snap = registry.snapshot();
+    fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    let prom = format!("{path}.prom");
+    fs::write(&prom, snap.to_prometheus()).map_err(|e| format!("write {prom}: {e}"))?;
+    let stages = stage_breakdown(&snap);
+    let mut msg = format!("\nmetrics -> {path} (+ {prom})");
+    if !stages.is_empty() {
+        msg.push('\n');
+        msg.push_str(&format_stage_table(&stages));
+    }
+    Ok(msg)
+}
+
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
 ///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
 ///  [--deadline-ms f] [--queue-cap n] [--retry-cap n] [--faults spec]
-///  [--ladder]`
+///  [--ladder] [--metrics-out file]`
 ///
 /// With `--workers n` (n > 1) the request trace is drained by `n` engine
 /// replicas sharing one feature store (throughput mode, no latency
@@ -236,6 +257,10 @@ pub fn eval(args: &Args) -> Result<String, String> {
 /// [`gcnp_infer::FaultPlan::parse`]), `--deadline-ms`/`--queue-cap` turn on
 /// deadline and admission shedding, and `--ladder` (single-worker) serves
 /// through a full → pruned-2x → pruned-4x degradation ladder.
+/// `--metrics-out file` attaches a `gcnp-obs` registry to the engines and
+/// feature store, writes the end-of-run snapshot as JSON to `file` and
+/// Prometheus text to `file.prom`, and appends a per-stage engine timing
+/// table to the summary.
 pub fn serve(args: &Args) -> Result<String, String> {
     // Validate the chaos spec before any file I/O so typos fail instantly.
     let faults = match args.get("faults") {
@@ -249,6 +274,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let data = load_dataset(args.require("data")?)?;
     let model = load_model(args.require("model")?)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    // One registry shared by every engine replica / tier and the store.
+    let metrics = args
+        .get("metrics-out")
+        .map(|p| (p.to_string(), Arc::new(MetricsRegistry::new())));
     let store_holder;
     let store = if args.has("store") {
         let adj = data.adj.normalized(Normalization::Row);
@@ -266,6 +295,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
     } else {
         None
     };
+    if let (Some((_, reg)), Some(s)) = (&metrics, store) {
+        s.attach_metrics(reg);
+    }
     let cfg = ServingConfig {
         arrival_rate: args.get_or("rate", 500.0)?,
         max_batch: args.get_or("max-batch", 64)?,
@@ -296,7 +328,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
                     seed ^ w as u64,
                 );
                 if let Some(inj) = &faults {
-                    e.set_faults(std::sync::Arc::clone(inj));
+                    e.set_faults(Arc::clone(inj));
+                }
+                if let Some((_, reg)) = &metrics {
+                    e.set_metrics(EngineMetrics::new(reg));
                 }
                 e
             })
@@ -317,6 +352,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
                 "; shed {}, recovered {} panics ({} workers lost), {} clean failures, {} retries",
                 rep.shed, rep.recoveries, rep.workers_lost, rep.failures, rep.retries
             ));
+        }
+        if let Some((path, reg)) = &metrics {
+            msg.push_str(&write_metrics(path, reg)?);
         }
         return Ok(msg);
     }
@@ -353,7 +391,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
                 seed,
             );
             if let Some(inj) = &faults {
-                e.set_faults(std::sync::Arc::clone(inj));
+                e.set_faults(Arc::clone(inj));
+            }
+            if let Some((_, reg)) = &metrics {
+                e.set_metrics(EngineMetrics::new(reg));
             }
             e
         })
@@ -390,6 +431,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
             "; ladder traffic {:?} across {} switches",
             rep.tier_served, rep.tier_switches
         ));
+    }
+    if let Some((path, reg)) = &metrics {
+        msg.push_str(&write_metrics(path, reg)?);
     }
     Ok(msg)
 }
@@ -457,11 +501,26 @@ mod tests {
         let msg = run(&parse(&format!("eval --data {d} --model {q} --quantized"))).unwrap();
         assert!(msg.contains("quantized"));
 
+        let mx = dir.join("metrics.json").display().to_string();
         let msg = run(&parse(&format!(
-            "serve --data {d} --model {p} --requests 50 --rate 200 --store"
+            "serve --data {d} --model {p} --requests 50 --rate 200 --store --metrics-out {mx}"
         )))
         .unwrap();
         assert!(msg.contains("p99"));
+        assert!(msg.contains("metrics ->"), "{msg}");
+        let json = std::fs::read_to_string(&mx).unwrap();
+        let prom = std::fs::read_to_string(format!("{mx}.prom")).unwrap();
+        if gcnp_obs::enabled() {
+            // The snapshot carries engine stage timings, store counters and
+            // serving counters; the summary ends with the stage table.
+            assert!(json.contains("\"engine.batches\""), "{json}");
+            assert!(json.contains("\"engine.stage.spmm.seconds\""), "{json}");
+            assert!(json.contains("\"serving.served\""), "{json}");
+            assert!(json.contains("\"store.hit.l1\""), "{json}");
+            assert!(prom.contains("engine_batch_seconds_bucket"), "{prom}");
+            assert!(prom.contains("serving_served"), "{prom}");
+            assert!(msg.contains("spmm"), "{msg}");
+        }
 
         // Overload with a deadline and a bounded queue: the report accounts
         // for shedding instead of pretending everything was served on time.
@@ -474,13 +533,18 @@ mod tests {
 
         // Chaos flags: one injected panic on two workers is recovered, not
         // fatal (retry cap covers it, so every request is still served).
+        let mw = dir.join("metrics_multi.json").display().to_string();
         let msg = run(&parse(&format!(
             "serve --data {d} --model {p} --requests 60 --workers 2 \
-             --faults panics=1,stragglers=2,horizon=6,seed=3"
+             --faults panics=1,stragglers=2,horizon=6,seed=3 --metrics-out {mw}"
         )))
         .unwrap();
         assert!(msg.contains("served 60/60"), "{msg}");
         assert!(msg.contains("recovered 1 panics"), "{msg}");
+        let json = std::fs::read_to_string(&mw).unwrap();
+        if gcnp_obs::enabled() {
+            assert!(json.contains("\"serving.recoveries\""), "{json}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use crate::error::{ServingError, ServingResult};
 use crate::faults::{Fault, FaultInjector};
+use crate::metrics::EngineMetrics;
 use crate::store::FeatureStore;
 
 /// Sentinel in the dense relabel table: node not present at this level.
@@ -79,6 +80,80 @@ pub struct BatchedEngine<'a> {
     /// Optional fault-injection hook (chaos testing); `None` costs one
     /// branch per batch.
     faults: Option<Arc<FaultInjector>>,
+    /// Optional per-stage instrumentation (see [`crate::metrics`]); `None`
+    /// (or an `obs-off` build) skips all clock reads.
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+/// Stages charged by the engine's [`StageClock`].
+#[derive(Clone, Copy)]
+enum Stage {
+    Expand,
+    Relabel,
+    StoreProbe,
+    Spmm,
+    Gemm,
+    WriteBack,
+}
+
+/// Contiguous-lap stage stopwatch: each `lap(stage)` charges the time since
+/// the previous lap to `stage`, so the per-stage sums tile the instrumented
+/// span — they add up to the batch's compute time by construction (no gaps,
+/// no double counting).
+struct StageClock {
+    last: Instant,
+    expand: f64,
+    relabel: f64,
+    store_probe: f64,
+    spmm: f64,
+    gemm: f64,
+    write_back: f64,
+}
+
+impl StageClock {
+    fn start(at: Instant) -> Self {
+        Self {
+            last: at,
+            expand: 0.0,
+            relabel: 0.0,
+            store_probe: 0.0,
+            spmm: 0.0,
+            gemm: 0.0,
+            write_back: 0.0,
+        }
+    }
+
+    fn lap(&mut self, stage: Stage) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        let slot = match stage {
+            Stage::Expand => &mut self.expand,
+            Stage::Relabel => &mut self.relabel,
+            Stage::StoreProbe => &mut self.store_probe,
+            Stage::Spmm => &mut self.spmm,
+            Stage::Gemm => &mut self.gemm,
+            Stage::WriteBack => &mut self.write_back,
+        };
+        *slot += dt;
+    }
+
+    fn record(&self, m: &EngineMetrics) {
+        m.expand.observe(self.expand);
+        m.relabel.observe(self.relabel);
+        m.store_probe.observe(self.store_probe);
+        m.spmm.observe(self.spmm);
+        m.gemm.observe(self.gemm);
+        m.write_back.observe(self.write_back);
+    }
+}
+
+/// Lap helper for the optional clock (one branch when uninstrumented).
+#[inline]
+fn lap(clock: &mut Option<StageClock>, stage: Stage) {
+    if let Some(c) = clock.as_mut() {
+        c.lap(stage);
+    }
 }
 
 impl<'a> BatchedEngine<'a> {
@@ -114,6 +189,7 @@ impl<'a> BatchedEngine<'a> {
             touched: Vec::new(),
             dirty: false,
             faults: None,
+            metrics: None,
         }
     }
 
@@ -121,6 +197,19 @@ impl<'a> BatchedEngine<'a> {
     /// should share one `Arc` so the attempt counter is global.
     pub fn set_faults(&mut self, faults: Arc<FaultInjector>) {
         self.faults = Some(faults);
+    }
+
+    /// Attach a metrics bundle (see [`crate::metrics`]). Fleet replicas
+    /// should build their bundles from one shared
+    /// [`gcnp_obs::MetricsRegistry`] so per-stage timings accumulate across
+    /// workers. A `None`-metrics engine (the default) reads no clocks.
+    pub fn set_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics bundle, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Serve one batch of target nodes, panicking on any serving error —
@@ -198,6 +287,12 @@ impl<'a> BatchedEngine<'a> {
             }
             res.seconds = t0.elapsed().as_secs_f64();
         }
+        if let Some(m) = &self.metrics {
+            // End-to-end batch time, including injected straggle — so a
+            // chaos run's batch distribution shows the stall the stage
+            // timings (compute only) do not.
+            m.batch_seconds.observe(res.seconds);
+        }
         Ok(res)
     }
 
@@ -210,6 +305,14 @@ impl<'a> BatchedEngine<'a> {
         touched: &mut Vec<usize>,
         t0: Instant,
     ) -> ServingResult<BatchResult> {
+        // Stage clock: only when a bundle is attached AND `obs` is compiled
+        // in (the `enabled()` check const-folds the whole thing away in
+        // obs-off builds, clock reads included).
+        let mut clock = self
+            .metrics
+            .as_ref()
+            .filter(|_| gcnp_obs::enabled())
+            .map(|_| StageClock::start(Instant::now()));
         let graph_flags: Vec<bool> = self.model.layers.iter().map(|l| l.uses_graph()).collect();
         let n_layers = graph_flags.len();
         let support = BatchSupport::build(
@@ -220,6 +323,7 @@ impl<'a> BatchedEngine<'a> {
             batch_seed,
             |level, node| store.is_some_and(|s| s.has(level, node)),
         );
+        lap(&mut clock, Stage::Expand);
 
         let mut macs: u64 = 0;
         let mut mem_bytes: usize = self.model.n_weights() * 4;
@@ -243,6 +347,7 @@ impl<'a> BatchedEngine<'a> {
             touched.push(v);
         }
         mem_bytes += level_mat.nbytes();
+        lap(&mut clock, Stage::Relabel);
 
         for li in 1..=n_layers {
             let ls = &support.layers[li - 1]; // audit: allow(no-fail-stop) — li ranges over 1..=n_layers and support has one entry per layer
@@ -261,7 +366,9 @@ impl<'a> BatchedEngine<'a> {
                     macs += (ls.neigh_ids.len() * branch.in_dim()) as u64;
                 }
                 macs += (gathered.rows() * branch.in_dim() * branch.out_dim()) as u64;
+                lap(&mut clock, Stage::Spmm);
                 parts.push(gathered.matmul(&branch.weight));
+                lap(&mut clock, Stage::Gemm);
             }
             let refs: Vec<&Matrix> = parts.iter().collect();
             let mut out = match layer.combine {
@@ -289,6 +396,7 @@ impl<'a> BatchedEngine<'a> {
                 gcnp_models::Activation::None => out,
             };
             mem_bytes += out.nbytes();
+            lap(&mut clock, Stage::Gemm); // combine + bias + activation
 
             // --- assemble the level-li feature table ----------------------
             let width = out.cols();
@@ -302,6 +410,7 @@ impl<'a> BatchedEngine<'a> {
                 relabel[v] = i as u32; // audit: allow(no-fail-stop) — compute nodes come from BatchSupport over this graph
                 touched.push(v);
             }
+            lap(&mut clock, Stage::Relabel);
             for (j, &v) in ls.stored.iter().enumerate() {
                 let s = store.ok_or(ServingError::MissingStoredRow { level: li, node: v })?;
                 let mut wrong_width = None;
@@ -329,6 +438,7 @@ impl<'a> BatchedEngine<'a> {
                 store_hits += 1;
                 mem_bytes += width * 4;
             }
+            lap(&mut clock, Stage::StoreProbe);
 
             // --- write-back policy (middle levels only) -------------------
             if li < n_layers {
@@ -350,6 +460,7 @@ impl<'a> BatchedEngine<'a> {
                         }
                     }
                 }
+                lap(&mut clock, Stage::WriteBack);
             }
             level_mat = mat;
         }
@@ -368,6 +479,12 @@ impl<'a> BatchedEngine<'a> {
             })
             .collect();
         let logits = level_mat.gather_rows(&rows);
+        lap(&mut clock, Stage::Relabel); // tick + target extraction
+        if let (Some(c), Some(m)) = (clock.as_ref(), self.metrics.as_deref()) {
+            c.record(m);
+            m.batches.inc();
+            m.batch_size.observe(support.targets.len() as f64);
+        }
 
         Ok(BatchResult {
             logits,
@@ -761,6 +878,73 @@ mod tests {
         assert_eq!(stormed.store_hits, 0, "storm batch must miss everything");
         let warm = engine.try_infer(&[10, 11]).unwrap();
         assert!(warm.store_hits > 0, "next batch hits the store again");
+    }
+
+    #[test]
+    fn stage_timings_cover_batch_compute() {
+        // Acceptance: the per-stage timings must sum to within 10% of the
+        // reported batch compute time. The StageClock's contiguous laps tile
+        // the instrumented span, so only the thin try_infer prologue (target
+        // range checks, scratch checkout) falls outside the stage sums —
+        // keep the workload big enough that compute dominates it.
+        if !gcnp_obs::enabled() {
+            return;
+        }
+        let n = 512;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for d in [1u32, 7, 31] {
+                let j = (i + d) % n as u32;
+                edges.push((i, j));
+                edges.push((j, i));
+            }
+        }
+        let adj = CsrMatrix::adjacency(n, &edges);
+        let x = Matrix::rand_uniform(n, 32, -1.0, 1.0, &mut seeded_rng(17));
+        let model = zoo::graphsage(32, 64, 8, 19);
+        let store = FeatureStore::new(n, 2);
+        let registry = Arc::new(gcnp_obs::MetricsRegistry::new());
+        let mut engine = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::Roots,
+            0,
+        );
+        engine.set_metrics(crate::EngineMetrics::new(&registry));
+
+        let mut total_compute = 0.0f64;
+        let n_batches = 8u64;
+        for b in 0..n_batches as usize {
+            let targets: Vec<usize> = (b * 17..b * 17 + 32).map(|v| v % n).collect();
+            total_compute += engine.try_infer(&targets).unwrap().seconds;
+        }
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["engine.batches"], n_batches);
+        let batch_hist = &snap.histograms["engine.batch.seconds"];
+        assert_eq!(batch_hist.count, n_batches);
+        let stage_sum: f64 = crate::STAGES
+            .iter()
+            .map(|s| snap.histograms[&format!("engine.stage.{s}.seconds")].sum)
+            .sum();
+        let gap = (total_compute - stage_sum).abs();
+        assert!(
+            gap <= 0.10 * total_compute,
+            "stage sum {stage_sum:.6}s vs batch compute {total_compute:.6}s \
+             (gap {:.1}%)",
+            100.0 * gap / total_compute
+        );
+        // Every stage histogram saw every batch.
+        for s in crate::STAGES {
+            assert_eq!(
+                snap.histograms[&format!("engine.stage.{s}.seconds")].count,
+                n_batches,
+                "stage {s} must record once per batch"
+            );
+        }
     }
 
     #[test]

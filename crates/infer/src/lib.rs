@@ -25,6 +25,7 @@ pub mod costmodel;
 pub mod error;
 pub mod faults;
 pub mod full;
+pub mod metrics;
 pub mod quantized;
 pub mod serving;
 pub mod store;
@@ -35,6 +36,10 @@ pub use costmodel::CostModel;
 pub use error::{ServingError, ServingResult};
 pub use faults::{Fault, FaultInjector, FaultPlan};
 pub use full::{FullEngine, FullResult};
+pub use metrics::{
+    format_stage_table, stage_breakdown, EngineMetrics, ServingMetrics, StageRow, StoreMetrics,
+    STAGES,
+};
 pub use quantized::QuantizedGnn;
 pub use serving::{
     serve_multi, simulate, simulate_tiered, LadderPolicy, MultiServingReport, ServingConfig,

@@ -1,0 +1,327 @@
+//! Metric bundles wiring [`gcnp_obs`] through the inference stack.
+//!
+//! Hot paths never look metrics up by name: each bundle resolves its
+//! counters/histograms from the shared [`MetricsRegistry`] once at
+//! construction and the record sites touch pre-resolved `Arc`s (a relaxed
+//! atomic op each — and compiled-out no-ops without the `obs` feature).
+//!
+//! Naming scheme (dots group, Prometheus exposition maps them to `_`):
+//!
+//! * `engine.stage.{expand|relabel|store_probe|spmm|gemm|write_back}.seconds`
+//!   — per-batch wall time of each [`crate::BatchedEngine`] stage;
+//! * `engine.batch.seconds` / `engine.batch.size` / `engine.batches`;
+//! * `store.{hit|miss|evict|write}.l{level}` + `store.poison_recovered`;
+//! * `serving.*` — loop counters (shed, retries, recoveries, tier switches)
+//!   and the `serving.queue.depth` / `serving.batch.size` distributions.
+
+use gcnp_obs::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+use std::sync::Arc;
+
+/// The instrumented stages of one batched-inference pass, in execution
+/// order. `stage_breakdown` reports them in this order too.
+pub const STAGES: [&str; 6] = [
+    "expand",
+    "relabel",
+    "store_probe",
+    "spmm",
+    "gemm",
+    "write_back",
+];
+
+/// Pre-resolved metrics of one [`crate::BatchedEngine`]. Engines on a fleet
+/// should share one registry (same metric names accumulate across replicas).
+pub struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Seconds spent building the [`gcnp_sparse::BatchSupport`] expansion.
+    pub expand: Arc<Histogram>,
+    /// Seconds in dense relabel-table maintenance and level assembly.
+    pub relabel: Arc<Histogram>,
+    /// Seconds reading stored hidden-feature rows.
+    pub store_probe: Arc<Histogram>,
+    /// Seconds in sparse aggregation (gather / mean over neighbors).
+    pub spmm: Arc<Histogram>,
+    /// Seconds in dense transforms (matmul, combine, bias, activation).
+    pub gemm: Arc<Histogram>,
+    /// Seconds writing hidden features back to the store.
+    pub write_back: Arc<Histogram>,
+    /// End-to-end seconds per batch (including injected straggle time).
+    pub batch_seconds: Arc<Histogram>,
+    /// Deduplicated targets per batch.
+    pub batch_size: Arc<Histogram>,
+    /// Batches completed successfully.
+    pub batches: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    pub fn new(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
+        let stage = |s: &str| registry.histogram(&format!("engine.stage.{s}.seconds"));
+        Arc::new(Self {
+            registry: Arc::clone(registry),
+            expand: stage("expand"),
+            relabel: stage("relabel"),
+            store_probe: stage("store_probe"),
+            spmm: stage("spmm"),
+            gemm: stage("gemm"),
+            write_back: stage("write_back"),
+            batch_seconds: registry.histogram("engine.batch.seconds"),
+            batch_size: registry.histogram("engine.batch.size"),
+            batches: registry.counter("engine.batches"),
+        })
+    }
+
+    /// The registry this bundle records into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+/// Pre-resolved metrics of the serving loops ([`crate::simulate_tiered`] /
+/// [`crate::serve_multi`]).
+pub struct ServingMetrics {
+    /// Requests served to completion.
+    pub served: Arc<Counter>,
+    /// Requests shed on admission (bounded queue full).
+    pub shed_queue: Arc<Counter>,
+    /// Requests shed at batch formation (projected past deadline).
+    pub shed_deadline: Arc<Counter>,
+    /// Requests shed after a batch exhausted its retries (or the fleet died).
+    pub shed_exhausted: Arc<Counter>,
+    /// Served requests whose measured latency exceeded the deadline.
+    pub deadline_miss: Arc<Counter>,
+    /// Degradation-ladder tier switches.
+    pub tier_switches: Arc<Counter>,
+    /// Micro-batches dispatched to an engine.
+    pub batches: Arc<Counter>,
+    /// Batch re-executions after failures/recoveries.
+    pub retries: Arc<Counter>,
+    /// Worker panics caught and recovered.
+    pub recoveries: Arc<Counter>,
+    /// Clean `try_infer` errors handled without losing the worker.
+    pub failures: Arc<Counter>,
+    /// Workers retired by panics.
+    pub workers_lost: Arc<Counter>,
+    /// Queue depth sampled at each batch formation.
+    pub queue_depth: Arc<Histogram>,
+    /// Requests per dispatched micro-batch.
+    pub batch_size: Arc<Histogram>,
+    /// Active ladder tier (0 = unpruned).
+    pub tier: Arc<Gauge>,
+}
+
+impl ServingMetrics {
+    pub fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        Self {
+            served: registry.counter("serving.served"),
+            shed_queue: registry.counter("serving.shed.queue"),
+            shed_deadline: registry.counter("serving.shed.deadline"),
+            shed_exhausted: registry.counter("serving.shed.exhausted"),
+            deadline_miss: registry.counter("serving.deadline_miss"),
+            tier_switches: registry.counter("serving.tier_switches"),
+            batches: registry.counter("serving.batches"),
+            retries: registry.counter("serving.retries"),
+            recoveries: registry.counter("serving.recoveries"),
+            failures: registry.counter("serving.failures"),
+            workers_lost: registry.counter("serving.workers_lost"),
+            queue_depth: registry.histogram("serving.queue.depth"),
+            batch_size: registry.histogram("serving.batch.size"),
+            tier: registry.gauge("serving.tier"),
+        }
+    }
+}
+
+/// Pre-resolved metrics of one [`crate::FeatureStore`], per level (levels
+/// are 1-based like the store API; out-of-range levels fall back to a
+/// catch-all slot rather than panicking).
+pub struct StoreMetrics {
+    /// `store.hit.l{level}`: probes that found a stored row.
+    hits: Vec<Arc<Counter>>,
+    /// `store.miss.l{level}`: probes that found nothing.
+    misses: Vec<Arc<Counter>>,
+    /// `store.evict.l{level}`: rows dropped by the staleness policy.
+    evicts: Vec<Arc<Counter>>,
+    /// `store.write.l{level}`: rows written (insert or overwrite).
+    writes: Vec<Arc<Counter>>,
+    /// Stripe-guard acquisitions that recovered a poisoned lock.
+    pub poison_recovered: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    pub fn new(registry: &Arc<MetricsRegistry>, n_levels: usize) -> Self {
+        let per_level = |what: &str| {
+            (1..=n_levels.max(1))
+                .map(|l| registry.counter(&format!("store.{what}.l{l}")))
+                .collect()
+        };
+        Self {
+            hits: per_level("hit"),
+            misses: per_level("miss"),
+            evicts: per_level("evict"),
+            writes: per_level("write"),
+            poison_recovered: registry.counter("store.poison_recovered"),
+        }
+    }
+
+    #[inline]
+    fn at(slots: &[Arc<Counter>], level: usize) -> Option<&Arc<Counter>> {
+        slots.get(level.saturating_sub(1)).or(slots.last())
+    }
+
+    #[inline]
+    pub fn hit(&self, level: usize) {
+        if let Some(c) = Self::at(&self.hits, level) {
+            c.inc();
+        }
+    }
+
+    #[inline]
+    pub fn miss(&self, level: usize) {
+        if let Some(c) = Self::at(&self.misses, level) {
+            c.inc();
+        }
+    }
+
+    #[inline]
+    pub fn evict(&self, level: usize, n: u64) {
+        if let Some(c) = Self::at(&self.evicts, level) {
+            c.add(n);
+        }
+    }
+
+    #[inline]
+    pub fn write(&self, level: usize) {
+        if let Some(c) = Self::at(&self.writes, level) {
+            c.inc();
+        }
+    }
+}
+
+/// One row of the per-stage latency breakdown derived from a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Stage name (one of [`STAGES`]).
+    pub stage: &'static str,
+    /// Batches that recorded this stage.
+    pub batches: u64,
+    /// Summed stage wall time, milliseconds.
+    pub total_ms: f64,
+    /// Mean stage wall time per batch, milliseconds.
+    pub mean_ms: f64,
+    /// Fraction of the summed time across all stages (0..=1).
+    pub share: f64,
+}
+
+/// Derive the per-stage breakdown from a snapshot containing
+/// `engine.stage.*.seconds` histograms. Stages absent from the snapshot (or
+/// never hit) report zeros; `share` is relative to the stage-sum, so the
+/// rows always total 1.0 when any stage recorded time.
+pub fn stage_breakdown(snap: &Snapshot) -> Vec<StageRow> {
+    let mut rows: Vec<StageRow> = STAGES
+        .iter()
+        .map(|&stage| {
+            let h = snap
+                .histograms
+                .get(&format!("engine.stage.{stage}.seconds"));
+            let (count, sum) = h.map_or((0, 0.0), |h| (h.count, h.sum));
+            StageRow {
+                stage,
+                batches: count,
+                total_ms: sum * 1e3,
+                mean_ms: if count == 0 {
+                    0.0
+                } else {
+                    sum * 1e3 / count as f64
+                },
+                share: 0.0,
+            }
+        })
+        .collect();
+    let total: f64 = rows.iter().map(|r| r.total_ms).sum();
+    if total > 0.0 {
+        for r in rows.iter_mut() {
+            r.share = r.total_ms / total;
+        }
+    }
+    rows
+}
+
+/// Render the breakdown as an aligned text table (for CLI / bench output).
+pub fn format_stage_table(rows: &[StageRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>10} {:>7}\n",
+        "stage", "batches", "total_ms", "mean_ms", "share"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12.3} {:>10.4} {:>6.1}%\n",
+            r.stage,
+            r.batches,
+            r.total_ms,
+            r.mean_ms,
+            r.share * 100.0
+        ));
+    }
+    let total: f64 = rows.iter().map(|r| r.total_ms).sum();
+    out.push_str(&format!("{:<12} {:>8} {:>12.3}\n", "total", "", total));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_breakdown_orders_and_normalizes() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let em = EngineMetrics::new(&reg);
+        em.expand.observe(0.003);
+        em.gemm.observe(0.006);
+        em.gemm.observe(0.003);
+        let rows = stage_breakdown(&reg.snapshot());
+        assert_eq!(rows.len(), STAGES.len());
+        for (row, &name) in rows.iter().zip(&STAGES) {
+            assert_eq!(row.stage, name);
+        }
+        if !gcnp_obs::enabled() {
+            assert!(rows.iter().all(|r| r.total_ms == 0.0));
+            return;
+        }
+        let share_sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to 1");
+        let gemm = rows.iter().find(|r| r.stage == "gemm").unwrap();
+        assert_eq!(gemm.batches, 2);
+        assert!((gemm.total_ms - 9.0).abs() < 1e-9);
+        assert!((gemm.mean_ms - 4.5).abs() < 1e-9);
+        assert!(gemm.share > 0.5);
+        let table = format_stage_table(&rows);
+        assert!(table.contains("gemm"));
+        assert!(table.contains("total"));
+    }
+
+    #[test]
+    fn store_metrics_clamp_out_of_range_levels() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sm = StoreMetrics::new(&reg, 2);
+        sm.hit(1);
+        sm.hit(2);
+        sm.hit(99); // clamps to the last slot instead of panicking
+        sm.miss(0); // level 0 clamps to the first slot
+        let snap = reg.snapshot();
+        if gcnp_obs::enabled() {
+            assert_eq!(snap.counters["store.hit.l1"], 1);
+            assert_eq!(snap.counters["store.hit.l2"], 2);
+            assert_eq!(snap.counters["store.miss.l1"], 1);
+        }
+    }
+
+    #[test]
+    fn bundles_share_named_metrics_across_replicas() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let a = EngineMetrics::new(&reg);
+        let b = EngineMetrics::new(&reg);
+        a.batches.inc();
+        b.batches.inc();
+        let expect = if gcnp_obs::enabled() { 2 } else { 0 };
+        assert_eq!(reg.snapshot().counters["engine.batches"], expect);
+    }
+}

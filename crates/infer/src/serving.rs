@@ -40,6 +40,7 @@
 
 use crate::batched::BatchedEngine;
 use crate::error::{ServingError, ServingResult};
+use crate::metrics::ServingMetrics;
 use gcnp_tensor::init::seeded_rng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -220,18 +221,12 @@ pub struct ServingReport {
     pub compute_throughput: f64,
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample: the smallest
-/// value with at least `⌈p·n⌉` samples at or below it. The previous
-/// truncating formula (`(p·(n−1)) as usize`) under-reported tail
-/// percentiles — e.g. p99 of 10 samples returned the 9th-ranked value
-/// instead of the maximum.
+/// Nearest-rank percentile of an ascending-sorted sample — delegates to the
+/// workspace's one shared implementation in [`gcnp_obs::percentile`] (the
+/// previous truncating formula under-reported tail percentiles; the pinned
+/// regression tests below keep guarding the semantics).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let n = sorted.len();
-    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
-    sorted[rank - 1] // audit: allow(no-fail-stop) — rank clamped to 1..=n and n > 0 by the guard above
+    gcnp_obs::percentile(sorted, p)
 }
 
 /// Simulate serving `cfg.n_requests` single-node requests drawn uniformly
@@ -264,6 +259,13 @@ pub fn simulate_tiered(
         return Err(ServingError::NoEngines);
     }
     cfg.validate(pool)?;
+    // Loop counters record into the registry of the first instrumented
+    // tier's engine metrics (the whole ladder should share one registry);
+    // uninstrumented runs skip every record site.
+    let obs = tiers
+        .iter()
+        .find_map(|t| t.metrics())
+        .map(|m| ServingMetrics::new(m.registry()));
     let arrivals = cfg.arrivals(pool);
     let n = arrivals.len();
     let n_tiers = tiers.len();
@@ -307,8 +309,14 @@ pub fn simulate_tiered(
                 queue.push_back(arrivals[i]); // audit: allow(no-fail-stop) — i < n per the loop condition
             } else {
                 shed_queue += 1;
+                if let Some(o) = &obs {
+                    o.shed_queue.inc();
+                }
             }
             i += 1;
+        }
+        if let Some(o) = &obs {
+            o.queue_depth.observe(queue.len() as f64);
         }
 
         // Ladder: pick the tier for this batch from the backlog *before*
@@ -325,20 +333,34 @@ pub fn simulate_tiered(
             if tier != before {
                 tier_switches += 1;
                 dwell = 0;
+                if let Some(o) = &obs {
+                    o.tier_switches.inc();
+                }
+            }
+            if let Some(o) = &obs {
+                o.tier.set(tier as f64);
             }
         }
 
         // Form the batch, shedding requests whose projected completion is
         // already past their deadline (they are counted, not stretched).
+        // The projected start matches the post-formation start rule below: a
+        // batch that will fill starts as soon as it does (~`open` under the
+        // backlog that fills it), a non-full batch waits out the window.
         let projected_compute = est_compute[tier] * DEADLINE_EST_SAFETY; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
+        let will_fill = queue.len() >= cfg.max_batch;
+        let projected_start = if will_fill { open } else { close };
         let mut batch = Vec::with_capacity(cfg.max_batch);
         let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
         while batch.len() < cfg.max_batch {
             let Some(&(t, v)) = queue.front() else { break };
             queue.pop_front();
             if let Some(d) = cfg.deadline {
-                if (open - t) + projected_compute > d {
+                if (projected_start - t) + projected_compute > d {
                     shed_deadline += 1;
+                    if let Some(o) = &obs {
+                        o.shed_deadline.inc();
+                    }
                     continue;
                 }
             }
@@ -349,7 +371,18 @@ pub fn simulate_tiered(
             continue; // whole window shed; re-anchor on the next survivor
         }
 
-        let start = batch_arrivals.last().copied().unwrap_or(open).max(open);
+        // Compute starts when the batch is sealed: a batch that filled to
+        // `max_batch` is sealed by its last (latest-arriving) member, a
+        // non-full batch only when its window closes at `open + max_wait`.
+        // (The previous rule started *every* batch at its last member's
+        // arrival, under-reporting the window wait of non-full batches and
+        // making deadline projection optimistic.)
+        let fill_time = batch_arrivals.iter().fold(open, |acc, &t| acc.max(t));
+        let start = if batch.len() == cfg.max_batch {
+            fill_time
+        } else {
+            close
+        };
         let res = tiers[tier].try_infer(&batch)?; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         let compute = res.seconds;
         total_compute += compute;
@@ -365,10 +398,18 @@ pub fn simulate_tiered(
         dwell += 1;
         served += batch.len();
         tier_served[tier] += batch.len(); // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
+        if let Some(o) = &obs {
+            o.batches.inc();
+            o.batch_size.observe(batch.len() as f64);
+            o.served.add(batch.len() as u64);
+        }
         for &arr in &batch_arrivals {
             let lat = done - arr;
             if cfg.deadline.is_some_and(|d| lat > d) {
                 deadline_misses += 1;
+                if let Some(o) = &obs {
+                    o.deadline_miss.inc();
+                }
             }
             latencies_ms.push(lat * 1e3);
         }
@@ -493,6 +534,12 @@ pub fn serve_multi(
     }
     cfg.validate(pool)?;
     let n_workers = engines.len();
+    // Counter bundle shared by every worker (all record paths take `&self`
+    // over atomics); resolved from the first instrumented engine's registry.
+    let obs = engines
+        .iter()
+        .find_map(|e| e.metrics())
+        .map(|m| ServingMetrics::new(m.registry()));
 
     // Form micro-batches from the Poisson arrival trace (same RNG stream as
     // `simulate`): a batch closes `max_wait` after its first arrival or at
@@ -534,6 +581,7 @@ pub fn serve_multi(
             let (served, shed) = (&served, &shed);
             let (recoveries, failures, retries, workers_lost) =
                 (&recoveries, &failures, &retries, &workers_lost);
+            let obs = &obs;
             scope.spawn(move || {
                 let mut local = 0.0f64;
                 let mut lost = false;
@@ -568,11 +616,19 @@ pub fn serve_multi(
                         Ok(Ok(res)) => {
                             local += res.seconds;
                             served.fetch_add(nodes.len(), Ordering::Relaxed);
+                            if let Some(o) = obs {
+                                o.served.add(nodes.len() as u64);
+                                o.batches.inc();
+                                o.batch_size.observe(nodes.len() as f64);
+                            }
                             false
                         }
                         Ok(Err(_e)) => {
                             // Clean serving error: the worker survives.
                             failures.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = obs {
+                                o.failures.inc();
+                            }
                             true
                         }
                         Err(_panic) => {
@@ -581,6 +637,10 @@ pub fn serve_multi(
                             // workers rather than dying.
                             recoveries.fetch_add(1, Ordering::Relaxed);
                             workers_lost.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = obs {
+                                o.recoveries.inc();
+                                o.workers_lost.inc();
+                            }
                             lost = true;
                             true
                         }
@@ -588,6 +648,9 @@ pub fn serve_multi(
                     if failed {
                         if attempt < cfg.retry_cap {
                             retries.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = obs {
+                                o.retries.inc();
+                            }
                             // Exponential backoff bounded to keep chaos runs
                             // snappy; a poison-pill batch burns its retries
                             // and is shed below.
@@ -606,6 +669,9 @@ pub fn serve_multi(
                             );
                         } else {
                             shed.fetch_add(nodes.len(), Ordering::Relaxed);
+                            if let Some(o) = obs {
+                                o.shed_exhausted.add(nodes.len() as u64);
+                            }
                         }
                     }
                     // Resolve AFTER any requeue so idle peers never see
@@ -624,6 +690,9 @@ pub fn serve_multi(
         .drain(..)
     {
         shed.fetch_add(b.nodes.len(), Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.shed_exhausted.add(b.nodes.len() as u64);
+        }
     }
     let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
     let compute = compute_seconds
@@ -718,6 +787,56 @@ mod tests {
         // Degenerate inputs stay total.
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.0), 7.0);
+    }
+
+    #[test]
+    fn non_full_batch_starts_at_window_close() {
+        // Regression pin for the batch start-time accounting bug: compute
+        // for a non-full batch used to start at its *last request's
+        // arrival*, erasing the `max_wait` window the requests actually sat
+        // through. With sparse arrivals (5 req/s, 20 ms window → singleton
+        // batches) every request now waits out its full window, so p50 must
+        // be at least `max_wait` (20 ms) plus compute. The buggy accounting
+        // reported pure compute (~a millisecond on this tiny model).
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 5.0,
+            max_wait: 0.02,
+            n_requests: 40,
+            ..Default::default()
+        };
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
+        assert!(
+            rep.mean_batch_size < 1.5,
+            "sparse arrivals must form (near-)singleton batches, got {}",
+            rep.mean_batch_size
+        );
+        assert!(
+            rep.p50_ms >= cfg.max_wait * 1e3,
+            "p50 {} ms must include the full {} ms batching window",
+            rep.p50_ms,
+            cfg.max_wait * 1e3
+        );
+        // A batch that *fills* still starts at its fill time, not the window
+        // close: pre-arrived burst, max_batch 8 → every batch is full and
+        // sealed at open, so latencies stay far below burst_n × max_wait.
+        let burst = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 8,
+            max_wait: 0.05,
+            n_requests: 64,
+            ..Default::default()
+        };
+        let mut engine2 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let rep2 = simulate(&mut engine2, &pool, &burst).unwrap();
+        assert!(
+            rep2.p50_ms < burst.max_wait * 1e3,
+            "full batches must not serve the window out (p50 {} ms)",
+            rep2.p50_ms
+        );
     }
 
     #[test]
@@ -952,6 +1071,120 @@ mod tests {
             "overload serves on the cheapest tier, the drained tail one tier up"
         );
         assert_eq!(rep.tier_switches, 2, "one multi-step down, one step up");
+    }
+
+    #[test]
+    fn simulate_metrics_match_report() {
+        // The serving-loop counters must agree with the report's own
+        // accounting when a registry is attached through the engine.
+        if !gcnp_obs::enabled() {
+            return;
+        }
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        engine.set_metrics(crate::EngineMetrics::new(&registry));
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 16,
+            n_requests: 300,
+            queue_cap: Some(64),
+            deadline: Some(5e-3),
+            ..Default::default()
+        };
+        let rep = simulate(&mut engine, &pool, &cfg).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["serving.served"] as usize, rep.served);
+        assert_eq!(snap.counters["serving.shed.queue"] as usize, rep.shed_queue);
+        assert_eq!(
+            snap.counters["serving.shed.deadline"] as usize,
+            rep.shed_deadline
+        );
+        assert_eq!(
+            snap.counters["serving.deadline_miss"] as usize,
+            rep.deadline_misses
+        );
+        assert_eq!(snap.counters["serving.batches"] as usize, rep.n_batches);
+        assert_eq!(
+            snap.histograms["serving.batch.size"].count as usize,
+            rep.n_batches
+        );
+        assert!(snap.histograms["serving.queue.depth"].count > 0);
+        // Engine-side batch accounting lines up too.
+        assert_eq!(snap.counters["engine.batches"] as usize, rep.n_batches);
+    }
+
+    #[test]
+    fn serve_multi_metrics_match_report_counters() {
+        // Satellite acceptance: a concurrent serve_multi run under 4 threads
+        // must produce counter sums that match the report's deterministic
+        // `counters()` tuple — no lost updates under worker interleaving.
+        if !gcnp_obs::enabled() {
+            return;
+        }
+        gcnp_tensor::set_num_threads(4);
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            n_requests: 400,
+            ..Default::default()
+        };
+
+        // Clean run: served == n_requests, every failure counter zero.
+        let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
+        let mut engines: Vec<BatchedEngine<'_>> = (0..4)
+            .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+            .collect();
+        for e in engines.iter_mut() {
+            e.set_metrics(crate::EngineMetrics::new(&registry));
+        }
+        let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
+        let (n_workers, n_requests, n_batches, served, shed, recoveries, failures, retries) =
+            rep.counters();
+        assert_eq!((n_workers, n_requests), (4, 400));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["serving.served"] as usize, served);
+        assert_eq!(snap.counters["serving.batches"] as usize, n_batches);
+        assert_eq!(snap.counters["serving.shed.exhausted"] as usize, shed);
+        assert_eq!(snap.counters["serving.recoveries"] as usize, recoveries);
+        assert_eq!(snap.counters["serving.failures"] as usize, failures);
+        assert_eq!(snap.counters["serving.retries"] as usize, retries);
+        assert_eq!(snap.counters["engine.batches"] as usize, n_batches);
+        assert_eq!(
+            snap.histograms["serving.batch.size"].count as usize,
+            n_batches
+        );
+
+        // Faulted run: panics + clean errors; counters still match exactly.
+        let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
+        let plan = crate::FaultPlan {
+            panics: 2,
+            storms: 0,
+            horizon: 8,
+            ..Default::default()
+        };
+        let injector = plan.build().unwrap();
+        let mut engines: Vec<BatchedEngine<'_>> = (0..4)
+            .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+            .collect();
+        for e in engines.iter_mut() {
+            e.set_metrics(crate::EngineMetrics::new(&registry));
+            e.set_faults(std::sync::Arc::clone(&injector));
+        }
+        let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
+        gcnp_tensor::set_num_threads(0);
+        let (_, _, _, served, shed, recoveries, failures, retries) = rep.counters();
+        assert!(recoveries > 0, "the fault plan must inject panics");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["serving.served"] as usize, served);
+        assert_eq!(snap.counters["serving.shed.exhausted"] as usize, shed);
+        assert_eq!(snap.counters["serving.recoveries"] as usize, recoveries);
+        assert_eq!(snap.counters["serving.workers_lost"] as usize, recoveries);
+        assert_eq!(snap.counters["serving.failures"] as usize, failures);
+        assert_eq!(snap.counters["serving.retries"] as usize, retries);
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //!
 //! Crash tolerance: stripe guards recover from lock poisoning (a worker
 //! that panics while writing must not brick the store shared by the
-//! surviving replicas) — see [`read_stripe`] for why recovery is sound.
+//! surviving replicas) — see `FeatureStore::read_stripe` for why recovery
+//! is sound.
 
 use crate::error::{ServingError, ServingResult};
+use crate::metrics::StoreMetrics;
+use gcnp_obs::MetricsRegistry;
 use gcnp_tensor::Matrix;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of lock stripes; power of two so `node & (N_STRIPES - 1)` selects
 /// the stripe. 16 keeps contention negligible for typical worker counts
@@ -51,6 +54,9 @@ pub struct FeatureStore {
     n_nodes: usize,
     n_levels: usize,
     clock: AtomicU32,
+    /// Optional hit/miss/evict/write counters (see
+    /// [`FeatureStore::attach_metrics`]); unset stores count nothing.
+    metrics: OnceLock<StoreMetrics>,
 }
 
 #[inline]
@@ -63,24 +69,38 @@ fn local_of(node: usize) -> usize {
     node / N_STRIPES
 }
 
-/// Acquire a stripe read guard, recovering from poison. A stripe is only
-/// poisoned when a thread panicked *while holding the write guard*; every
-/// write path here fully populates its row before the guard drops (the
-/// `Box<[f32]>` is built outside the lock), so the data behind a poisoned
-/// lock is still consistent — a worker crash must not brick the shared
-/// store for the surviving replicas.
-#[inline]
-fn read_stripe(lock: &RwLock<Stripe>) -> RwLockReadGuard<'_, Stripe> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Acquire a stripe write guard, recovering from poison (see [`read_stripe`]).
-#[inline]
-fn write_stripe(lock: &RwLock<Stripe>) -> RwLockWriteGuard<'_, Stripe> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
-
 impl FeatureStore {
+    /// Acquire stripe `idx`'s read guard, recovering from poison. A stripe
+    /// is only poisoned when a thread panicked *while holding the write
+    /// guard*; every write path here fully populates its row before the
+    /// guard drops (the `Box<[f32]>` is built outside the lock), so the
+    /// data behind a poisoned lock is still consistent — a worker crash
+    /// must not brick the shared store for the surviving replicas. Each
+    /// recovery is counted in `store.poison_recovered`.
+    #[inline]
+    fn read_stripe(&self, idx: usize) -> RwLockReadGuard<'_, Stripe> {
+        let lock = &self.stripes[idx & (N_STRIPES - 1)]; // audit: allow(no-fail-stop) — masked into 0..N_STRIPES and the store holds exactly N_STRIPES stripes
+        lock.read().unwrap_or_else(|e| {
+            if let Some(m) = self.metrics.get() {
+                m.poison_recovered.inc();
+            }
+            e.into_inner()
+        })
+    }
+
+    /// Acquire stripe `idx`'s write guard, recovering from poison (see
+    /// `FeatureStore::read_stripe`).
+    #[inline]
+    fn write_stripe(&self, idx: usize) -> RwLockWriteGuard<'_, Stripe> {
+        let lock = &self.stripes[idx & (N_STRIPES - 1)]; // audit: allow(no-fail-stop) — masked into 0..N_STRIPES and the store holds exactly N_STRIPES stripes
+        lock.write().unwrap_or_else(|e| {
+            if let Some(m) = self.metrics.get() {
+                m.poison_recovered.inc();
+            }
+            e.into_inner()
+        })
+    }
+
     /// An empty store for `n_nodes` nodes and `n_levels` middle layers
     /// (levels are 1-based: level `l` stores `h⁽ˡ⁾`).
     pub fn new(n_nodes: usize, n_levels: usize) -> Self {
@@ -103,7 +123,17 @@ impl FeatureStore {
             n_nodes,
             n_levels,
             clock: AtomicU32::new(0),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attach per-level hit/miss/evict/write counters resolved from
+    /// `registry` (names `store.{hit|miss|evict|write}.l{level}` plus
+    /// `store.poison_recovered`). First call wins; later calls are ignored —
+    /// the fleet shares one store and one registry, so re-attachment is a
+    /// no-op rather than an error.
+    pub fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(StoreMetrics::new(registry, self.n_levels));
     }
 
     /// Number of nodes the store covers.
@@ -116,23 +146,37 @@ impl FeatureStore {
         self.n_levels
     }
 
-    /// True when `h⁽ˡᵉᵛᵉˡ⁾` of `node` is stored (level 1-based).
+    /// True when `h⁽ˡᵉᵛᵉˡ⁾` of `node` is stored (level 1-based). In-bounds
+    /// probes count toward `store.{hit|miss}.l{level}` (out-of-bounds probes
+    /// are caller bugs, not cache misses).
     pub fn has(&self, level: usize, node: usize) -> bool {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return false;
         }
-        let stripe = read_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
-        stripe.levels[level - 1].rows[local_of(node)].is_some() // audit: allow(no-fail-stop) — level/node bounds checked above
+        let hit = {
+            let stripe = self.read_stripe(stripe_of(node));
+            stripe.levels[level - 1].rows[local_of(node)].is_some() // audit: allow(no-fail-stop) — level/node bounds checked above
+        };
+        if let Some(m) = self.metrics.get() {
+            if hit {
+                m.hit(level);
+            } else {
+                m.miss(level);
+            }
+        }
+        hit
     }
 
     /// Lend the stored row to `f` under the stripe's read guard — the
     /// copy-free read path for hot loops. Returns `None` (without calling
-    /// `f`) when the row is absent.
+    /// `f`) when the row is absent. Deliberately uncounted: the engine
+    /// probes [`FeatureStore::has`] during expansion and reads the row here
+    /// afterwards, so counting both would double-report every hit.
     pub fn with_row<R>(&self, level: usize, node: usize, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return None;
         }
-        let stripe = read_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
+        let stripe = self.read_stripe(stripe_of(node));
         stripe.levels[level - 1].rows[local_of(node)] // audit: allow(no-fail-stop) — level/node bounds checked above
             .as_deref()
             .map(f)
@@ -158,8 +202,11 @@ impl FeatureStore {
                 ),
             });
         }
+        if let Some(m) = self.metrics.get() {
+            m.write(level);
+        }
         let clock = self.clock.load(Ordering::Relaxed);
-        let mut stripe = write_stripe(&self.stripes[stripe_of(node)]); // audit: allow(no-fail-stop) — stripe_of masks into 0..N_STRIPES
+        let mut stripe = self.write_stripe(stripe_of(node));
         let l = &mut stripe.levels[level - 1]; // audit: allow(no-fail-stop) — level bounds validated above
         let local = local_of(node);
         // audit: allow(no-fail-stop) — every node < n_nodes has a local slot by construction
@@ -193,9 +240,8 @@ impl FeatureStore {
         if level == 0 || level > self.n_levels {
             return 0;
         }
-        self.stripes
-            .iter()
-            .map(|s| read_stripe(s).levels[level - 1].count) // audit: allow(no-fail-stop) — level bounds checked above
+        (0..N_STRIPES)
+            .map(|i| self.read_stripe(i).levels[level - 1].count) // audit: allow(no-fail-stop) — level bounds checked above
             .sum()
     }
 
@@ -215,14 +261,27 @@ impl FeatureStore {
     /// on one stripe at a time.
     pub fn evict_older_than(&self, max_age: u32) {
         let clock = self.clock.load(Ordering::Relaxed);
-        for stripe in &self.stripes {
-            let mut stripe = write_stripe(stripe);
-            for l in stripe.levels.iter_mut() {
+        // Per-level eviction tallies, reported to the counters only after
+        // every stripe guard has been dropped.
+        let mut evicted = vec![0u64; self.n_levels];
+        for i in 0..N_STRIPES {
+            let mut stripe = self.write_stripe(i);
+            for (li, l) in stripe.levels.iter_mut().enumerate() {
                 for (row, stamp) in l.rows.iter_mut().zip(&l.stamps) {
                     if row.is_some() && clock.saturating_sub(*stamp) > max_age {
                         *row = None;
                         l.count -= 1;
+                        if let Some(e) = evicted.get_mut(li) {
+                            *e += 1;
+                        }
                     }
+                }
+            }
+        }
+        if let Some(m) = self.metrics.get() {
+            for (li, &n) in evicted.iter().enumerate() {
+                if n > 0 {
+                    m.evict(li + 1, n);
                 }
             }
         }
@@ -230,8 +289,8 @@ impl FeatureStore {
 
     /// Drop everything.
     pub fn clear(&self) {
-        for stripe in &self.stripes {
-            let mut stripe = write_stripe(stripe);
+        for i in 0..N_STRIPES {
+            let mut stripe = self.write_stripe(i);
             for l in stripe.levels.iter_mut() {
                 for row in l.rows.iter_mut() {
                     *row = None;
@@ -244,10 +303,9 @@ impl FeatureStore {
 
     /// Estimated heap bytes of the stored rows.
     pub fn nbytes(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| {
-                let stripe = read_stripe(s);
+        (0..N_STRIPES)
+            .map(|i| {
+                let stripe = self.read_stripe(i);
                 stripe
                     .levels
                     .iter()
@@ -362,6 +420,8 @@ mod tests {
     #[test]
     fn poisoned_stripe_still_serves() {
         let store = Arc::new(FeatureStore::new(2 * N_STRIPES, 1));
+        let registry = Arc::new(MetricsRegistry::new());
+        store.attach_metrics(&registry);
         store.put(1, 0, &[1.0, 2.0]).unwrap();
         store.put(1, N_STRIPES, &[3.0, 4.0]).unwrap(); // same stripe as node 0
         let s = Arc::clone(&store);
@@ -388,6 +448,41 @@ mod tests {
         store.tick();
         store.evict_older_than(0);
         assert_eq!(store.len(1), 0, "eviction traverses the poisoned stripe");
+        if gcnp_obs::enabled() {
+            let snap = registry.snapshot();
+            assert!(
+                snap.counters["store.poison_recovered"] > 0,
+                "every recovered acquisition on the poisoned stripe is counted"
+            );
+            assert_eq!(snap.counters["store.write.l1"], 3, "three puts");
+            assert_eq!(snap.counters["store.evict.l1"], 2, "both rows evicted");
+        }
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_writes() {
+        let store = FeatureStore::new(64, 2);
+        let registry = Arc::new(MetricsRegistry::new());
+        store.attach_metrics(&registry);
+        store.put(1, 3, &[1.0]).unwrap();
+        assert!(store.has(1, 3)); // hit
+        assert!(!store.has(1, 4)); // miss
+        assert!(!store.has(2, 3)); // miss on the other level
+        assert!(!store.has(1, 999)); // out of bounds: NOT counted
+        store.with_row(1, 3, |_| ()); // read path: deliberately uncounted
+        if !gcnp_obs::enabled() {
+            return;
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.hit.l1"], 1);
+        assert_eq!(snap.counters["store.miss.l1"], 1);
+        assert_eq!(snap.counters["store.miss.l2"], 1);
+        assert_eq!(snap.counters["store.write.l1"], 1);
+        assert_eq!(snap.counters["store.poison_recovered"], 0);
+        // Second attach is a no-op, not a panic, and counting continues.
+        store.attach_metrics(&registry);
+        assert!(store.has(1, 3));
+        assert_eq!(registry.snapshot().counters["store.hit.l1"], 2);
     }
 
     /// Storm test: writers (`put`/`tick`/`evict_older_than`) race readers

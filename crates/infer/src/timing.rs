@@ -16,7 +16,9 @@ pub fn time_it<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 
         std::hint::black_box(f());
         samples.push(t0.elapsed().as_secs_f64());
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp cannot panic on NaN (partial_cmp().unwrap() could, if a
+    // clock ever misbehaved); NaNs sort last and never become the median.
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

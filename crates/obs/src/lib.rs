@@ -1,0 +1,115 @@
+//! # gcnp-obs
+//!
+//! Dependency-free metrics and tracing for the serving stack.
+//!
+//! The paper's headline claim is a latency *distribution* (Table 4 /
+//! Fig. 5), so the serving stack must be able to say where each batch's
+//! time goes, not just report end-of-run aggregates. This crate provides
+//! the primitives the hot paths record into:
+//!
+//! * [`Counter`] — monotonic `u64`, relaxed atomics;
+//! * [`Gauge`] — last-written `f64` (stored as bits in an atomic);
+//! * [`Histogram`] — log2-bucketed distribution with an atomic per-bucket
+//!   count, total count, and sum; cheap enough for per-batch observation;
+//! * [`ScopedTimer`] — records a span's wall-clock seconds into a
+//!   histogram on drop;
+//! * [`MetricsRegistry`] — a named, thread-safe home for all of the above,
+//!   with [`MetricsRegistry::snapshot`] producing a plain-data [`Snapshot`]
+//!   that can be [`Snapshot::diff`]ed against a baseline and exported as
+//!   JSON ([`Snapshot::to_json`]) or Prometheus text
+//!   ([`Snapshot::to_prometheus`]).
+//!
+//! It also exports the workspace's one true [`percentile`] / [`median`]
+//! (nearest-rank, NaN-safe `total_cmp` sorting) so bench binaries stop
+//! growing ad-hoc truncating copies.
+//!
+//! ## The `obs` feature (compile-out gate)
+//!
+//! Everything is behind the default-on `obs` feature. With
+//! `--no-default-features` the types and API still exist — callers need no
+//! `cfg` — but every record path starts with `if !enabled() { return }` on
+//! a `const`-foldable flag, so the optimizer deletes the bodies and an
+//! instrumented hot path costs nothing. [`ScopedTimer`] does not even read
+//! the clock when disabled. Snapshots of a disabled build are empty.
+//!
+//! ## Thread safety
+//!
+//! All record paths take `&self` and use atomics; `serve_multi`'s worker
+//! fleet can share one registry (and the same named metrics) freely.
+//! Registry maps recover from lock poisoning — a panicking worker must not
+//! take observability down with it.
+
+mod registry;
+mod snapshot;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, ScopedTimer, N_BUCKETS};
+pub use snapshot::{Bucket, HistogramSnapshot, Snapshot};
+
+/// True when the `obs` feature is compiled in. `const`-foldable: callers can
+/// gate instrumentation-only work (e.g. reading the clock) on this and have
+/// the optimizer delete it in `obs-off` builds.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest value
+/// with at least `⌈p·n⌉` samples at or below it. Same semantics as the
+/// serving-path percentile fixed in PR 3 (the previous truncating formula
+/// `(p·(n−1)) as usize` under-reported tail percentiles — p99 of 10 samples
+/// returned the 9th-ranked value instead of the maximum). Returns 0.0 for an
+/// empty sample.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Nearest-rank median: sorts with the NaN-total `f64::total_cmp` (never
+/// panics, unlike `partial_cmp().unwrap()`) and returns
+/// [`percentile`]`(…, 0.5)`. Replaces the ad-hoc `v[len/2]` medians the
+/// bench binaries used to duplicate. Returns 0.0 for an empty sample.
+pub fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    percentile(&samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank_pinned() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.00), 100.0);
+        // Small-n tail: p99 of 10 samples is the maximum under nearest rank.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.99), 10.0);
+        assert_eq!(percentile(&ten, 0.50), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+    }
+
+    #[test]
+    fn median_is_nearest_rank_and_nan_safe() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        // Even n: nearest rank picks the lower middle (rank ⌈n/2⌉), unlike
+        // the old truncating v[len/2] which picked the upper one.
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(vec![]), 0.0);
+        // NaNs sort to the end under total_cmp instead of panicking.
+        let m = median(vec![2.0, f64::NAN, 1.0, 3.0]);
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(enabled(), cfg!(feature = "obs"));
+    }
+}

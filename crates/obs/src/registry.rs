@@ -1,0 +1,416 @@
+//! Metric primitives (counters, gauges, log2 histograms, scoped timers)
+//! and the named registry that owns them.
+
+use crate::enabled;
+use crate::snapshot::{Bucket, HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Monotonic event counter. All operations are relaxed atomics; `add` is a
+/// no-op in `obs-off` builds.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 in `obs-off` builds).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written `f64` value (e.g. current queue depth, active ladder tier).
+/// Stored as raw bits in an atomic so `set` is a single relaxed store.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 before the first `set` and in `obs-off` builds).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets.
+pub const N_BUCKETS: usize = 64;
+
+/// Exponent of the smallest bucket's *lower* bound: bucket `i` covers
+/// `[2^(MIN_EXP+i), 2^(MIN_EXP+i+1))`. `2^-40 s ≈ 0.9 ns` keeps every
+/// realistic span and queue depth in range; values below the range (and
+/// non-positive values) land in bucket 0, values above in the last bucket
+/// (upper bound `2^24 ≈ 1.7e7`).
+const MIN_EXP: i32 = -40;
+
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i32;
+    (e - MIN_EXP).clamp(0, N_BUCKETS as i32 - 1) as usize
+}
+
+/// Upper bound (`le`) of bucket `i`.
+pub(crate) fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(MIN_EXP + i as i32 + 1)
+}
+
+/// Log2-bucketed distribution: one atomic count per power-of-two bucket,
+/// plus a total count and sum. `observe` is two relaxed `fetch_add`s and one
+/// CAS loop on the sum — cheap enough for per-batch (even per-request)
+/// recording, and a no-op in `obs-off` builds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Start a [`ScopedTimer`] that records its elapsed seconds into this
+    /// histogram when dropped. Does not read the clock in `obs-off` builds.
+    pub fn timer(&self) -> ScopedTimer<'_> {
+        ScopedTimer {
+            hist: self,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Plain-data snapshot (bucket upper bounds + per-bucket counts).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| Bucket {
+                    le: bucket_upper(i),
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Records the span from its creation to its drop into a [`Histogram`], in
+/// seconds. Use [`ScopedTimer::stop`] to consume it early and get the
+/// elapsed seconds back.
+#[must_use = "a ScopedTimer records on drop; binding it to _ drops immediately"]
+pub struct ScopedTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl ScopedTimer<'_> {
+    /// Stop now, record, and return the elapsed seconds (0.0 when `obs`
+    /// is compiled out).
+    pub fn stop(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        match self.start.take() {
+            Some(t0) => {
+                let dt = t0.elapsed().as_secs_f64();
+                self.hist.observe(dt);
+                dt
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Named, thread-safe metric registry. `counter`/`gauge`/`histogram` return
+/// the existing metric for a name or register a fresh one — hold the
+/// returned `Arc` in hot paths instead of looking up per event. Lookup maps
+/// recover from lock poisoning so a panicking worker cannot brick the
+/// registry its peers share.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// Get or register the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// Get or register the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// Plain-data snapshot of every registered metric. Metrics with zero
+    /// activity are included (count 0), so exposition shows the full schema.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        let g = reg.gauge("depth");
+        g.set(3.5);
+        if crate::enabled() {
+            assert_eq!(c.get(), 5);
+            assert_eq!(g.get(), 3.5);
+        } else {
+            assert_eq!(c.get(), 0);
+            assert_eq!(g.get(), 0.0);
+        }
+        // Same name → same metric.
+        assert_eq!(reg.counter("a.b").get(), c.get());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        if !crate::enabled() {
+            assert_eq!(h.count(), 0);
+            return;
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 15.0);
+        let snap = h.snapshot();
+        // Each power of two lands at the lower edge of its own bucket.
+        let les: Vec<f64> = snap.buckets.iter().map(|b| b.le).collect();
+        assert_eq!(les, vec![2.0, 4.0, 8.0, 16.0]);
+        assert!(snap.buckets.iter().all(|b| b.count == 1));
+    }
+
+    #[test]
+    fn histogram_quantiles_pinned_against_known_samples() {
+        // Satellite acceptance: percentile pinning against known samples.
+        let h = Histogram::default();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        if !crate::enabled() {
+            return;
+        }
+        let snap = h.snapshot();
+        // Nearest rank over bucket counts; the quantile reports the upper
+        // bound (le) of the bucket holding that rank.
+        assert_eq!(snap.quantile(0.25), 2.0);
+        assert_eq!(snap.quantile(0.50), 4.0);
+        assert_eq!(snap.quantile(0.75), 8.0);
+        assert_eq!(snap.quantile(0.99), 16.0);
+        assert_eq!(snap.quantile(1.00), 16.0);
+        // 1000 × 1ms spans: every quantile is the 1-2ms bucket's bound.
+        let ms = Histogram::default();
+        for _ in 0..1000 {
+            ms.observe(1.5e-3);
+        }
+        let snap = ms.snapshot();
+        let le = snap.quantile(0.5);
+        assert!(
+            (1e-3..=2.1e-3).contains(&le),
+            "1.5 ms must bucket to (1, 2] ms, got {le}"
+        );
+        assert_eq!(snap.quantile(0.99), le, "uniform samples share one bucket");
+    }
+
+    #[test]
+    fn out_of_range_observations_are_clamped_not_lost() {
+        let h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        h.observe(1e300);
+        if !crate::enabled() {
+            return;
+        }
+        assert_eq!(h.count(), 4, "every observation is counted somewhere");
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let h = Histogram::default();
+        {
+            let _t = h.timer();
+            std::hint::black_box(());
+        }
+        let spent = h.timer().stop();
+        if crate::enabled() {
+            assert_eq!(h.count(), 2);
+            assert!(spent >= 0.0);
+            assert!(h.sum() >= spent);
+        } else {
+            assert_eq!(h.count(), 0);
+            assert_eq!(spent, 0.0);
+        }
+    }
+
+    #[test]
+    fn concurrent_observation_loses_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        const THREADS: usize = 8;
+        const PER: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let c = reg.counter("storm.count");
+                    let h = reg.histogram("storm.val");
+                    for i in 0..PER {
+                        c.inc();
+                        h.observe(i as f64);
+                    }
+                });
+            }
+        });
+        if !crate::enabled() {
+            return;
+        }
+        let snap = reg.snapshot();
+        let total = (THREADS as u64) * PER;
+        assert_eq!(snap.counters["storm.count"], total);
+        let hist = &snap.histograms["storm.val"];
+        assert_eq!(hist.count, total);
+        assert_eq!(hist.buckets.iter().map(|b| b.count).sum::<u64>(), total);
+        let per_thread_sum: f64 = (0..PER).map(|i| i as f64).sum();
+        let expect = per_thread_sum * THREADS as f64;
+        assert!(
+            (hist.sum - expect).abs() < 1e-6 * expect,
+            "CAS-summed {} vs expected {expect}",
+            hist.sum
+        );
+    }
+}

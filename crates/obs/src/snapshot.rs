@@ -1,0 +1,371 @@
+//! Plain-data snapshots of a [`MetricsRegistry`](crate::MetricsRegistry)
+//! with diffing and JSON / Prometheus-text exposition.
+
+use std::collections::BTreeMap;
+
+/// One histogram bucket: `count` observations with value ≤ `le` (and above
+/// the previous bucket's bound). Counts here are *per-bucket*; Prometheus
+/// exposition cumulates them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Upper bound of the bucket (inclusive in exposition).
+    pub le: f64,
+    /// Observations in this bucket alone (not cumulative).
+    pub count: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile resolved to bucket granularity: the upper bound
+    /// (`le`) of the bucket containing the `⌈q·count⌉`-th observation. With
+    /// log2 buckets this over-reports by at most 2×, never under-reports.
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.le;
+            }
+        }
+        self.buckets.last().map(|b| b.le).unwrap_or(0.0)
+    }
+
+    /// Mean of observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// This snapshot minus `baseline` (bucket-wise by `le`, saturating).
+    fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let base: BTreeMap<u64, u64> = baseline
+            .buckets
+            .iter()
+            .map(|b| (b.le.to_bits(), b.count))
+            .collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .filter_map(|b| {
+                let count = b
+                    .count
+                    .saturating_sub(*base.get(&b.le.to_bits()).unwrap_or(&0));
+                (count > 0).then_some(Bucket { le: b.le, count })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: (self.sum - baseline.sum).max(0.0),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of every metric in a registry. Plain data: safe to
+/// move across threads, diff, serialize, or inspect in tests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Activity since `baseline`: counters and histograms subtract
+    /// (saturating — a metric born after the baseline diffs against zero);
+    /// gauges keep their current value (a gauge is a level, not a rate).
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(*baseline.counters.get(k).unwrap_or(&0)),
+                    )
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let base = baseline.histograms.get(k);
+                    (
+                        k.clone(),
+                        match base {
+                            Some(b) => h.diff(b),
+                            None => h.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// JSON exposition (hand-rolled — this crate is dependency-free).
+    /// Histograms carry `count`, `sum`, `mean`, `p50`/`p95`/`p99`, and the
+    /// raw buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, v| {
+            push_f64(out, *v);
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            out.push_str("{\"count\": ");
+            out.push_str(&h.count.to_string());
+            out.push_str(", \"sum\": ");
+            push_f64(out, h.sum);
+            out.push_str(", \"mean\": ");
+            push_f64(out, h.mean());
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push_str(", \"");
+                out.push_str(label);
+                out.push_str("\": ");
+                push_f64(out, h.quantile(q));
+            }
+            out.push_str(", \"buckets\": [");
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"le\": ");
+                push_f64(out, b.le);
+                out.push_str(", \"count\": ");
+                out.push_str(&b.count.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition: counters as `counter`, gauges as `gauge`,
+    /// histograms as `histogram` with *cumulative* `_bucket{le=...}` lines,
+    /// a `+Inf` bucket, `_sum`, and `_count`. Metric names are sanitized to
+    /// `[a-zA-Z0-9_]` (dots become underscores).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} "));
+            push_f64(&mut out, *v);
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                out.push_str(&format!("{name}_bucket{{le=\""));
+                push_f64(&mut out, b.le);
+                out.push_str(&format!("\"}} {cum}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum ",
+                h.count
+            ));
+            push_f64(&mut out, h.sum);
+            out.push_str(&format!("\n{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Write `"key": <value>` entries joined by `, `, with keys escaped.
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        push_escaped(out, k);
+        out.push_str("\": ");
+        write_value(out, v);
+    }
+    out.push_str("\n  ");
+}
+
+/// Minimal JSON string escaping (metric names are plain identifiers, but a
+/// stray quote or backslash must not corrupt the document).
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format an f64 as a valid JSON number. `{:?}` keeps round-trip precision
+/// and always includes a decimal point or exponent; non-finite values (which
+/// JSON cannot carry) degrade to 0.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hist() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 4,
+            sum: 15.0,
+            buckets: vec![
+                Bucket { le: 2.0, count: 1 },
+                Bucket { le: 4.0, count: 1 },
+                Bucket { le: 8.0, count: 1 },
+                Bucket { le: 16.0, count: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = sample_hist();
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(1.0), 16.0);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 3.75);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_buckets() {
+        let mut base = Snapshot::default();
+        base.counters.insert("c".into(), 3);
+        base.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 2.0,
+                buckets: vec![Bucket { le: 2.0, count: 1 }],
+            },
+        );
+        let mut now = base.clone();
+        now.counters.insert("c".into(), 10);
+        now.counters.insert("new".into(), 5);
+        now.gauges.insert("g".into(), 7.0);
+        now.histograms.insert("h".into(), sample_hist());
+        let d = now.diff(&base);
+        assert_eq!(d.counters["c"], 7);
+        assert_eq!(d.counters["new"], 5);
+        assert_eq!(d.gauges["g"], 7.0, "gauges keep their level");
+        let h = &d.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 13.0);
+        // The le=2 bucket cancels out; the other three remain.
+        assert_eq!(h.buckets.len(), 3);
+        assert!(h.buckets.iter().all(|b| b.le > 2.0 && b.count == 1));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut s = Snapshot::default();
+        s.counters.insert("serving.served".into(), 42);
+        s.gauges.insert("serving.tier".into(), 1.0);
+        s.histograms
+            .insert("engine.batch.seconds".into(), sample_hist());
+        let json = s.to_json();
+        for needle in [
+            "\"serving.served\": 42",
+            "\"serving.tier\": 1.0",
+            "\"count\": 4",
+            "\"sum\": 15.0",
+            "\"p50\": 4.0",
+            "\"le\": 16.0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets — cheap structural sanity without a parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut s = Snapshot::default();
+        s.counters.insert("serving.shed.queue".into(), 3);
+        s.histograms
+            .insert("engine.batch.seconds".into(), sample_hist());
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE serving_shed_queue counter\nserving_shed_queue 3\n"));
+        assert!(text.contains("engine_batch_seconds_bucket{le=\"2.0\"} 1\n"));
+        assert!(text.contains("engine_batch_seconds_bucket{le=\"4.0\"} 2\n"));
+        assert!(text.contains("engine_batch_seconds_bucket{le=\"16.0\"} 4\n"));
+        assert!(text.contains("engine_batch_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("engine_batch_seconds_sum 15.0\n"));
+        assert!(text.contains("engine_batch_seconds_count 4\n"));
+    }
+
+    #[test]
+    fn names_are_escaped_and_sanitized() {
+        let mut s = Snapshot::default();
+        s.counters.insert("weird\"name\\x".into(), 1);
+        let json = s.to_json();
+        assert!(json.contains("\"weird\\\"name\\\\x\": 1"));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("weird_name_x 1\n"));
+    }
+}

@@ -126,10 +126,7 @@ mod tests {
     fn seed_has_largest_score() {
         let adj = ring(30);
         let entries = ppr_push(&adj, 7, &PprConfig::default());
-        let best = entries
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let best = entries.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(best.0, 7, "seed should dominate its own PPR vector");
     }
 
