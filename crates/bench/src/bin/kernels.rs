@@ -1,0 +1,335 @@
+//! Dense/sparse kernel microbenchmark: GFLOP/s of the blocked GEMM vs the
+//! retired naive kernel, SpMM throughput at paper-relevant widths, and the
+//! serving-path stage shares under each GEMM path.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin kernels            # full shapes
+//! cargo run --release -p gcnp-bench --bin kernels -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `results/BENCH_kernels.json` and re-parses it before exiting, so
+//! a smoke run doubles as a schema check. The PR-acceptance number is the
+//! `gemm_speedup_1024` block: single-thread blocked GEMM must be ≥2× naive
+//! at 1024×1024×1024 (both GFLOP/s figures are recorded).
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::Ctx;
+use gcnp_infer::{BatchedEngine, StorePolicy, STAGES};
+use gcnp_models::zoo;
+use gcnp_sparse::CsrMatrix;
+use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::{set_gemm_path, set_num_threads, GemmPath, Matrix};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// GEMM shapes: the 1024³ acceptance point plus layer shapes from the
+/// paper's datasets (Reddit attributes 602 → hidden 128; classifier tails).
+const GEMM_SHAPES: [(usize, usize, usize); 4] = [
+    (1024, 1024, 1024),
+    (4096, 602, 128),
+    (4096, 128, 128),
+    (2048, 128, 41),
+];
+const GEMM_SHAPES_SMOKE: [(usize, usize, usize); 2] = [(96, 96, 96), (64, 33, 17)];
+
+/// SpMM points: (nodes, out-degree, feature width).
+const SPMM_SHAPES: [(usize, usize, usize); 2] = [(16384, 16, 602), (16384, 16, 128)];
+const SPMM_SHAPES_SMOKE: [(usize, usize, usize); 1] = [(256, 4, 40)];
+
+#[derive(Serialize, Deserialize)]
+struct GemmRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    path: String,
+    seconds: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SpmmRow {
+    nodes: usize,
+    nnz: usize,
+    width: usize,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Speedup {
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StageShare {
+    path: String,
+    gemm_seconds: f64,
+    stage_total_seconds: f64,
+    gemm_share: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    smoke: bool,
+    gemm: Vec<GemmRow>,
+    /// The acceptance comparison at the largest benchmarked shape,
+    /// single-threaded: blocked vs naive.
+    gemm_speedup_1024: Option<Speedup>,
+    spmm: Vec<SpmmRow>,
+    /// Per-stage GEMM share of the batched serving path under the naive vs
+    /// auto (blocked) kernels; empty without the `obs` feature.
+    serving_stage_share: Vec<StageShare>,
+}
+
+/// Best-of-N timing: run `f` until ≥3 iterations and ≥`budget` seconds,
+/// return the fastest single iteration.
+fn best_seconds(budget: f64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    let mut iters = 0u32;
+    while iters < 3 || spent < budget {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        spent += dt;
+        iters += 1;
+        if iters >= 50 {
+            break;
+        }
+    }
+    best
+}
+
+fn bench_gemm(shapes: &[(usize, usize, usize)], threads: &[usize], budget: f64) -> Vec<GemmRow> {
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        let mut rng = seeded_rng(0x6e55);
+        let a = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let flops = 2.0 * (m * k * n) as f64;
+        for &t in threads {
+            set_num_threads(t);
+            for (label, path) in [
+                ("naive", GemmPath::Naive),
+                ("blocked", gcnp_tensor::gemm_path()),
+            ] {
+                set_gemm_path(Some(path));
+                let secs = best_seconds(budget, || {
+                    std::hint::black_box(a.matmul(std::hint::black_box(&b)));
+                });
+                rows.push(GemmRow {
+                    m,
+                    k,
+                    n,
+                    threads: t,
+                    path: label.to_string(),
+                    seconds: secs,
+                    gflops: flops / secs / 1e9,
+                });
+            }
+            set_gemm_path(None);
+        }
+    }
+    set_num_threads(0);
+    rows
+}
+
+/// Synthetic CSR: `degree` pseudo-random out-edges per node.
+fn synth_graph(nodes: usize, degree: usize) -> CsrMatrix {
+    let mut edges = Vec::with_capacity(nodes * degree);
+    for i in 0..nodes {
+        for d in 0..degree {
+            let j = (i * 31 + d * 7919 + 13) % nodes;
+            edges.push((i as u32, j as u32));
+        }
+    }
+    CsrMatrix::adjacency(nodes, &edges)
+}
+
+fn bench_spmm(shapes: &[(usize, usize, usize)], threads: &[usize], budget: f64) -> Vec<SpmmRow> {
+    let mut rows = Vec::new();
+    for &(nodes, degree, width) in shapes {
+        let adj = synth_graph(nodes, degree);
+        let x = Matrix::rand_uniform(nodes, width, -1.0, 1.0, &mut seeded_rng(0x59a0));
+        let flops = 2.0 * (adj.nnz() * width) as f64;
+        for &t in threads {
+            set_num_threads(t);
+            let secs = best_seconds(budget, || {
+                std::hint::black_box(adj.spmm(std::hint::black_box(&x)));
+            });
+            rows.push(SpmmRow {
+                nodes,
+                nnz: adj.nnz(),
+                width,
+                threads: t,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+            });
+        }
+    }
+    set_num_threads(0);
+    rows
+}
+
+/// Serve a fixed batch schedule under one GEMM path and report the GEMM
+/// stage's share of the total stage time.
+fn stage_share(path_label: &str, path: Option<GemmPath>, smoke: bool, seed: u64) -> StageShare {
+    let (nodes, attr, hidden, batches) = if smoke {
+        (256, 16, 16, 2)
+    } else {
+        (4096, 128, 128, 16)
+    };
+    let adj = synth_graph(nodes, 12);
+    let x = Matrix::rand_uniform(nodes, attr, -1.0, 1.0, &mut seeded_rng(seed));
+    let model = zoo::graphsage(attr, hidden, 8, seed);
+    let registry = Arc::new(gcnp_obs::MetricsRegistry::new());
+    set_gemm_path(path);
+    let mut engine = BatchedEngine::new(
+        &model,
+        &adj,
+        &x,
+        vec![None, Some(16)],
+        None,
+        StorePolicy::None,
+        seed,
+    );
+    engine.set_metrics(gcnp_infer::EngineMetrics::new(&registry));
+    for b in 0..batches {
+        let targets: Vec<usize> = (b * 61..b * 61 + 64).map(|v| v % nodes).collect();
+        engine.infer(&targets);
+    }
+    set_gemm_path(None);
+    let snap = registry.snapshot();
+    let total: f64 = STAGES
+        .iter()
+        .filter_map(|s| snap.histograms.get(&format!("engine.stage.{s}.seconds")))
+        .map(|h| h.sum)
+        .sum();
+    let gemm = snap
+        .histograms
+        .get("engine.stage.gemm.seconds")
+        .map_or(0.0, |h| h.sum);
+    StageShare {
+        path: path_label.to_string(),
+        gemm_seconds: gemm,
+        stage_total_seconds: total,
+        gemm_share: if total > 0.0 { gemm / total } else { 0.0 },
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = Ctx::new("BENCH_kernels");
+    let budget = if smoke { 0.01 } else { 0.3 };
+    // audit: allow(pool-hygiene) — the bench only *reads* the env to pick its sweep points (1 and GCNP_THREADS); kernel parallelism still goes through set_num_threads/the shared pool
+    let extra_threads: usize = std::env::var("GCNP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 1)
+        .unwrap_or(4);
+    let threads = [1usize, extra_threads];
+
+    let gemm_shapes: &[(usize, usize, usize)] = if smoke {
+        &GEMM_SHAPES_SMOKE
+    } else {
+        &GEMM_SHAPES
+    };
+    let spmm_shapes: &[(usize, usize, usize)] = if smoke {
+        &SPMM_SHAPES_SMOKE
+    } else {
+        &SPMM_SHAPES
+    };
+
+    let gemm = bench_gemm(gemm_shapes, &threads, budget);
+    let spmm = bench_spmm(spmm_shapes, &threads, budget);
+
+    let gemm_speedup_1024 = {
+        let at = |path: &str| {
+            gemm.iter()
+                .find(|r| (r.m, r.k, r.n) == (1024, 1024, 1024) && r.threads == 1 && r.path == path)
+                .map(|r| r.gflops)
+        };
+        match (at("naive"), at("blocked")) {
+            (Some(naive), Some(blocked)) => Some(Speedup {
+                naive_gflops: naive,
+                blocked_gflops: blocked,
+                speedup: blocked / naive,
+            }),
+            _ => None,
+        }
+    };
+
+    let serving_stage_share = if gcnp_obs::enabled() {
+        vec![
+            stage_share("naive", Some(GemmPath::Naive), smoke, ctx.seed),
+            stage_share("auto", None, smoke, ctx.seed),
+        ]
+    } else {
+        Vec::new()
+    };
+
+    print_table(
+        &["Kernel", "Shape", "Threads", "Path", "GFLOP/s"],
+        &gemm
+            .iter()
+            .map(|r| {
+                vec![
+                    "gemm".into(),
+                    format!("{}x{}x{}", r.m, r.k, r.n),
+                    r.threads.to_string(),
+                    r.path.clone(),
+                    fnum(r.gflops, 2),
+                ]
+            })
+            .chain(spmm.iter().map(|r| {
+                vec![
+                    "spmm".into(),
+                    format!("{}n x{} (nnz {})", r.nodes, r.width, r.nnz),
+                    r.threads.to_string(),
+                    "csr".into(),
+                    fnum(r.gflops, 2),
+                ]
+            }))
+            .collect::<Vec<_>>(),
+    );
+    if let Some(s) = &gemm_speedup_1024 {
+        println!(
+            "1024^3 single-thread: naive {} GFLOP/s, blocked {} GFLOP/s ({}x)",
+            fnum(s.naive_gflops, 2),
+            fnum(s.blocked_gflops, 2),
+            fnum(s.speedup, 2)
+        );
+    }
+    for s in &serving_stage_share {
+        println!(
+            "serving gemm share [{}]: {}% of stage time",
+            s.path,
+            fnum(100.0 * s.gemm_share, 1)
+        );
+    }
+
+    let report = Report {
+        smoke,
+        gemm,
+        gemm_speedup_1024,
+        spmm,
+        serving_stage_share,
+    };
+    ctx.write_json(&report);
+
+    // Self-check: the written JSON must parse back into the schema.
+    let path = gcnp_bench::harness::workspace_root().join("results/BENCH_kernels.json");
+    let raw = std::fs::read_to_string(&path).expect("BENCH_kernels.json exists");
+    let parsed: Report = serde_json::from_str(&raw).expect("BENCH_kernels.json parses");
+    assert!(
+        !parsed.gemm.is_empty(),
+        "BENCH_kernels.json must contain GEMM rows"
+    );
+    println!("self-check OK: {} parses", path.display());
+}

@@ -6,9 +6,9 @@
 //! over the (possibly capped) neighbor sample, matching GraphSAGE's `D⁻¹A`
 //! semantics when uncapped.
 
-use gcnp_models::{Branch, CombineMode, GnnModel};
+use gcnp_models::{Branch, CombineMode, GnnModel, PackedModel};
 use gcnp_sparse::{BatchSupport, CsrMatrix};
-use gcnp_tensor::{parallel_row_chunks, Matrix};
+use gcnp_tensor::{parallel_row_chunks, Matrix, ScratchPool};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,6 +56,9 @@ pub struct BatchResult {
 /// Batched-inference engine.
 pub struct BatchedEngine<'a> {
     model: &'a GnnModel,
+    /// Weight-pack cache: every branch weight packed once at construction,
+    /// so per-batch GEMMs skip the operand-pack step entirely.
+    packed: PackedModel<'a>,
     /// Raw (unnormalized) adjacency; the engine applies mean aggregation.
     adj: &'a CsrMatrix,
     features: &'a Matrix,
@@ -65,14 +68,9 @@ pub struct BatchedEngine<'a> {
     pub policy: StorePolicy,
     seed: u64,
     batch_counter: u64,
-    /// Dense node-id → level-row relabel table ([`ABSENT`] = not present),
-    /// sized to the graph and reused across levels and batches. Replaces a
-    /// per-level `HashMap<usize, usize>` that was rebuilt (and re-hashed per
-    /// edge) on every batch.
-    relabel: Vec<u32>,
-    /// Node ids currently set in `relabel`, so resetting between levels is
-    /// O(nodes touched), not O(graph).
-    touched: Vec<usize>,
+    /// Per-batch scratch (relabel table, touched list, matrix pool), reused
+    /// across batches and checked out with `mem::take` for each one.
+    scratch: BatchScratch,
     /// True while a batch is in flight. A batch that panicked or errored out
     /// leaves this set, and the next call rebuilds the relabel scratch from
     /// zero — so a recovered engine never serves from corrupt scratch.
@@ -83,6 +81,25 @@ pub struct BatchedEngine<'a> {
     /// Optional per-stage instrumentation (see [`crate::metrics`]); `None`
     /// (or an `obs-off` build) skips all clock reads.
     metrics: Option<Arc<EngineMetrics>>,
+}
+
+/// Reusable per-batch scratch. The engine owns one and checks it out with
+/// `std::mem::take` for the duration of each batch, so the borrow checker
+/// allows mutating it alongside reads of `&self` fields.
+#[derive(Default)]
+struct BatchScratch {
+    /// Dense node-id → level-row relabel table ([`ABSENT`] = not present),
+    /// sized to the graph and reused across levels and batches. Replaces a
+    /// per-level `HashMap<usize, usize>` that was rebuilt (and re-hashed per
+    /// edge) on every batch.
+    relabel: Vec<u32>,
+    /// Node ids currently set in `relabel`, so resetting between levels is
+    /// O(nodes touched), not O(graph).
+    touched: Vec<usize>,
+    /// Matrix free list: level tables, gathered operands, and branch GEMM
+    /// outputs are drawn from (and returned to) this pool instead of hitting
+    /// the allocator once per intermediate per batch.
+    pool: ScratchPool,
 }
 
 /// Stages charged by the engine's [`StageClock`].
@@ -178,6 +195,7 @@ impl<'a> BatchedEngine<'a> {
         assert!(!model.jk, "BatchedEngine: JK models not supported");
         Self {
             model,
+            packed: PackedModel::new(model),
             adj,
             features,
             caps,
@@ -185,8 +203,11 @@ impl<'a> BatchedEngine<'a> {
             policy,
             seed,
             batch_counter: 0,
-            relabel: vec![ABSENT; adj.n_rows()],
-            touched: Vec::new(),
+            scratch: BatchScratch {
+                relabel: vec![ABSENT; adj.n_rows()],
+                touched: Vec::new(),
+                pool: ScratchPool::new(),
+            },
             dirty: false,
             faults: None,
             metrics: None,
@@ -260,22 +281,21 @@ impl<'a> BatchedEngine<'a> {
         self.batch_counter += 1;
         let batch_seed = self.seed ^ self.batch_counter;
 
-        // The dense relabel scratch lives on the engine; take it out for the
-        // duration of the batch so the borrow checker allows passing slices
-        // of it alongside `&self` fields. If the previous batch panicked or
-        // errored mid-flight (dirty, or the scratch was dropped during an
-        // unwind), rebuild it from zero.
-        let mut relabel = std::mem::take(&mut self.relabel);
-        let mut touched = std::mem::take(&mut self.touched);
-        if self.dirty || relabel.len() != n_nodes {
-            relabel.clear();
-            relabel.resize(n_nodes, ABSENT);
-            touched.clear();
+        // The batch scratch lives on the engine; take it out for the
+        // duration of the batch so the borrow checker allows mutating it
+        // alongside reads of `&self` fields. If the previous batch panicked
+        // or errored mid-flight (dirty, or the scratch was dropped during an
+        // unwind), rebuild the relabel table from zero. Pooled matrices are
+        // always re-zeroed on checkout, so they need no dirty handling.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if self.dirty || scratch.relabel.len() != n_nodes {
+            scratch.relabel.clear();
+            scratch.relabel.resize(n_nodes, ABSENT);
+            scratch.touched.clear();
         }
         self.dirty = true;
-        let result = self.infer_core(targets, store, batch_seed, &mut relabel, &mut touched, t0);
-        self.relabel = relabel;
-        self.touched = touched;
+        let result = self.infer_core(targets, store, batch_seed, &mut scratch, t0);
+        self.scratch = scratch;
         let mut res = result?; // on Err, dirty stays set -> next call resets
         self.dirty = false;
         if let Fault::Straggle { multiplier } = fault {
@@ -301,10 +321,15 @@ impl<'a> BatchedEngine<'a> {
         targets: &[usize],
         store: Option<&FeatureStore>,
         batch_seed: u64,
-        relabel: &mut [u32],
-        touched: &mut Vec<usize>,
+        scratch: &mut BatchScratch,
         t0: Instant,
     ) -> ServingResult<BatchResult> {
+        let BatchScratch {
+            relabel,
+            touched,
+            pool,
+        } = scratch;
+        let relabel: &mut [u32] = relabel;
         // Stage clock: only when a bundle is attached AND `obs` is compiled
         // in (the `enabled()` check const-folds the whole thing away in
         // obs-off builds, clock reads included).
@@ -329,8 +354,12 @@ impl<'a> BatchedEngine<'a> {
         let mut mem_bytes: usize = self.model.n_weights() * 4;
         let mut store_hits = 0usize;
 
-        // Level 0: raw attributes of the input nodes.
-        let mut level_mat = self.features.gather_rows(&support.input_nodes);
+        // Level 0: raw attributes of the input nodes, gathered into a pooled
+        // buffer instead of a fresh allocation per batch.
+        let mut level_mat = pool.take_matrix(support.input_nodes.len(), self.features.cols());
+        for (i, &v) in support.input_nodes.iter().enumerate() {
+            level_mat.row_mut(i).copy_from_slice(self.features.row(v));
+        }
         // Trap NaN/Inf feature rows at the engine boundary (before any
         // kernel consumes them) so a poisoned row degrades into a typed,
         // retryable error. No-op without `strict-invariants`.
@@ -352,12 +381,13 @@ impl<'a> BatchedEngine<'a> {
         for li in 1..=n_layers {
             let ls = &support.layers[li - 1]; // audit: allow(no-fail-stop) — li ranges over 1..=n_layers and support has one entry per layer
             let layer = &self.model.layers[li - 1]; // audit: allow(no-fail-stop) — same loop bound
-                                                    // --- compute branch outputs for ls.compute --------------------
+            let packs = self.packed.branch_packs(li - 1);
+            // --- compute branch outputs for ls.compute --------------------
             let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
-            for branch in &layer.branches {
+            for (branch, pack) in layer.branches.iter().zip(packs) {
                 let gathered = match branch.k {
-                    0 => gather_selected(&level_mat, relabel, &ls.compute, branch),
-                    1 => aggregate_mean(&level_mat, relabel, ls, branch),
+                    0 => gather_selected(&level_mat, relabel, &ls.compute, branch, pool),
+                    1 => aggregate_mean(&level_mat, relabel, ls, branch, pool),
                     // audit: allow(no-fail-stop) — k ∈ {0,1} is enforced by the constructor assert
                     _ => unreachable!("validated in constructor"),
                 };
@@ -367,7 +397,12 @@ impl<'a> BatchedEngine<'a> {
                 }
                 macs += (gathered.rows() * branch.in_dim() * branch.out_dim()) as u64;
                 lap(&mut clock, Stage::Spmm);
-                parts.push(gathered.matmul(&branch.weight));
+                // Pre-packed weights (no per-call operand pack) into a pooled
+                // output buffer; the gathered operand goes back to the pool.
+                let mut prod = pool.take_matrix(gathered.rows(), branch.out_dim());
+                gathered.matmul_packed_into(pack, &mut prod);
+                pool.recycle(gathered);
+                parts.push(prod);
                 lap(&mut clock, Stage::Gemm);
             }
             let refs: Vec<&Matrix> = parts.iter().collect();
@@ -381,27 +416,35 @@ impl<'a> BatchedEngine<'a> {
                                 check: "engine.combine.branches",
                                 detail: format!("layer {li} has no branches to combine"),
                             })?;
-                    let mut acc = first.clone();
+                    let mut acc = pool.take_matrix(first.rows(), first.cols());
+                    acc.as_mut_slice().copy_from_slice(first.as_slice());
                     for p in rest {
                         acc.add_assign(p);
                     }
-                    acc.scale(1.0 / parts.len() as f32)
+                    let inv = 1.0 / parts.len() as f32;
+                    for v in acc.as_mut_slice() {
+                        *v *= inv;
+                    }
+                    acc
                 }
             };
-            if let Some(b) = &layer.bias {
-                out = out.add_row_vector(b.row(0));
+            for p in parts.drain(..) {
+                pool.recycle(p);
             }
-            let out = match layer.activation {
-                gcnp_models::Activation::Relu => out.relu(),
-                gcnp_models::Activation::None => out,
-            };
+            if let Some(b) = &layer.bias {
+                out.add_row_vector_assign(b.row(0));
+            }
+            match layer.activation {
+                gcnp_models::Activation::Relu => out.relu_assign(),
+                gcnp_models::Activation::None => {}
+            }
             mem_bytes += out.nbytes();
             lap(&mut clock, Stage::Gemm); // combine + bias + activation
 
             // --- assemble the level-li feature table ----------------------
             let width = out.cols();
             let n_rows = ls.compute.len() + ls.stored.len();
-            let mut mat = Matrix::zeros(n_rows, width);
+            let mut mat = pool.take_matrix(n_rows, width);
             for v in touched.drain(..) {
                 relabel[v] = ABSENT; // audit: allow(no-fail-stop) — touched only ever holds ids previously checked against the graph
             }
@@ -410,6 +453,7 @@ impl<'a> BatchedEngine<'a> {
                 relabel[v] = i as u32; // audit: allow(no-fail-stop) — compute nodes come from BatchSupport over this graph
                 touched.push(v);
             }
+            pool.recycle(out);
             lap(&mut clock, Stage::Relabel);
             for (j, &v) in ls.stored.iter().enumerate() {
                 let s = store.ok_or(ServingError::MissingStoredRow { level: li, node: v })?;
@@ -462,7 +506,7 @@ impl<'a> BatchedEngine<'a> {
                 }
                 lap(&mut clock, Stage::WriteBack);
             }
-            level_mat = mat;
+            pool.recycle(std::mem::replace(&mut level_mat, mat));
         }
         if let Some(s) = store {
             s.tick();
@@ -479,6 +523,7 @@ impl<'a> BatchedEngine<'a> {
             })
             .collect();
         let logits = level_mat.gather_rows(&rows);
+        pool.recycle(level_mat);
         lap(&mut clock, Stage::Relabel); // tick + target extraction
         if let (Some(c), Some(m)) = (clock.as_ref(), self.metrics.as_deref()) {
             c.record(m);
@@ -501,9 +546,15 @@ impl<'a> BatchedEngine<'a> {
 /// Gather rows for `nodes`, selecting the branch's kept channels. `relabel`
 /// is the dense node-id → row table for the current level.
 // audit: allow(no-fail-stop) — relabel slots and kept-channel indices are built by BatchSupport and the pruner from in-graph ids; a miss is a programmer error caught by the debug_asserts
-fn gather_selected(mat: &Matrix, relabel: &[u32], nodes: &[usize], branch: &Branch) -> Matrix {
+fn gather_selected(
+    mat: &Matrix,
+    relabel: &[u32],
+    nodes: &[usize],
+    branch: &Branch,
+    pool: &mut ScratchPool,
+) -> Matrix {
     let width = branch.in_dim();
-    let mut out = Matrix::zeros(nodes.len(), width);
+    let mut out = pool.take_matrix(nodes.len(), width);
     for (i, &v) in nodes.iter().enumerate() {
         debug_assert_ne!(relabel[v], ABSENT, "node {v} missing from level table");
         let src = mat.row(relabel[v] as usize);
@@ -532,10 +583,11 @@ fn aggregate_mean(
     relabel: &[u32],
     ls: &gcnp_sparse::LayerSupport,
     branch: &Branch,
+    pool: &mut ScratchPool,
 ) -> Matrix {
     let width = branch.in_dim();
     let n = ls.compute.len();
-    let mut out = Matrix::zeros(n, width);
+    let mut out = pool.take_matrix(n, width);
     parallel_row_chunks(out.as_mut_slice(), n, width, |start, chunk| {
         for (r, dst) in chunk.chunks_mut(width).enumerate() {
             let nbrs = ls.neighbors(start + r);

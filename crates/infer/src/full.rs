@@ -1,6 +1,6 @@
 //! Instrumented full-graph inference (the paper's *full inference*).
 
-use gcnp_models::GnnModel;
+use gcnp_models::{GnnModel, PackedModel};
 use gcnp_sparse::CsrMatrix;
 use gcnp_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -23,9 +23,12 @@ pub struct FullResult {
 }
 
 /// Full-inference engine: computes embeddings for **all** nodes layer by
-/// layer with batched SpMM aggregation (§2.2.1).
+/// layer with batched SpMM aggregation (§2.2.1). Weights are packed once at
+/// construction (the weight-pack cache) so repeated passes skip the per-GEMM
+/// operand-pack step.
 pub struct FullEngine<'a> {
     model: &'a GnnModel,
+    packed: PackedModel<'a>,
     /// Normalized adjacency (`None` for pure MLPs).
     adj: Option<&'a CsrMatrix>,
 }
@@ -33,17 +36,21 @@ pub struct FullEngine<'a> {
 impl<'a> FullEngine<'a> {
     /// Create an engine over a model and its normalized adjacency.
     pub fn new(model: &'a GnnModel, adj: Option<&'a CsrMatrix>) -> Self {
-        Self { model, adj }
+        Self {
+            model,
+            packed: PackedModel::new(model),
+            adj,
+        }
     }
 
     /// One untimed forward pass.
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        self.model.forward_full(self.adj, x)
+        self.packed.forward_full(self.adj, x)
     }
 
     /// All hidden layers (for populating a [`crate::FeatureStore`]).
     pub fn hidden(&self, x: &Matrix) -> Vec<Matrix> {
-        self.model.forward_collect(self.adj, x)
+        self.packed.forward_collect(self.adj, x)
     }
 
     /// Timed run: `warmup` unmeasured passes, then the median of `iters`

@@ -24,11 +24,13 @@
 pub mod layer;
 pub mod metrics;
 pub mod model;
+pub mod packed;
 pub mod train;
 pub mod zoo;
 
 pub use layer::{Activation, Branch, BranchLayer, CombineMode};
 pub use metrics::Metrics;
 pub use model::GnnModel;
+pub use packed::PackedModel;
 pub use train::{LossKind, TrainConfig, TrainStats, Trainer};
 pub use zoo::{AppnpModel, GatModel, PprgoModel};

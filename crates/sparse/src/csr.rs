@@ -206,7 +206,9 @@ impl CsrMatrix {
     }
 
     /// Sparse·dense product `self · rhs` — the GNN aggregation kernel
-    /// `Ã · H`. Parallel across output rows.
+    /// `Ã · H`. Parallel across output rows; wide feature matrices are
+    /// processed in column blocks so the active `rhs` panel stays
+    /// cache-resident across a row's whole neighbor list.
     ///
     /// # Panics
     /// Panics if `rhs.rows() != n_cols`.
@@ -220,12 +222,13 @@ impl CsrMatrix {
         parallel_row_chunks(out.as_mut_slice(), self.n_rows, f, |start, chunk| {
             for (r, out_row) in chunk.chunks_mut(f).enumerate() {
                 let row = start + r;
-                for (c, v) in self.row_iter(row) {
-                    let src = &rhs_data[c as usize * f..(c as usize + 1) * f];
-                    for (o, &s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
-                    }
-                }
+                accumulate_row_blocked(
+                    self.row_indices(row),
+                    self.row_values(row),
+                    rhs_data,
+                    f,
+                    out_row,
+                );
             }
         });
         gcnp_tensor::check::guard_finite("sparse.spmm.finite", "spmm output", out.as_slice());
@@ -246,12 +249,13 @@ impl CsrMatrix {
         parallel_row_chunks(out.as_mut_slice(), rows.len(), f, |start, chunk| {
             for (i, out_row) in chunk.chunks_mut(f).enumerate() {
                 let row = rows[start + i];
-                for (c, v) in self.row_iter(row) {
-                    let src = &rhs_data[c as usize * f..(c as usize + 1) * f];
-                    for (o, &s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
-                    }
-                }
+                accumulate_row_blocked(
+                    self.row_indices(row),
+                    self.row_values(row),
+                    rhs_data,
+                    f,
+                    out_row,
+                );
             }
         });
         gcnp_tensor::check::guard_finite(
@@ -414,6 +418,47 @@ impl CsrMatrix {
     }
 }
 
+/// Column width of one SpMM feature block: 128 f32 = 512 B per gathered
+/// `rhs` row slice, so a whole neighbor list's worth of panels fits in L1
+/// even for high-degree rows.
+const SPMM_NC: usize = 128;
+
+/// Accumulate one sparse row into `out_row`: `out_row += Σ values[e] ·
+/// rhs[indices[e]]`. Wide feature dimensions are walked in `SPMM_NC`-column
+/// blocks — the neighbor loop re-runs per block against a cache-resident
+/// output slice. The per-element accumulation order over neighbors is
+/// identical to the unblocked loop, so results are bitwise unchanged.
+fn accumulate_row_blocked(
+    indices: &[u32],
+    values: &[f32],
+    rhs: &[f32],
+    f: usize,
+    out_row: &mut [f32],
+) {
+    debug_assert_eq!(out_row.len(), f);
+    if f <= SPMM_NC {
+        for (&c, &v) in indices.iter().zip(values) {
+            let src = &rhs[c as usize * f..(c as usize + 1) * f];
+            for (o, &s) in out_row.iter_mut().zip(src) {
+                *o += v * s;
+            }
+        }
+        return;
+    }
+    let mut bs = 0;
+    while bs < f {
+        let be = (bs + SPMM_NC).min(f);
+        let dst = &mut out_row[bs..be];
+        for (&c, &v) in indices.iter().zip(values) {
+            let src = &rhs[c as usize * f + bs..c as usize * f + be];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += v * s;
+            }
+        }
+        bs = be;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +500,42 @@ mod tests {
         let some = m.spmm_rows(&[3, 0], &h);
         assert_eq!(some.row(0), full.row(3));
         assert_eq!(some.row(1), full.row(0));
+    }
+
+    #[test]
+    fn spmm_wide_features_bitwise_match_unblocked_order() {
+        // Column blocking kicks in above SPMM_NC features; the per-element
+        // neighbor accumulation order is unchanged, so the result must be
+        // bitwise identical to a plain unblocked walk.
+        let m = CsrMatrix::adjacency(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 5),
+                (1, 3),
+                (2, 0),
+                (2, 4),
+                (4, 4),
+                (5, 0),
+            ],
+        );
+        let f = SPMM_NC + 37;
+        let h = Matrix::rand_uniform(6, f, -1.0, 1.0, &mut gcnp_tensor::init::seeded_rng(7));
+        let got = m.spmm(&h);
+        let mut want = Matrix::zeros(6, f);
+        for r in 0..6 {
+            let row = want.row_mut(r);
+            for (c, v) in m.row_iter(r) {
+                for (o, &s) in row.iter_mut().zip(h.row(c as usize)) {
+                    *o += v * s;
+                }
+            }
+        }
+        assert_eq!(got.as_slice(), want.as_slice(), "blocking changed bits");
+        let some = m.spmm_rows(&[2, 0], &h);
+        assert_eq!(some.row(0), got.row(2));
+        assert_eq!(some.row(1), got.row(0));
     }
 
     #[test]

@@ -5,23 +5,34 @@
 //! The crate provides a single row-major [`Matrix`] type plus the handful of
 //! kernels a GNN training / pruning / inference pipeline actually needs:
 //!
-//! * cache-friendly GEMM in the three orientations required by
-//!   backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`),
+//! * cache-blocked, register-tiled GEMM ([`gemm`]) in the three orientations
+//!   required by backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`), with packed
+//!   operands, a runtime-dispatched AVX2/FMA microkernel, and a
+//!   [`PackedB`] weight-pack cache for products repeated against a constant
+//!   right-hand side,
+//! * a [`ScratchPool`] recycling hot-path intermediate buffers,
 //! * elementwise and row/column-wise operations,
 //! * seeded random initializers (uniform, normal, Glorot),
-//! * a tiny scoped-thread helper for row-parallel kernels.
+//! * a persistent worker pool for row-parallel kernels.
 //!
 //! Everything is deterministic given a seed, which the experiment harness
-//! relies on for reproducibility.
+//! relies on for reproducibility; GEMM results are additionally bitwise
+//! identical across thread counts and across the scalar/SIMD microkernels.
 
 pub mod check;
+pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
 pub mod quant;
+pub mod scratch;
 
 pub use check::CheckError;
+pub use gemm::{gemm_path, set_gemm_path, GemmPath, PackedB};
 pub use matrix::Matrix;
-pub use parallel::{num_threads, parallel_row_chunks, set_num_threads};
+pub use parallel::{
+    num_threads, parallel_row_chunks, parallel_row_chunks_aligned, set_num_threads,
+};
 pub use quant::{qmatmul, QuantMatrix};
+pub use scratch::ScratchPool;

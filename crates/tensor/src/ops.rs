@@ -1,15 +1,18 @@
 //! Matrix kernels: GEMM in the three backprop orientations, elementwise maps,
 //! and the row/column-wise reductions the pruning framework needs.
 //!
-//! The GEMM uses the classic i-k-j loop order with contiguous row
-//! accumulation, which the compiler auto-vectorizes, and parallelizes over
-//! output-row chunks via [`crate::parallel::parallel_row_chunks`].
+//! The GEMM orientations all route through the cache-blocked, register-tiled
+//! kernels in [`crate::gemm`] (packed operands, runtime-dispatched AVX2/FMA
+//! microkernel); transposed orientations fold the transpose into operand
+//! packing instead of materializing a copy. Parallelism is over output-row
+//! chunks via [`crate::parallel`].
 
+use crate::gemm::{self, View};
 use crate::matrix::Matrix;
 use crate::parallel::parallel_row_chunks;
 
 impl Matrix {
-    /// `self · other` — the workhorse GEMM.
+    /// `self · other` — the workhorse GEMM, cache-blocked and register-tiled.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -20,6 +23,131 @@ impl Matrix {
             self.cols(),
             other.rows(),
             "matmul: {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        gemm::gemm_into(
+            View::normal(self),
+            View::normal(other),
+            m,
+            k,
+            n,
+            out.as_mut_slice(),
+        );
+        crate::check::guard_finite("tensor.matmul.finite", "matmul output", out.as_slice());
+        out
+    }
+
+    /// `selfᵀ · other` (e.g. `∂W = Xᵀ · ∂Y` in linear-layer backward). The
+    /// transpose is folded into operand packing — no transposed copy of
+    /// `self` is materialized.
+    ///
+    /// Shapes: `self` is `(n, p)` and `other` `(n, q)`; the result is `(p, q)`.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows(), other.rows(), "matmul_at_b: row mismatch");
+        let (m, k, n) = (self.cols(), self.rows(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        gemm::gemm_into(
+            View::transposed(self),
+            View::normal(other),
+            m,
+            k,
+            n,
+            out.as_mut_slice(),
+        );
+        crate::check::guard_finite(
+            "tensor.matmul_at_b.finite",
+            "matmul_at_b output",
+            out.as_slice(),
+        );
+        out
+    }
+
+    /// `self · otherᵀ` (e.g. `∂X = ∂Y · Wᵀ`). The transpose of `other` is
+    /// folded into the B-panel pack step.
+    ///
+    /// Shapes: `self` is `(m, k)` and `other` `(n, k)`; the result is `(m, n)`.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols(), other.cols(), "matmul_a_bt: col mismatch");
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        gemm::gemm_into(
+            View::normal(self),
+            View::transposed(other),
+            m,
+            k,
+            n,
+            out.as_mut_slice(),
+        );
+        crate::check::guard_finite(
+            "tensor.matmul_a_bt.finite",
+            "matmul_a_bt output",
+            out.as_slice(),
+        );
+        out
+    }
+
+    /// `self · pack` against a [`crate::PackedB`] weight pack, skipping the
+    /// per-call B-pack step (the weight-pack cache fast path).
+    ///
+    /// Shapes: `self` is `(m, k)` with `k == pack.k()`; the result is
+    /// `(m, pack.n())`.
+    pub fn matmul_packed(&self, pack: &crate::PackedB) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), pack.n());
+        self.matmul_packed_into(pack, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_packed`] writing into caller-provided storage (e.g. a
+    /// [`crate::ScratchPool`] matrix); `out` is fully overwritten.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    ///
+    /// Shapes: `self` is `(m, k)` with `k == pack.k()`; `out` must be
+    /// `(m, pack.n())`.
+    pub fn matmul_packed_into(&self, pack: &crate::PackedB, out: &mut Matrix) {
+        assert_eq!(
+            self.cols(),
+            pack.k(),
+            "matmul_packed: {}x{} · packed {}x{}",
+            self.rows(),
+            self.cols(),
+            pack.k(),
+            pack.n()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows(), pack.n()),
+            "matmul_packed: output shape mismatch"
+        );
+        gemm::gemm_packed_into(View::normal(self), pack, self.rows(), out.as_mut_slice());
+        crate::check::guard_finite(
+            "tensor.matmul_packed.finite",
+            "matmul_packed output",
+            out.as_slice(),
+        );
+    }
+
+    /// `self · other` skipping zero entries of `self` — the explicit
+    /// pruned/sparse-row path. The main [`Matrix::matmul`] no longer branches
+    /// on `a[i][k] == 0`; use this variant when `self` is channel-masked
+    /// (`H ⊙ β` with many zeroed columns) or otherwise mostly zero, where the
+    /// skip wins back more than the lost vectorization.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    ///
+    /// Shapes: `self` is `(m, k)` and `other` `(k, n)`; the result is `(m, n)`.
+    pub fn matmul_zero_skipping(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul_zero_skipping: {}x{} · {}x{}",
             self.rows(),
             self.cols(),
             other.rows(),
@@ -44,44 +172,11 @@ impl Matrix {
                 }
             }
         });
-        crate::check::guard_finite("tensor.matmul.finite", "matmul output", out.as_slice());
-        out
-    }
-
-    /// `selfᵀ · other` (e.g. `∂W = Xᵀ · ∂Y` in linear-layer backward).
-    ///
-    /// Shapes: `self` is `(n, p)` and `other` `(n, q)`; the result is `(p, q)`.
-    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows(), other.rows(), "matmul_at_b: row mismatch");
-        // Transpose-then-GEMM keeps both inner loops contiguous; the
-        // transpose is O(n·p) against the O(n·p·q) product.
-        self.transpose().matmul(other)
-    }
-
-    /// `self · otherᵀ` (e.g. `∂X = ∂Y · Wᵀ`). Both operands are read
-    /// row-contiguously: `C[i][j] = dot(self.row(i), other.row(j))`.
-    ///
-    /// Shapes: `self` is `(m, k)` and `other` `(n, k)`; the result is `(m, n)`.
-    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols(), other.cols(), "matmul_a_bt: col mismatch");
-        let (m, k, n) = (self.rows(), self.cols(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        parallel_row_chunks(out.as_mut_slice(), m, n, |start, chunk| {
-            for (r, out_row) in chunk.chunks_mut(n).enumerate() {
-                let i = start + r;
-                let a_row = &a[i * k..(i + 1) * k];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (x, y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        crate::check::guard_finite(
+            "tensor.matmul_zero_skipping.finite",
+            "matmul_zero_skipping output",
+            out.as_slice(),
+        );
         out
     }
 
@@ -232,6 +327,31 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Broadcast-add a row vector to every row in place (allocation-free
+    /// bias addition for scratch-pooled intermediates).
+    ///
+    /// Shapes: `bias.len()` must equal `self.cols()`.
+    pub fn add_row_vector_assign(&mut self, bias: &[f32]) {
+        assert_eq!(
+            bias.len(),
+            self.cols(),
+            "add_row_vector_assign: length mismatch"
+        );
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// ReLU in place.
+    pub fn relu_assign(&mut self) {
+        for v in self.as_mut_slice() {
+            *v = v.max(0.0);
+        }
     }
 
     /// Sum of all elements.
@@ -469,6 +589,51 @@ mod tests {
         let b = a.add_row_vector(&[1.0, 2.0, 3.0]);
         assert_eq!(b.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(b.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_skipping_matches_dense_on_masked_operand() {
+        // The explicit pruned-path kernel must agree with the blocked dense
+        // kernel when whole channels are masked to zero (H ⊙ β).
+        let a = seq(20, 12, 0.31);
+        let mask: Vec<f32> = (0..12)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let masked = a.scale_cols(&mask);
+        let b = seq(12, 9, 0.57);
+        assert!(masked
+            .matmul_zero_skipping(&b)
+            .approx_eq(&masked.matmul(&b), 1e-5));
+        assert!(masked
+            .matmul_zero_skipping(&b)
+            .approx_eq(&naive_matmul(&masked, &b), 1e-4));
+    }
+
+    #[test]
+    fn packed_matmul_matches_plain() {
+        let a = seq(17, 23, 0.21);
+        let b = seq(23, 14, 0.43);
+        let pack = crate::PackedB::pack(&b);
+        let packed = a.matmul_packed(&pack);
+        let plain = a.matmul(&b);
+        assert!(packed.approx_eq(&plain, 1e-5));
+        let mut into = Matrix::zeros(17, 14);
+        a.matmul_packed_into(&pack, &mut into);
+        assert_eq!(into.as_slice(), packed.as_slice());
+    }
+
+    #[test]
+    fn in_place_bias_and_relu_match_allocating_forms() {
+        let a = seq(6, 4, 0.8);
+        let bias = [0.5, -1.0, 0.0, 2.0];
+        let mut inplace = a.clone();
+        inplace.add_row_vector_assign(&bias);
+        assert_eq!(inplace.as_slice(), a.add_row_vector(&bias).as_slice());
+        inplace.relu_assign();
+        assert_eq!(
+            inplace.as_slice(),
+            a.add_row_vector(&bias).relu().as_slice()
+        );
     }
 
     #[test]

@@ -183,6 +183,28 @@ pub fn parallel_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    parallel_row_chunks_aligned(out, rows, row_len, 1, f)
+}
+
+/// [`parallel_row_chunks`] with chunk boundaries rounded up to a multiple of
+/// `align` rows. The blocked GEMM uses `align = MR` so no microkernel strip
+/// ever straddles two threads' chunks (the last chunk may still be ragged —
+/// the kernel zero-pads its edge strip). `align = 1` is exactly
+/// [`parallel_row_chunks`].
+///
+/// # Panics
+/// Re-raises the first panic raised by `f`, with its original payload.
+///
+/// Shapes: `out.len()` must equal `rows * row_len`; each chunk is a whole number of rows.
+pub fn parallel_row_chunks_aligned<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    align: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
     assert_eq!(
         out.len(),
         rows * row_len,
@@ -191,12 +213,13 @@ where
     if rows == 0 || row_len == 0 {
         return; // degenerate output: nothing to fill
     }
-    let threads = num_threads().min(rows);
+    let align = align.max(1);
+    let threads = num_threads().min(rows.div_ceil(align));
     if threads <= 1 {
         f(0, out);
         return;
     }
-    let chunk_rows = rows.div_ceil(threads);
+    let chunk_rows = rows.div_ceil(threads).div_ceil(align) * align;
     let mut chunks: Vec<(usize, &mut [f32])> = out
         .chunks_mut(chunk_rows * row_len)
         .enumerate()
@@ -324,6 +347,39 @@ mod tests {
             with_threads(t, || fill(&mut parallel));
             assert_eq!(serial, parallel, "thread count {t} changed the result");
         }
+    }
+
+    #[test]
+    fn aligned_chunks_start_on_multiples() {
+        // Every chunk except possibly the last must start at a multiple of
+        // `align` and span a multiple of `align` rows.
+        with_threads(4, || {
+            for (rows, align) in [(103, 8), (9, 8), (64, 8), (17, 5), (8, 8)] {
+                let mut out = vec![0.0f32; rows];
+                let starts = Mutex::new(Vec::new());
+                parallel_row_chunks_aligned(&mut out, rows, 1, align, |start, chunk| {
+                    starts.lock().unwrap().push((start, chunk.len()));
+                    for (r, v) in chunk.iter_mut().enumerate() {
+                        *v = (start + r) as f32;
+                    }
+                });
+                let mut starts = starts.into_inner().unwrap();
+                starts.sort_unstable();
+                let mut expect_start = 0;
+                for (i, &(start, len)) in starts.iter().enumerate() {
+                    assert_eq!(start, expect_start, "rows={rows} align={align}");
+                    assert_eq!(start % align, 0, "chunk start off alignment");
+                    if i + 1 < starts.len() {
+                        assert_eq!(len % align, 0, "interior chunk not aligned");
+                    }
+                    expect_start += len;
+                }
+                assert_eq!(expect_start, rows, "chunks must tile all rows");
+                for (r, v) in out.iter().enumerate() {
+                    assert_eq!(*v, r as f32);
+                }
+            }
+        });
     }
 
     #[test]

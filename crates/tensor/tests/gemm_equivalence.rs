@@ -1,0 +1,219 @@
+//! Equivalence suite for the blocked GEMM rewrite.
+//!
+//! Pins three properties across adversarial shapes and all three operand
+//! orientations (`A·B`, `Aᵀ·B`, `A·Bᵀ`):
+//!
+//! 1. every blocked path (scalar and SIMD microkernels, packed-B fast path)
+//!    matches an independent f64 triple-loop reference to fma-rounding
+//!    tolerance, and matches the retired naive i-k-j kernel the same way;
+//! 2. the scalar and SIMD microkernels are **bitwise** identical (both run
+//!    the same sequential per-element fma chain over `k`);
+//! 3. for `k ≤ KC` the auto dispatcher (which may take the small-shape fused
+//!    loop) is bitwise identical to the forced blocked kernels, so engines
+//!    that `assert_eq!` against plain forwards stay exact.
+//!
+//! Shapes are drawn from the tile-boundary set {0, 1, MR−1, MR, MR+1, MC±1,
+//! non-multiples} plus `KC`-straddling depths, the spots where panel edge
+//! handling goes wrong.
+
+use gcnp_tensor::gemm::{KC, MC, MR, NR};
+use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::{set_gemm_path, GemmPath, Matrix, PackedB};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The GEMM path override is process-global; every test that sets it holds
+/// this lock so parallel test threads cannot observe each other's forcing.
+static PATH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Lock + force a path; restores auto-dispatch on drop (panic included).
+struct ForcedPath<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl<'a> ForcedPath<'a> {
+    fn lock() -> Self {
+        let guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        Self { _guard: guard }
+    }
+}
+
+impl Drop for ForcedPath<'_> {
+    fn drop(&mut self) {
+        set_gemm_path(None);
+    }
+}
+
+/// Independent reference: f64 triple loop over logical `A (m×k) · B (k×n)`.
+fn reference(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p) as f64;
+            for j in 0..n {
+                c[i * n + j] += av * b.get(p, j) as f64;
+            }
+        }
+    }
+    c
+}
+
+fn assert_close(got: &Matrix, want: &[f64], k: usize, what: &str) {
+    assert_eq!(got.as_slice().len(), want.len(), "{what}: length");
+    let tol = 1e-5f64 * (k as f64 + 1.0);
+    for (i, (&g, &w)) in got.as_slice().iter().zip(want).enumerate() {
+        let err = (g as f64 - w).abs();
+        assert!(
+            err <= tol * w.abs().max(1.0),
+            "{what}: flat index {i}: got {g}, reference {w} (err {err:.3e}, tol {tol:.3e})"
+        );
+    }
+}
+
+/// Random operands with a sprinkling of exact zeros, so the retired
+/// zero-skip branch of the naive path is exercised (skipped terms contribute
+/// nothing either way — outputs must still agree).
+fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = seeded_rng(seed);
+    let mut a = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+    for v in a.as_mut_slice() {
+        if v.abs() < 0.25 {
+            *v = 0.0;
+        }
+    }
+    (a, b)
+}
+
+/// Run one shape through every path and orientation. Caller holds the lock.
+fn check_shape(m: usize, k: usize, n: usize, seed: u64) {
+    let (a, b) = operands(m, k, n, seed);
+    let at = a.transpose(); // (k, m): at.matmul_at_b(&b) == a · b
+    let bt = b.transpose(); // (n, k): a.matmul_a_bt(&bt) == a · b
+    let want = reference(&a, &b);
+    let tag = format!("{m}x{k}x{n}");
+
+    let run = |path: GemmPath| {
+        set_gemm_path(Some(path));
+        let ab = a.matmul(&b);
+        let atb = at.matmul_at_b(&b);
+        let abt = a.matmul_a_bt(&bt);
+        let packed = a.matmul_packed(&PackedB::pack(&b));
+        (ab, atb, abt, packed)
+    };
+
+    let (s_ab, s_atb, s_abt, s_packed) = run(GemmPath::BlockedScalar);
+    assert_close(&s_ab, &want, k, &format!("{tag} scalar A·B"));
+    assert_close(&s_atb, &want, k, &format!("{tag} scalar Aᵀ·B"));
+    assert_close(&s_abt, &want, k, &format!("{tag} scalar A·Bᵀ"));
+    assert_eq!(
+        s_packed, s_ab,
+        "{tag}: packed-B fast path must be bitwise identical to per-call pack"
+    );
+
+    // Scalar vs SIMD: identical fma chain ⇒ bitwise equal. On CPUs without
+    // avx2+fma the forced SIMD path degrades to scalar and this is trivially
+    // true — the suite still pins the dispatch plumbing.
+    let (v_ab, v_atb, v_abt, v_packed) = run(GemmPath::BlockedSimd);
+    assert_eq!(v_ab, s_ab, "{tag}: SIMD A·B must be bitwise scalar");
+    assert_eq!(v_atb, s_atb, "{tag}: SIMD Aᵀ·B must be bitwise scalar");
+    assert_eq!(v_abt, s_abt, "{tag}: SIMD A·Bᵀ must be bitwise scalar");
+    assert_eq!(
+        v_packed, s_packed,
+        "{tag}: SIMD packed must be bitwise scalar"
+    );
+
+    // The retired pre-blocking kernel (with its zero-skip branch) agrees to
+    // reference tolerance on all orientations.
+    let (n_ab, n_atb, n_abt, n_packed) = run(GemmPath::Naive);
+    assert_close(&n_ab, &want, k, &format!("{tag} naive A·B"));
+    assert_close(&n_atb, &want, k, &format!("{tag} naive Aᵀ·B"));
+    assert_close(&n_abt, &want, k, &format!("{tag} naive A·Bᵀ"));
+    assert_close(&n_packed, &want, k, &format!("{tag} naive packed"));
+
+    // Auto dispatch (small-shape fused loop allowed) is bitwise identical to
+    // the blocked kernels whenever the depth fits one KC slab.
+    if k <= KC {
+        set_gemm_path(None);
+        assert_eq!(
+            a.matmul(&b),
+            s_ab,
+            "{tag}: auto dispatch must match forced blocked bitwise for k ≤ KC"
+        );
+    }
+}
+
+/// Tile-boundary dimension values.
+const DIMS: &[usize] = &[0, 1, MR - 1, MR, MR + 1, 2 * NR + 3, MC - 1, MC, MC + 1];
+
+#[test]
+fn boundary_grid_all_orientations() {
+    let _forced = ForcedPath::lock();
+    // Small exhaustive grid over the nastiest edges (0/1/tile±1).
+    for &m in &DIMS[..5] {
+        for &k in &DIMS[..5] {
+            for &n in &DIMS[..5] {
+                check_shape(m, k, n, (m * 10_000 + k * 100 + n) as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn kc_slab_boundaries() {
+    let _forced = ForcedPath::lock();
+    // Depths straddling the KC slab edge exercise the multi-slab
+    // accumulate path (first slab stores, later slabs accumulate).
+    for k in [KC - 1, KC, KC + 1, KC + MR + 3] {
+        check_shape(5, k, 9, 7_700 + k as u64);
+        check_shape(MR + 1, k, NR + 1, 8_800 + k as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_adversarial_shapes(
+        mi in 0usize..9,
+        ki in 0usize..9,
+        ni in 0usize..9,
+        jitter in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let _forced = ForcedPath::lock();
+        let m = DIMS[mi] + jitter;
+        let k = DIMS[ki] + (jitter ^ 1);
+        let n = DIMS[ni] + (jitter ^ 2);
+        check_shape(m, k, n, seed);
+    }
+}
+
+#[cfg(feature = "strict-invariants")]
+mod strict {
+    use super::*;
+
+    /// `guard_finite` must net the blocked kernels: a NaN operand surfaces
+    /// as the named invariant panic, not as silent NaN propagation.
+    #[test]
+    fn blocked_gemm_output_is_netted() {
+        let _forced = ForcedPath::lock();
+        for path in [GemmPath::BlockedScalar, GemmPath::BlockedSimd] {
+            set_gemm_path(Some(path));
+            let mut a = Matrix::rand_uniform(MR + 1, 5, -1.0, 1.0, &mut seeded_rng(3));
+            let b = Matrix::rand_uniform(5, NR + 2, -1.0, 1.0, &mut seeded_rng(4));
+            a.set(2, 3, f32::NAN);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.matmul(&b)));
+            let msg = match caught {
+                Ok(_) => panic!("NaN slipped through the {path:?} blocked GEMM un-netted"),
+                Err(e) => *e.downcast::<String>().expect("panic carries a message"),
+            };
+            assert!(
+                msg.contains("tensor.matmul.finite"),
+                "panic must name the invariant, got: {msg}"
+            );
+        }
+    }
+}
