@@ -46,6 +46,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/infer/src/serving.rs",
     "crates/infer/src/store.rs",
     "crates/infer/src/batched.rs",
+    "crates/infer/src/pipeline.rs",
 ];
 
 /// The one module allowed to spawn kernel threads and read `GCNP_THREADS`.

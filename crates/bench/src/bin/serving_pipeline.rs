@@ -1,0 +1,250 @@
+//! Sequential vs pipelined serving executor: latency percentiles and
+//! throughput of `serve_multi` under both [`PipelineMode`]s on the same
+//! pre-arrived request trace.
+//!
+//! ```sh
+//! cargo run --release -p gcnp-bench --bin serving_pipeline            # full
+//! cargo run --release -p gcnp-bench --bin serving_pipeline -- --smoke # CI
+//! ```
+//!
+//! Writes `results/BENCH_serving.json` and re-parses it before exiting, so
+//! a smoke run doubles as a schema check. The comparison number is the
+//! `p99_speedup` block: the serving configuration is the paper's §3.3.2
+//! store-backed setup (a partially pre-warmed hidden-feature store probed
+//! at prepare time), where the front end (expansion + gather + store
+//! probes) is roughly half of each batch — with single-threaded kernels,
+//! the stage overlap itself provides the parallelism, so batch N+1's
+//! probes hide under batch N's GEMM.
+//!
+//! The overlap needs at least two hardware threads per worker; the report
+//! records `cores` and `overlap_capable` so a single-core CI run (where
+//! two stage threads time-share one CPU and pipelining can only add
+//! handoff overhead) is distinguishable from a real regression.
+
+use gcnp_bench::harness::{fnum, print_table};
+use gcnp_bench::Ctx;
+use gcnp_infer::{
+    serve_multi, BatchedEngine, FeatureStore, PipelineMode, ServingConfig, StorePolicy,
+};
+use gcnp_models::zoo;
+use gcnp_sparse::CsrMatrix;
+use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::{set_num_threads, Matrix};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct ModeRow {
+    mode: String,
+    workers: usize,
+    n_requests: usize,
+    n_batches: usize,
+    served: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    wall_seconds: f64,
+    throughput: f64,
+    pipeline_occupancy: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Speedup {
+    sequential_p99_ms: f64,
+    pipelined_p99_ms: f64,
+    /// sequential p99 / pipelined p99 (> 1 means the pipeline wins).
+    p99_speedup: f64,
+    sequential_wall_seconds: f64,
+    pipelined_wall_seconds: f64,
+    wall_speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    smoke: bool,
+    nodes: usize,
+    dim: usize,
+    hidden: usize,
+    /// Hardware threads available to the run.
+    cores: usize,
+    /// Whether the host can actually overlap the two stage threads
+    /// (`cores >= 2`); on a single-core host the pipelined numbers measure
+    /// handoff overhead, not overlap.
+    overlap_capable: bool,
+    rows: Vec<ModeRow>,
+    p99_speedup: Speedup,
+}
+
+fn chord_graph(n: usize) -> CsrMatrix {
+    let mut e = Vec::new();
+    for i in 0..n as u32 {
+        for hop in [1u32, 7, 31] {
+            let j = (i + hop) % n as u32;
+            e.push((i, j));
+            e.push((j, i));
+        }
+    }
+    CsrMatrix::adjacency(n, &e)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = Ctx::new("BENCH_serving");
+    let (n, dim, hidden, layers, n_requests, repeats) = if smoke {
+        (300, 16, 32, 3, 300, 2)
+    } else {
+        (4000, 64, 32, 4, 2000, 5)
+    };
+    let adj = chord_graph(n);
+    let x = Matrix::rand_uniform(n, dim, -1.0, 1.0, &mut seeded_rng(ctx.seed));
+    let model = zoo::graphsage(dim, hidden, layers, ctx.seed);
+    let pool: Vec<usize> = (0..n).collect();
+
+    // The paper's store-backed serving setup (§3.3.2): pre-warm the
+    // hidden-feature store across the pool, then serve read-only against
+    // it. Store probes are front-stage work, so this is the regime the
+    // two-stage executor targets (and read-only probing needs no
+    // inter-batch write barrier).
+    let store = FeatureStore::new(n, model.n_layers() - 1);
+    {
+        let mut w = BatchedEngine::new(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            Some(&store),
+            StorePolicy::Roots,
+            ctx.seed,
+        );
+        // Warm only part of the pool: live traffic still expands and
+        // computes for cold roots, while warm supporting nodes are served
+        // from the store at prepare time.
+        for chunk in pool[..n / 4].chunks(64) {
+            w.try_infer(chunk).expect("store warmup");
+        }
+    }
+
+    // Single-threaded kernels: the comparison isolates the stage overlap
+    // (pipelined runs 2 stage threads per worker, sequential 1).
+    set_num_threads(1);
+    let run = |mode: PipelineMode| {
+        let cfg = ServingConfig {
+            arrival_rate: 1e6, // pre-arrived: identical batch formation across modes
+            max_batch: 32,
+            n_requests,
+            seed: ctx.seed,
+            pipeline: mode,
+            ..Default::default()
+        };
+        // Best-of-N to shrink scheduler noise; all deterministic counters
+        // are identical across repeats, so keeping the fastest run only
+        // sharpens the wall-clock comparison.
+        let mut best: Option<gcnp_infer::MultiServingReport> = None;
+        for _ in 0..repeats {
+            let mut engines = vec![BatchedEngine::new(
+                &model,
+                &adj,
+                &x,
+                vec![Some(12); layers],
+                Some(&store),
+                StorePolicy::None,
+                ctx.seed,
+            )];
+            let rep = serve_multi(&mut engines, &pool, &cfg).expect("serving run");
+            if best.as_ref().is_none_or(|b| rep.p99_ms < b.p99_ms) {
+                best = Some(rep);
+            }
+        }
+        best.expect("at least one repeat")
+    };
+
+    let seq = run(PipelineMode::Sequential);
+    let pip = run(PipelineMode::Pipelined);
+    set_num_threads(0);
+    assert_eq!(
+        seq.counters(),
+        pip.counters(),
+        "both executors must serve the identical trace"
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (mode, rep) in [("sequential", &seq), ("pipelined", &pip)] {
+        rows.push(ModeRow {
+            mode: mode.to_string(),
+            workers: rep.n_workers,
+            n_requests: rep.n_requests,
+            n_batches: rep.n_batches,
+            served: rep.served,
+            p50_ms: rep.p50_ms,
+            p95_ms: rep.p95_ms,
+            p99_ms: rep.p99_ms,
+            max_ms: rep.max_ms,
+            wall_seconds: rep.wall_seconds,
+            throughput: rep.throughput,
+            pipeline_occupancy: rep.pipeline_occupancy,
+        });
+        table.push(vec![
+            mode.to_string(),
+            rep.n_batches.to_string(),
+            fnum(rep.p50_ms, 2),
+            fnum(rep.p95_ms, 2),
+            fnum(rep.p99_ms, 2),
+            fnum(rep.wall_seconds * 1e3, 1),
+            fnum(rep.throughput, 0),
+            fnum(rep.pipeline_occupancy, 2),
+        ]);
+    }
+    print_table(
+        &[
+            "mode",
+            "batches",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "wall ms",
+            "req/s",
+            "occupancy",
+        ],
+        &table,
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let speedup = Speedup {
+        sequential_p99_ms: seq.p99_ms,
+        pipelined_p99_ms: pip.p99_ms,
+        p99_speedup: seq.p99_ms / pip.p99_ms.max(f64::EPSILON),
+        sequential_wall_seconds: seq.wall_seconds,
+        pipelined_wall_seconds: pip.wall_seconds,
+        wall_speedup: seq.wall_seconds / pip.wall_seconds.max(f64::EPSILON),
+    };
+    println!(
+        "p99 speedup {}x, wall speedup {}x on {cores} core(s){}",
+        fnum(speedup.p99_speedup, 2),
+        fnum(speedup.wall_speedup, 2),
+        if cores < 2 {
+            " — single core: stage threads time-share, overlap impossible"
+        } else {
+            ""
+        }
+    );
+
+    let report = Report {
+        smoke,
+        nodes: n,
+        dim,
+        hidden,
+        cores,
+        overlap_capable: cores >= 2,
+        rows,
+        p99_speedup: speedup,
+    };
+    ctx.write_json(&report);
+
+    // Schema check: the written record must round-trip.
+    let path = ctx.results_dir.join(format!("{}.json", ctx.name));
+    let text = std::fs::read_to_string(&path).expect("read back result json");
+    let parsed: Report = serde_json::from_str(&text).expect("re-parse result json");
+    assert_eq!(parsed.rows.len(), 2);
+    assert!(parsed.p99_speedup.p99_speedup > 0.0);
+}

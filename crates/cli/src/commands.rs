@@ -6,8 +6,8 @@ use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
 use gcnp_infer::{
     format_stage_table, serve_multi, simulate_tiered, stage_breakdown, BatchedEngine,
-    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, QuantizedGnn, ServingConfig,
-    StorePolicy,
+    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, PipelineMode, QuantizedGnn,
+    ServingConfig, StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
 use gcnp_obs::MetricsRegistry;
@@ -248,7 +248,7 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
 ///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
 ///  [--deadline-ms f] [--queue-cap n] [--retry-cap n] [--faults spec]
-///  [--ladder] [--metrics-out file]`
+///  [--ladder] [--pipeline sequential|pipelined] [--pace] [--metrics-out file]`
 ///
 /// With `--workers n` (n > 1) the request trace is drained by `n` engine
 /// replicas sharing one feature store (throughput mode, no latency
@@ -261,6 +261,12 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// feature store, writes the end-of-run snapshot as JSON to `file` and
 /// Prometheus text to `file.prom`, and appends a per-stage engine timing
 /// table to the summary.
+///
+/// Multi-worker runs default to the two-stage **pipelined** executor
+/// (per-worker gather/GEMM overlap); `--pipeline sequential` selects the
+/// one-thread-per-worker escape hatch for A/B comparison, and `--pace`
+/// replays the arrival trace in real time so the reported percentiles are
+/// wall-clock meaningful.
 pub fn serve(args: &Args) -> Result<String, String> {
     // Validate the chaos spec before any file I/O so typos fail instantly.
     let faults = match args.get("faults") {
@@ -298,6 +304,15 @@ pub fn serve(args: &Args) -> Result<String, String> {
     if let (Some((_, reg)), Some(s)) = (&metrics, store) {
         s.attach_metrics(reg);
     }
+    let pipeline = match args.get("pipeline").unwrap_or("pipelined") {
+        "sequential" => PipelineMode::Sequential,
+        "pipelined" => PipelineMode::Pipelined,
+        other => {
+            return Err(format!(
+                "unknown --pipeline mode {other}; expected sequential or pipelined"
+            ))
+        }
+    };
     let cfg = ServingConfig {
         arrival_rate: args.get_or("rate", 500.0)?,
         max_batch: args.get_or("max-batch", 64)?,
@@ -307,6 +322,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
         deadline: args.get_opt::<f64>("deadline-ms")?.map(|ms| ms / 1e3),
         queue_cap: args.get_opt("queue-cap")?,
         retry_cap: args.get_or("retry-cap", 3)?,
+        pipeline,
+        pace: args.has("pace"),
         ..Default::default()
     };
     let policy = if store.is_some() {
@@ -338,14 +355,17 @@ pub fn serve(args: &Args) -> Result<String, String> {
             .collect();
         let rep = serve_multi(&mut engines, &data.test, &cfg).map_err(|e| e.to_string())?;
         let mut msg = format!(
-            "served {}/{} requests in {} batches (mean size {:.1}) on {} workers: {:.0} req/s wall-clock, {:.0} req/s compute-bound",
+            "served {}/{} requests in {} batches (mean size {:.1}) on {} {:?} workers: {:.0} req/s wall-clock, {:.0} req/s compute-bound, p99 {:.1} ms, occupancy {:.2}",
             rep.served,
             rep.n_requests,
             rep.n_batches,
             rep.mean_batch_size,
             rep.n_workers,
+            cfg.pipeline,
             rep.throughput,
-            rep.compute_throughput
+            rep.compute_throughput,
+            rep.p99_ms,
+            rep.pipeline_occupancy
         );
         if rep.shed + rep.recoveries + rep.failures + rep.retries > 0 {
             msg.push_str(&format!(

@@ -26,6 +26,7 @@ pub mod error;
 pub mod faults;
 pub mod full;
 pub mod metrics;
+pub mod pipeline;
 pub mod quantized;
 pub mod serving;
 pub mod store;
@@ -40,6 +41,7 @@ pub use metrics::{
     format_stage_table, stage_breakdown, EngineMetrics, ServingMetrics, StageRow, StoreMetrics,
     STAGES,
 };
+pub use pipeline::{run_batches, PipelineMode};
 pub use quantized::QuantizedGnn;
 pub use serving::{
     serve_multi, simulate, simulate_tiered, LadderPolicy, MultiServingReport, ServingConfig,

@@ -8,11 +8,19 @@
 //! Naming scheme (dots group, Prometheus exposition maps them to `_`):
 //!
 //! * `engine.stage.{expand|relabel|store_probe|spmm|gemm|write_back}.seconds`
-//!   — per-batch wall time of each [`crate::BatchedEngine`] stage;
+//!   — per-batch **busy** time of each [`crate::BatchedEngine`] stage. Under
+//!   the pipelined executor the front and back stages of consecutive batches
+//!   overlap, so these are no longer disjoint slices of one wall clock —
+//!   each histogram records the time its stage actually ran (inter-stage
+//!   queue wait excluded), and per-stage busy time is bounded by the run's
+//!   wall clock rather than tiling it;
 //! * `engine.batch.seconds` / `engine.batch.size` / `engine.batches`;
 //! * `store.{hit|miss|evict|write}.l{level}` + `store.poison_recovered`;
-//! * `serving.*` — loop counters (shed, retries, recoveries, tier switches)
-//!   and the `serving.queue.depth` / `serving.batch.size` distributions.
+//! * `serving.*` — loop counters (shed, retries, recoveries, tier switches),
+//!   the `serving.queue.depth` / `serving.batch.size` distributions, the
+//!   `serving.pipeline.occupancy` gauge (fraction of stage-thread time spent
+//!   busy), and `serving.dispatch.wakeups` (condvar wakeups of blocked
+//!   workers — the event-driven replacement for dispatch polling).
 
 use gcnp_obs::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 use std::sync::Arc;
@@ -106,6 +114,14 @@ pub struct ServingMetrics {
     pub batch_size: Arc<Histogram>,
     /// Active ladder tier (0 = unpruned).
     pub tier: Arc<Gauge>,
+    /// Fraction of available stage-thread time the pipeline spent busy
+    /// (front + back busy seconds over thread-seconds, 0..=1). Sequential
+    /// runs report their single-threaded duty cycle.
+    pub pipeline_occupancy: Arc<Gauge>,
+    /// Condvar wakeups of blocked dispatch-queue consumers over the run —
+    /// the observable replacing the old 100 µs polling loop (which "woke"
+    /// ~10 000×/s while idle).
+    pub dispatch_wakeups: Arc<Counter>,
 }
 
 impl ServingMetrics {
@@ -125,6 +141,8 @@ impl ServingMetrics {
             queue_depth: registry.histogram("serving.queue.depth"),
             batch_size: registry.histogram("serving.batch.size"),
             tier: registry.gauge("serving.tier"),
+            pipeline_occupancy: registry.gauge("serving.pipeline.occupancy"),
+            dispatch_wakeups: registry.counter("serving.dispatch.wakeups"),
         }
     }
 }

@@ -1,0 +1,662 @@
+//! Staged pipeline executor: overlap batch N+1's front end (expansion +
+//! gather + store probes) with batch N's back end (SpMM + GEMM +
+//! write-back) on separate threads.
+//!
+//! The split lives in [`crate::batched`]: `EngineCore::prepare` produces an
+//! owned, `Send` `PreparedBatch`; `EngineCore::execute` consumes it. This
+//! module provides the plumbing that connects them:
+//!
+//! * [`StageQueue`] — the bounded ([`PIPELINE_DEPTH`]) condvar channel
+//!   between the stages. The bound is the backpressure: a front end that
+//!   runs ahead blocks instead of staging unbounded gathers.
+//! * [`BarrierGate`] — store-write visibility. When the engine writes to a
+//!   store ([`EngineCore::needs_store_barrier`]), batch N+1's store probes
+//!   must observe batch N's write-backs, so the gate serializes prepare(N+1)
+//!   behind execute(N). Store-less and read-only-store configurations skip
+//!   the gate and overlap fully.
+//! * [`DispatchQueue`] — the condvar work queue behind `serve_multi`'s
+//!   event loop (admission, retries, abort on fleet death); replaces the
+//!   old 100 µs sleep-polling loop.
+//! * [`run_batches`] — a mode-switched batch runner, the smallest surface
+//!   on which "pipelined output ≡ sequential output" is pinned by test.
+//!
+//! # Determinism
+//!
+//! Both modes run *exactly* the same prepare/execute code against the same
+//! engine state. Batches enter prepare in submission order on a single
+//! front thread, so the fault draws, batch seeds, and store write-backs
+//! happen in the same order as the sequential loop — outputs are bitwise
+//! identical by construction, and the equivalence tests hold the executor
+//! to it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use gcnp_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::batched::{BatchResult, BatchedEngine};
+use crate::error::{ServingError, ServingResult};
+
+/// Bound on the inter-stage queue: how many prepared batches the front end
+/// may run ahead of the back end. Two is enough to hide the shorter stage
+/// behind the longer one; more only grows staged-gather memory.
+pub(crate) const PIPELINE_DEPTH: usize = 2;
+
+/// Executor selection for batched serving — the `GemmPath::Naive`-style
+/// escape hatch for A/B benchmarking and bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Prepare and execute run back-to-back on one thread per worker.
+    Sequential,
+    /// Prepare (front) and execute (back) run on separate threads per
+    /// worker, connected by a bounded [`StageQueue`].
+    #[default]
+    Pipelined,
+}
+
+pub(crate) fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Queue state is a plain VecDeque + flags: a panicking holder cannot
+    // leave it logically torn, so recover instead of cascading the poison.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// StageQueue: bounded inter-stage channel
+// ---------------------------------------------------------------------------
+
+struct StageState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded condvar channel between a front (producer) and back (consumer)
+/// stage thread. Push blocks at the bound; pop blocks when empty; close
+/// wakes everyone and drains to `None`.
+pub(crate) struct StageQueue<T> {
+    state: Mutex<StageState<T>>,
+    can_pop: Condvar,
+    can_push: Condvar,
+    cap: usize,
+}
+
+impl<T> StageQueue<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(StageState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            can_pop: Condvar::new(),
+            can_push: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Block until there is room (backpressure), then enqueue. Returns the
+    /// item back if the queue was closed — the producer should stop.
+    pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let mut s = relock(self.state.lock());
+        while s.items.len() >= self.cap && !s.closed {
+            s = relock(self.can_push.wait(s));
+        }
+        if s.closed {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.can_pop.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once the queue is closed
+    /// and fully drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut s = relock(self.state.lock());
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.can_push.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = relock(self.can_pop.wait(s));
+        }
+    }
+
+    /// Close the queue: producers get their item back, consumers drain the
+    /// remainder and then see `None`. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut s = relock(self.state.lock());
+        s.closed = true;
+        drop(s);
+        self.can_pop.notify_all();
+        self.can_push.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BarrierGate: store-write visibility between overlapped batches
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    done: u64,
+    dead: bool,
+}
+
+/// Monotonic completion gate: the back stage `bump`s after each executed
+/// batch; the front stage `wait_done(n)`s before preparing batch n when the
+/// engine writes to a store. `kill` releases all waiters permanently (back
+/// stage died).
+pub(crate) struct BarrierGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl BarrierGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                done: 0,
+                dead: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// One more batch fully executed (write-backs visible).
+    pub(crate) fn bump(&self) {
+        let mut s = relock(self.state.lock());
+        s.done += 1;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Release all waiters permanently; `wait_done` reports failure.
+    pub(crate) fn kill(&self) {
+        let mut s = relock(self.state.lock());
+        s.dead = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Block until at least `target` batches have executed. Returns false
+    /// if the gate was killed before the target was reached.
+    pub(crate) fn wait_done(&self, target: u64) -> bool {
+        let mut s = relock(self.state.lock());
+        while s.done < target && !s.dead {
+            s = relock(self.cv.wait(s));
+        }
+        s.done >= target
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DispatchQueue: the serve_multi event loop's work queue
+// ---------------------------------------------------------------------------
+
+struct DispatchState<T> {
+    queue: VecDeque<T>,
+    /// Dispatcher finished submitting; workers drain and exit.
+    closed: bool,
+    /// Fleet died; everything unblocks immediately and the dispatcher
+    /// sheds what remains via [`DispatchQueue::drain`].
+    aborted: bool,
+    /// Batches popped but not yet resolved. Workers must not exit a closed
+    /// queue while work is in flight: a failed in-flight batch may be
+    /// requeued for retry.
+    in_flight: usize,
+    /// Times a blocked consumer was woken — the observable that replaces
+    /// the old 100 µs sleep-poll (which "woke" ~10 000×/s while idle).
+    wakeups: u64,
+}
+
+/// Bounded condvar work queue connecting `serve_multi`'s dispatcher to its
+/// worker pool: event-driven handoff (no polling), bounded admission
+/// backpressure, unbounded retry requeue, in-flight tracking so retries
+/// can't race shutdown, and abort-on-fleet-death.
+pub(crate) struct DispatchQueue<T> {
+    state: Mutex<DispatchState<T>>,
+    can_pop: Condvar,
+    can_push: Condvar,
+    cap: usize,
+}
+
+impl<T> DispatchQueue<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(DispatchState {
+                queue: VecDeque::new(),
+                closed: false,
+                aborted: false,
+                in_flight: 0,
+                wakeups: 0,
+            }),
+            can_pop: Condvar::new(),
+            can_push: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Dispatcher-side submit: blocks while the queue is at capacity
+    /// (admission backpressure), returns the batch back if the fleet died.
+    pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let mut s = relock(self.state.lock());
+        while s.queue.len() >= self.cap && !s.aborted {
+            s = relock(self.can_push.wait(s));
+        }
+        if s.aborted {
+            return Err(item);
+        }
+        s.queue.push_back(item);
+        drop(s);
+        self.can_pop.notify_one();
+        Ok(())
+    }
+
+    /// Worker-side retry resubmit: never blocks and ignores the capacity
+    /// bound (a retried batch was already admitted once) and the closed
+    /// flag (retries outlive the dispatcher). Call **before**
+    /// [`DispatchQueue::resolve`] so the queue is never observed empty
+    /// while the retried batch is in neither `queue` nor `in_flight`.
+    pub(crate) fn requeue(&self, item: T) {
+        let mut s = relock(self.state.lock());
+        // Enqueue even after close/abort: every queued batch is either
+        // popped by a live worker or shed via `drain` — never lost.
+        s.queue.push_back(item);
+        drop(s);
+        self.can_pop.notify_one();
+    }
+
+    /// Worker-side receive: blocks (condvar, no polling) until a batch is
+    /// available. Returns `None` when the queue is closed, empty, *and*
+    /// nothing is in flight (no retry can appear), or on abort. A `Some`
+    /// return moves the batch into the in-flight set — the worker must
+    /// [`DispatchQueue::resolve`] it exactly once.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut s = relock(self.state.lock());
+        loop {
+            if s.aborted {
+                return None;
+            }
+            if let Some(item) = s.queue.pop_front() {
+                s.in_flight += 1;
+                drop(s);
+                self.can_push.notify_one();
+                return Some(item);
+            }
+            if s.closed && s.in_flight == 0 {
+                return None;
+            }
+            s = relock(self.can_pop.wait(s));
+            s.wakeups += 1;
+        }
+    }
+
+    /// A popped batch reached a terminal state for this attempt (served,
+    /// requeued for retry, or shed).
+    pub(crate) fn resolve(&self) {
+        let mut s = relock(self.state.lock());
+        s.in_flight = s.in_flight.saturating_sub(1);
+        let done = s.closed && s.in_flight == 0 && s.queue.is_empty();
+        drop(s);
+        if done {
+            // Blocked workers are waiting for retries that can no longer
+            // appear — release them to exit.
+            self.can_pop.notify_all();
+        }
+    }
+
+    /// Dispatcher finished submitting.
+    pub(crate) fn close(&self) {
+        let mut s = relock(self.state.lock());
+        s.closed = true;
+        drop(s);
+        self.can_pop.notify_all();
+    }
+
+    /// Fleet death: unblock everything; queued batches stay for
+    /// [`DispatchQueue::drain`].
+    pub(crate) fn abort(&self) {
+        let mut s = relock(self.state.lock());
+        s.aborted = true;
+        drop(s);
+        self.can_pop.notify_all();
+        self.can_push.notify_all();
+    }
+
+    /// Take whatever is still queued (shed accounting after close/abort).
+    pub(crate) fn drain(&self) -> Vec<T> {
+        let mut s = relock(self.state.lock());
+        s.queue.drain(..).collect()
+    }
+
+    /// Times a blocked consumer was woken (see [`DispatchState::wakeups`]).
+    pub(crate) fn wakeups(&self) -> u64 {
+        relock(self.state.lock()).wakeups
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_batches: mode-switched batch runner
+// ---------------------------------------------------------------------------
+
+fn record_first(slot: &Mutex<Option<(usize, ServingError)>>, index: usize, err: ServingError) {
+    let mut g = relock(slot.lock());
+    // Smallest batch index wins, so both modes surface the same error: the
+    // sequential loop can only ever reach the earliest failing batch.
+    if g.as_ref().is_none_or(|(i, _)| index < *i) {
+        *g = Some((index, err));
+    }
+}
+
+/// Serve `batches` on one engine under the selected executor, returning the
+/// per-batch results in submission order. The first failing batch (by
+/// submission index) aborts the run and surfaces its typed error — in both
+/// modes, so the executors are interchangeable for callers.
+///
+/// Injected panics are *not* caught here (that is `serve_multi`'s job);
+/// they unwind through the scope in either mode.
+pub fn run_batches(
+    engine: &mut BatchedEngine<'_>,
+    batches: &[Vec<usize>],
+    mode: PipelineMode,
+) -> ServingResult<Vec<BatchResult>> {
+    match mode {
+        PipelineMode::Sequential => batches.iter().map(|b| engine.try_infer(b)).collect(),
+        PipelineMode::Pipelined => run_pipelined(engine, batches),
+    }
+}
+
+fn run_pipelined(
+    engine: &mut BatchedEngine<'_>,
+    batches: &[Vec<usize>],
+) -> ServingResult<Vec<BatchResult>> {
+    let (core, mut front, mut back) = engine.split();
+    let barrier = core.needs_store_barrier();
+    let queue = StageQueue::new(PIPELINE_DEPTH);
+    let gate = BarrierGate::new();
+    // Return rail for front-pool buffers the back stage retired; the front
+    // drains it before each prepare (double-buffered scratch circulation).
+    let rail: Mutex<Vec<Matrix>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<(usize, ServingError)>> = Mutex::new(None);
+
+    let results = std::thread::scope(|s| {
+        let queue = &queue;
+        let gate = &gate;
+        let rail = &rail;
+        let first_err = &first_err;
+        s.spawn(move || {
+            // Front stage: prepare batches in submission order.
+            for (i, targets) in batches.iter().enumerate() {
+                if barrier && i > 0 && !gate.wait_done(i as u64) {
+                    break; // back stage died
+                }
+                for m in relock(rail.lock()).drain(..) {
+                    front.pool.recycle(m);
+                }
+                match core.prepare(targets, &mut front) {
+                    Ok(prep) => {
+                        if queue.push((i, prep)).is_err() {
+                            break; // back stage closed the queue
+                        }
+                    }
+                    Err(e) => {
+                        record_first(first_err, i, e);
+                        break;
+                    }
+                }
+            }
+            queue.close();
+        });
+
+        // Back stage runs on the calling thread.
+        let mut results = Vec::with_capacity(batches.len());
+        while let Some((i, prep)) = queue.pop() {
+            let mut spent = Vec::new();
+            match core.execute(prep, &mut back, &mut spent) {
+                Ok(res) => results.push(res),
+                Err(e) => {
+                    record_first(first_err, i, e);
+                    queue.close();
+                    gate.kill();
+                    break;
+                }
+            }
+            relock(rail.lock()).extend(spent);
+            gate.bump();
+        }
+        results
+    });
+
+    let err = relock(first_err.lock()).take();
+    match err {
+        Some((_, e)) => Err(e),
+        None => Ok(results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batched::StorePolicy;
+    use crate::store::FeatureStore;
+    use gcnp_models::zoo;
+    use gcnp_sparse::CsrMatrix;
+    use gcnp_tensor::init::seeded_rng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn ring(n: usize) -> CsrMatrix {
+        let mut e = Vec::new();
+        for i in 0..n as u32 {
+            let j = (i + 1) % n as u32;
+            e.push((i, j));
+            e.push((j, i));
+        }
+        CsrMatrix::adjacency(n, &e)
+    }
+
+    #[test]
+    fn stage_queue_bounds_and_close() {
+        let q = StageQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        // A third push must block until the consumer pops.
+        std::thread::scope(|s| {
+            let t = s.spawn(|| q.push(3));
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!t.is_finished(), "push beyond the bound must block");
+            assert_eq!(q.pop(), Some(1));
+            assert!(t.join().unwrap().is_ok());
+        });
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3), "close drains queued items first");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(4), Err(4), "push after close returns the item");
+    }
+
+    #[test]
+    fn barrier_gate_orders_and_kills() {
+        let g = BarrierGate::new();
+        let reached = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(g.wait_done(2));
+                reached.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(reached.load(Ordering::SeqCst), 0);
+            g.bump();
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(reached.load(Ordering::SeqCst), 0, "one bump is not two");
+            g.bump();
+        });
+        assert_eq!(reached.load(Ordering::SeqCst), 1);
+        g.kill();
+        assert!(!g.wait_done(99), "killed gate reports failure");
+        assert!(g.wait_done(1), "already-reached targets still succeed");
+    }
+
+    #[test]
+    fn dispatch_queue_is_event_driven_not_polling() {
+        // The old loop slept 100 µs per idle iteration: an idle 150 ms span
+        // cost ~1500 wakeups. The condvar queue must wake the blocked
+        // consumer O(1) times per arrival.
+        let q: DispatchQueue<u32> = DispatchQueue::new(4);
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(150));
+            assert!(!consumer.is_finished(), "consumer blocks while idle");
+            q.push(7).unwrap();
+            assert_eq!(consumer.join().unwrap(), Some(7));
+        });
+        assert!(
+            q.wakeups() <= 4,
+            "idle consumer woke {} times; a polling loop would have woken ~1500",
+            q.wakeups()
+        );
+        q.resolve();
+    }
+
+    #[test]
+    fn dispatch_queue_retry_holds_shutdown_open() {
+        // A worker holding an in-flight batch on a closed queue can still
+        // requeue it; blocked peers must see the retry, not exit early.
+        let q: DispatchQueue<u32> = DispatchQueue::new(4);
+        q.push(1).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        std::thread::scope(|s| {
+            let peer = s.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!peer.is_finished(), "in-flight batch keeps peers waiting");
+            q.requeue(2); // requeue-before-resolve
+            q.resolve();
+            assert_eq!(peer.join().unwrap(), Some(2));
+        });
+        q.resolve();
+        assert_eq!(q.pop(), None, "closed + empty + nothing in flight");
+    }
+
+    #[test]
+    fn dispatch_queue_abort_unblocks_producer_and_consumers() {
+        let q: DispatchQueue<u32> = DispatchQueue::new(1);
+        q.push(1).unwrap();
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| q.push(2));
+            let consumer = s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                q.abort();
+                q.pop()
+            });
+            assert_eq!(producer.join().unwrap(), Err(2), "abort fails the push");
+            assert_eq!(consumer.join().unwrap(), None, "abort drains consumers");
+        });
+        assert_eq!(q.drain(), vec![1], "queued work remains for shedding");
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_bitwise_with_store_writes() {
+        // The barrier path: Roots write-backs make batch N+1's expansion
+        // depend on batch N's writes, so this pins both the output identity
+        // and the write-visibility ordering.
+        let n = 60;
+        let adj = ring(n);
+        let x = gcnp_tensor::Matrix::rand_uniform(n, 6, -1.0, 1.0, &mut seeded_rng(3));
+        let model = zoo::graphsage(6, 8, 4, 7);
+        let batches: Vec<Vec<usize>> = (0..12)
+            .map(|b| vec![(b * 5) % n, (b * 5 + 2) % n])
+            .collect();
+
+        let run = |mode: PipelineMode| {
+            let store = FeatureStore::new(n, 2);
+            let mut engine = crate::BatchedEngine::new(
+                &model,
+                &adj,
+                &x,
+                vec![],
+                Some(&store),
+                StorePolicy::Roots,
+                0,
+            );
+            run_batches(&mut engine, &batches, mode).unwrap()
+        };
+        let seq = run(PipelineMode::Sequential);
+        let pip = run(PipelineMode::Pipelined);
+        assert_eq!(seq.len(), pip.len());
+        for (a, b) in seq.iter().zip(&pip) {
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(
+                a.logits.as_slice(),
+                b.logits.as_slice(),
+                "logits must be bitwise identical across executors"
+            );
+            assert_eq!(a.macs, b.macs);
+            assert_eq!(a.mem_bytes, b.mem_bytes);
+            assert_eq!(a.n_supporting, b.n_supporting);
+            assert_eq!(a.store_hits, b.store_hits);
+        }
+    }
+
+    #[test]
+    fn both_modes_surface_the_same_earliest_error() {
+        let n = 30;
+        let adj = ring(n);
+        let x = gcnp_tensor::Matrix::rand_uniform(n, 6, -1.0, 1.0, &mut seeded_rng(5));
+        let model = zoo::graphsage(6, 8, 4, 9);
+        // Batch 3 contains an out-of-range target.
+        let mut batches: Vec<Vec<usize>> = (0..8).map(|b| vec![b, b + 1]).collect();
+        batches[3] = vec![2, 999];
+        for mode in [PipelineMode::Sequential, PipelineMode::Pipelined] {
+            let mut engine =
+                crate::BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+            let err = run_batches(&mut engine, &batches, mode).unwrap_err();
+            assert_eq!(
+                err,
+                ServingError::TargetOutOfRange {
+                    node: 999,
+                    n_nodes: n
+                },
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_overlaps_without_store_writes() {
+        // Smoke check that the store-less path actually runs front and back
+        // concurrently: with an injected straggle-free workload the
+        // pipelined wall clock must not exceed the sequential one by more
+        // than noise. (The p99 win is measured by the serving bench; this
+        // only guards against accidental serialization, so the margin is
+        // generous.)
+        let n = 256;
+        let adj = ring(n);
+        let x = gcnp_tensor::Matrix::rand_uniform(n, 16, -1.0, 1.0, &mut seeded_rng(11));
+        let model = zoo::graphsage(16, 32, 4, 13);
+        let batches: Vec<Vec<usize>> = (0..24)
+            .map(|b| ((b * 10)..(b * 10 + 8)).map(|v| v % n).collect())
+            .collect();
+        let mut engine =
+            crate::BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        // Warm both pools.
+        run_batches(&mut engine, &batches, PipelineMode::Pipelined).unwrap();
+        let t = Instant::now();
+        let seq = run_batches(&mut engine, &batches, PipelineMode::Sequential).unwrap();
+        let t_seq = t.elapsed();
+        let t = Instant::now();
+        let pip = run_batches(&mut engine, &batches, PipelineMode::Pipelined).unwrap();
+        let t_pip = t.elapsed();
+        assert_eq!(seq.len(), pip.len());
+        assert!(
+            t_pip <= t_seq * 3,
+            "pipelined ({t_pip:?}) should not be drastically slower than sequential ({t_seq:?})"
+        );
+    }
+}

@@ -24,31 +24,51 @@
 //! panics**: a crashed worker's in-flight batch is requeued with a retry
 //! cap, and the fleet finishes the trace with fewer workers.
 //!
-//! # `simulate` vs `serve_multi` batch formation (intentional divergence)
+//! # Unified batch-window anchoring
 //!
-//! [`simulate`] models a *single* server: a micro-batch opens when its first
-//! request has arrived **and the server is free** (`open =
-//! max(first_arrival, server_free_at)`), then closes `max_wait` later — so
-//! under load, batches open late and absorb the backlog, growing toward
-//! `max_batch`. [`serve_multi`] instead pre-forms batches from the arrival
-//! trace alone: a batch closes at `first_arrival + max_wait` with **no
-//! server-busy term**, because with K workers there is no single
-//! `server_free_at` clock — the batch former runs ahead of the fleet. The
-//! same trace therefore yields *more, smaller* batches in `serve_multi`
-//! than in an overloaded `simulate`, and mean batch sizes differ between
-//! the two on purpose (covered by `batch_formation_diverges_under_load`).
+//! Both serving loops form batches with one shared [`BatchFormer`]: a
+//! micro-batch opens when its first request has arrived **and a server slot
+//! is free** (`open = max(first_arrival, free_at)`), closes `max_wait`
+//! later (or as soon as it fills to `max_batch`), admits arrivals inside
+//! the window subject to the bounded queue, and sheds members whose
+//! projected completion is past their deadline. [`simulate`] anchors
+//! `free_at` on its measured single-server clock; [`serve_multi`] anchors
+//! on the earliest-free **virtual** worker clock advanced by an EWMA
+//! compute estimate (with K real threads there is no single measured free
+//! clock). An earlier revision pre-formed `serve_multi` batches from the
+//! trace alone (`close = first_arrival + max_wait`, no busy term), which
+//! made the same trace yield systematically more, smaller batches than
+//! `simulate` under load; the former is now shared and the divergence is
+//! retired (pinned by `serve_multi_anchoring_matches_simulate`).
+//!
+//! # The `serve_multi` event loop
+//!
+//! The dispatcher thread forms batches and submits them through a bounded
+//! condvar [`DispatchQueue`]; workers block on the queue (no polling — the
+//! old loop slept 100 µs per idle iteration) and the queue bound is the
+//! admission backpressure. Under [`PipelineMode::Pipelined`] (the default)
+//! each worker runs a **front** thread (`EngineCore::prepare`: expansion +
+//! gather + store probes) and a **back** thread (`EngineCore::execute`:
+//! SpMM + GEMM + write-back) connected by a bounded `StageQueue`, so batch
+//! N+1's gather overlaps batch N's GEMM; [`PipelineMode::Sequential`] is
+//! the one-thread-per-worker escape hatch. Both modes run exactly the same
+//! prepare/execute code, so outputs are bitwise identical.
 
-use crate::batched::BatchedEngine;
+use crate::batched::{BackStage, BatchedEngine, EngineCore, FrontStage, PreparedBatch};
 use crate::error::{ServingError, ServingResult};
 use crate::metrics::ServingMetrics;
+use crate::pipeline::{
+    relock, BarrierGate, DispatchQueue, PipelineMode, StageQueue, PIPELINE_DEPTH,
+};
 use gcnp_tensor::init::seeded_rng;
+use gcnp_tensor::Matrix;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Safety factor applied to the per-tier compute-time estimate when
 /// projecting a queued request's completion against its deadline: shedding
@@ -59,6 +79,11 @@ const DEADLINE_EST_SAFETY: f64 = 1.25;
 /// EWMA weight of the newest batch compute observation in the per-tier
 /// compute-time estimate (the "p99 estimate" driving deadline projection).
 const EST_ALPHA: f64 = 0.3;
+
+/// Upper bound on a single retry backoff (seconds): a poison-pill batch
+/// burns its retries quickly instead of stalling a worker, and a
+/// pathological (overflowing/infinite) computed backoff saturates here.
+const MAX_BACKOFF_SECS: f64 = 0.1;
 
 /// Micro-batching + admission policy.
 #[derive(Debug, Clone, Copy)]
@@ -87,8 +112,20 @@ pub struct ServingConfig {
     pub retry_cap: u32,
     /// [`serve_multi`]: base backoff before a failed batch is re-queued
     /// (milliseconds, doubled per retry) — a poison-pill batch cannot spin
-    /// the fleet.
+    /// the fleet. Non-finite or negative values are clamped to zero
+    /// backoff ([`saturating_backoff`]), never a panic.
     pub backoff_ms: f64,
+    /// [`serve_multi`]: executor selection per worker (see
+    /// [`PipelineMode`]). The default pipelined executor overlaps batch
+    /// N+1's front end with batch N's back end; `Sequential` is the
+    /// escape hatch for A/B benchmarking.
+    pub pipeline: PipelineMode,
+    /// [`serve_multi`]: when true, the dispatcher replays the arrival
+    /// trace in real time (sleeping until each batch's start time), so the
+    /// reported latency percentiles are wall-clock meaningful. When false
+    /// (default) the trace is drained as fast as the fleet allows —
+    /// throughput-oriented, percentiles only relative.
+    pub pace: bool,
 }
 
 impl Default for ServingConfig {
@@ -103,6 +140,8 @@ impl Default for ServingConfig {
             queue_cap: None,
             retry_cap: 3,
             backoff_ms: 1.0,
+            pipeline: PipelineMode::default(),
+            pace: false,
         }
     }
 }
@@ -229,6 +268,128 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     gcnp_obs::percentile(sorted, p)
 }
 
+/// One admission window produced by [`BatchFormer::admit`]: the batch being
+/// formed opened at `open = max(first_arrival, free_at)` and closes at
+/// `open + max_wait` (or as soon as it fills).
+struct Window {
+    open: f64,
+    close: f64,
+}
+
+/// The one batch former shared by [`simulate_tiered`] and [`serve_multi`]
+/// (see the module docs: the anchoring rule is identical; only the
+/// `free_at` clock differs). Owns the admission queue, the trace cursor,
+/// and the formation-time shed accounting.
+struct BatchFormer<'c> {
+    arrivals: &'c [(f64, usize)],
+    cfg: &'c ServingConfig,
+    queue_cap: usize,
+    /// Next arrival not yet admitted.
+    i: usize,
+    queue: VecDeque<(f64, usize)>,
+    shed_queue: usize,
+    shed_deadline: usize,
+}
+
+impl<'c> BatchFormer<'c> {
+    fn new(arrivals: &'c [(f64, usize)], cfg: &'c ServingConfig) -> Self {
+        Self {
+            arrivals,
+            cfg,
+            queue_cap: cfg.queue_cap.unwrap_or(usize::MAX),
+            i: 0,
+            queue: VecDeque::new(),
+            shed_queue: 0,
+            shed_deadline: 0,
+        }
+    }
+
+    /// Open the next batch window against the server-free clock and admit
+    /// every arrival inside it (bounded queue; overflow is shed and
+    /// counted). Returns `None` when the trace is exhausted and nothing is
+    /// queued — the serving loop is done.
+    fn admit(&mut self, free_at: f64, obs: Option<&ServingMetrics>) -> Option<Window> {
+        // The window anchors on the oldest waiting request; pull one from
+        // the trace when the queue is idle.
+        if self.queue.is_empty() {
+            let &(t, v) = self.arrivals.get(self.i)?;
+            self.queue.push_back((t, v));
+            self.i += 1;
+        }
+        let first_arrival = self.queue.front().map(|&(t, _)| t).unwrap_or(0.0);
+        let open = first_arrival.max(free_at);
+        let close = open + self.cfg.max_wait;
+        while let Some(&(t, v)) = self.arrivals.get(self.i) {
+            if t > close {
+                break;
+            }
+            if self.queue.len() < self.queue_cap {
+                self.queue.push_back((t, v));
+            } else {
+                self.shed_queue += 1;
+                if let Some(o) = obs {
+                    o.shed_queue.inc();
+                }
+            }
+            self.i += 1;
+        }
+        if let Some(o) = obs {
+            o.queue_depth.observe(self.queue.len() as f64);
+        }
+        Some(Window { open, close })
+    }
+
+    /// Requests currently queued (the ladder's load signal).
+    fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seal a batch out of the queue, shedding members whose projected
+    /// completion is already past their deadline (they are counted, not
+    /// stretched). The projected start matches the post-formation start
+    /// rule: a batch that will fill starts as soon as it does (~`open`
+    /// under the backlog that fills it), a non-full batch waits out the
+    /// window. May return an empty batch when the whole window was shed.
+    fn seal(
+        &mut self,
+        w: &Window,
+        projected_compute: f64,
+        obs: Option<&ServingMetrics>,
+    ) -> (Vec<usize>, Vec<f64>) {
+        let will_fill = self.queue.len() >= self.cfg.max_batch;
+        let projected_start = if will_fill { w.open } else { w.close };
+        let mut nodes = Vec::with_capacity(self.cfg.max_batch);
+        let mut when = Vec::with_capacity(self.cfg.max_batch);
+        while nodes.len() < self.cfg.max_batch {
+            let Some(&(t, v)) = self.queue.front() else {
+                break;
+            };
+            self.queue.pop_front();
+            if let Some(d) = self.cfg.deadline {
+                if (projected_start - t) + projected_compute > d {
+                    self.shed_deadline += 1;
+                    if let Some(o) = obs {
+                        o.shed_deadline.inc();
+                    }
+                    continue;
+                }
+            }
+            nodes.push(v);
+            when.push(t);
+        }
+        (nodes, when)
+    }
+
+    /// Count (and drop) everything not yet sealed — queued and un-admitted
+    /// trace alike — so a dead fleet still accounts for every request.
+    fn shed_rest(&mut self) -> usize {
+        let rest = self.queue.len() + self.arrivals.len().saturating_sub(self.i);
+        self.queue.clear();
+        self.i = self.arrivals.len();
+        rest
+    }
+}
+
 /// Simulate serving `cfg.n_requests` single-node requests drawn uniformly
 /// from `pool`, coalesced into micro-batches, executed on `engine`.
 /// Single-tier wrapper over [`simulate_tiered`].
@@ -269,17 +430,12 @@ pub fn simulate_tiered(
     let arrivals = cfg.arrivals(pool);
     let n = arrivals.len();
     let n_tiers = tiers.len();
-    let queue_cap = cfg.queue_cap.unwrap_or(usize::MAX);
 
-    let mut queue: VecDeque<(f64, usize)> = VecDeque::new();
-    let mut i = 0usize; // next arrival not yet admitted
     let mut server_free_at = 0.0f64;
     let mut total_compute = 0.0f64;
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(n);
     let mut n_batches = 0usize;
     let mut served = 0usize;
-    let mut shed_queue = 0usize;
-    let mut shed_deadline = 0usize;
     let mut deadline_misses = 0usize;
     let mut tier = 0usize;
     let mut tier_served = vec![0usize; n_tiers];
@@ -289,40 +445,12 @@ pub fn simulate_tiered(
     // for deadline projection (0.0 = no observation yet).
     let mut est_compute = vec![0.0f64; n_tiers];
 
-    while i < n || !queue.is_empty() {
-        // The next batch window anchors on the oldest waiting request; pull
-        // one from the trace when the queue is idle.
-        if queue.is_empty() {
-            queue.push_back(arrivals[i]); // audit: allow(no-fail-stop) — the loop condition guarantees i < n here when the queue is empty
-            i += 1;
-        }
-        let first_arrival = queue.front().map(|&(t, _)| t).unwrap_or(0.0);
-        // The batch opens when its first request is both arrived and the
-        // server is free; it closes at max_batch or max_wait.
-        let open = first_arrival.max(server_free_at);
-        let close = open + cfg.max_wait;
-        // Admission control: everything arriving inside the window joins
-        // the queue unless it is full (load shedding).
-        // audit: allow(no-fail-stop) — i < n checked in the same condition
-        while i < n && arrivals[i].0 <= close {
-            if queue.len() < queue_cap {
-                queue.push_back(arrivals[i]); // audit: allow(no-fail-stop) — i < n per the loop condition
-            } else {
-                shed_queue += 1;
-                if let Some(o) = &obs {
-                    o.shed_queue.inc();
-                }
-            }
-            i += 1;
-        }
-        if let Some(o) = &obs {
-            o.queue_depth.observe(queue.len() as f64);
-        }
-
+    let mut former = BatchFormer::new(&arrivals, cfg);
+    while let Some(w) = former.admit(server_free_at, obs.as_ref()) {
         // Ladder: pick the tier for this batch from the backlog *before*
         // computing, so a deep queue is served cheaply right away.
         if let Some(pol) = ladder.filter(|_| n_tiers > 1) {
-            let depth = queue.len();
+            let depth = former.depth();
             let before = tier;
             while depth >= pol.step_down_depth.max(1) && tier + 1 < n_tiers {
                 tier += 1;
@@ -342,31 +470,8 @@ pub fn simulate_tiered(
             }
         }
 
-        // Form the batch, shedding requests whose projected completion is
-        // already past their deadline (they are counted, not stretched).
-        // The projected start matches the post-formation start rule below: a
-        // batch that will fill starts as soon as it does (~`open` under the
-        // backlog that fills it), a non-full batch waits out the window.
         let projected_compute = est_compute[tier] * DEADLINE_EST_SAFETY; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
-        let will_fill = queue.len() >= cfg.max_batch;
-        let projected_start = if will_fill { open } else { close };
-        let mut batch = Vec::with_capacity(cfg.max_batch);
-        let mut batch_arrivals = Vec::with_capacity(cfg.max_batch);
-        while batch.len() < cfg.max_batch {
-            let Some(&(t, v)) = queue.front() else { break };
-            queue.pop_front();
-            if let Some(d) = cfg.deadline {
-                if (projected_start - t) + projected_compute > d {
-                    shed_deadline += 1;
-                    if let Some(o) = &obs {
-                        o.shed_deadline.inc();
-                    }
-                    continue;
-                }
-            }
-            batch.push(v);
-            batch_arrivals.push(t);
-        }
+        let (batch, batch_arrivals) = former.seal(&w, projected_compute, obs.as_ref());
         if batch.is_empty() {
             continue; // whole window shed; re-anchor on the next survivor
         }
@@ -377,11 +482,11 @@ pub fn simulate_tiered(
         // (The previous rule started *every* batch at its last member's
         // arrival, under-reporting the window wait of non-full batches and
         // making deadline projection optimistic.)
-        let fill_time = batch_arrivals.iter().fold(open, |acc, &t| acc.max(t));
+        let fill_time = batch_arrivals.iter().fold(w.open, |acc, &t| acc.max(t));
         let start = if batch.len() == cfg.max_batch {
             fill_time
         } else {
-            close
+            w.close
         };
         let res = tiers[tier].try_infer(&batch)?; // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
         let compute = res.seconds;
@@ -414,6 +519,7 @@ pub fn simulate_tiered(
             latencies_ms.push(lat * 1e3);
         }
     }
+    let (shed_queue, shed_deadline) = (former.shed_queue, former.shed_deadline);
 
     debug_assert_eq!(served + shed_queue + shed_deadline, n, "request accounting");
     // total_cmp is panic-free on NaN (unlike partial_cmp().unwrap()); the
@@ -442,20 +548,46 @@ pub fn simulate_tiered(
     })
 }
 
+/// Clamp a computed backoff (milliseconds) into a `Duration` that can never
+/// panic: non-finite or non-positive inputs become zero backoff (retry
+/// immediately rather than crash or stall), positive infinity and
+/// overflowing values saturate at [`MAX_BACKOFF_SECS`].
+///
+/// Regression guard: `Duration::from_secs_f64` panics on NaN and negative
+/// inputs, and `cfg.backoff_ms` is user-supplied (an EWMA-derived or
+/// config-injected NaN must degrade, not abort the fleet).
+fn saturating_backoff(ms: f64) -> Duration {
+    if !ms.is_finite() || ms <= 0.0 {
+        // NaN, ±inf below, negatives, zero: no backoff. +inf is handled
+        // here too (not finite) — saturate instead of sleeping forever.
+        if ms == f64::INFINITY {
+            return Duration::from_secs_f64(MAX_BACKOFF_SECS);
+        }
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64((ms / 1e3).min(MAX_BACKOFF_SECS))
+}
+
 /// Throughput + resilience summary of a multi-worker serving run. Every
-/// submitted request is either served or shed: `served + shed ==
-/// n_requests`.
+/// submitted request is either served or shed: `served + shed + shed_queue
+/// + shed_deadline == n_requests`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiServingReport {
     pub n_workers: usize,
     pub n_requests: usize,
+    /// Batches dispatched to the fleet.
     pub n_batches: usize,
     pub mean_batch_size: f64,
     /// Requests served to completion.
     pub served: usize,
-    /// Requests shed: their batch exhausted its retries, or no live worker
-    /// remained to serve them.
+    /// Requests shed after dispatch: their batch exhausted its retries, or
+    /// no live worker remained to serve them.
     pub shed: usize,
+    /// Requests shed on admission (bounded queue full), before dispatch.
+    pub shed_queue: usize,
+    /// Requests shed at batch formation (projected completion past the
+    /// deadline), before dispatch.
+    pub shed_deadline: usize,
     /// Worker panics caught and recovered (the in-flight batch was
     /// requeued or shed; the fleet kept going).
     pub recoveries: usize,
@@ -475,6 +607,18 @@ pub struct MultiServingReport {
     pub throughput: f64,
     /// Served requests/second per unit of compute time (aggregate work rate).
     pub compute_throughput: f64,
+    /// Served-request latency percentiles (milliseconds). Wall-clock
+    /// meaningful when [`ServingConfig::pace`] replays the trace in real
+    /// time; otherwise relative only (the trace is drained flat-out).
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Fraction of the fleet's stage-thread time spent busy: summed
+    /// prepare/execute (or `try_infer`) busy seconds over `stage_threads ×
+    /// n_workers × wall`. Under the pipelined executor a value near the
+    /// sequential baseline's means the stages genuinely overlap.
+    pub pipeline_occupancy: f64,
 }
 
 impl MultiServingReport {
@@ -495,35 +639,391 @@ impl MultiServingReport {
     }
 }
 
-/// One queued unit of work: a micro-batch plus how many times it has been
-/// attempted already.
+/// One queued unit of work: a micro-batch, its members' arrival times (for
+/// latency accounting), and how many times it has been attempted already.
 struct QueuedBatch {
     nodes: Vec<usize>,
+    arrivals: Vec<f64>,
     attempt: u32,
+}
+
+/// A batch staged by a worker's front thread, waiting on the inter-stage
+/// queue for its back thread.
+struct StagedJob {
+    nodes: Vec<usize>,
+    arrivals: Vec<f64>,
+    attempt: u32,
+    prep: PreparedBatch,
+}
+
+impl StagedJob {
+    fn unstage(self) -> QueuedBatch {
+        QueuedBatch {
+            nodes: self.nodes,
+            arrivals: self.arrivals,
+            attempt: self.attempt,
+        }
+    }
+}
+
+/// Per-worker plumbing of the two-stage executor: the bounded inter-stage
+/// queue, the store-visibility barrier, the scratch-return rail (front-pool
+/// matrices the back stage finished with, recycled by the front before its
+/// next gather), and the retired flag (either stage dying loses the worker
+/// exactly once).
+struct WorkerLink {
+    stage: StageQueue<StagedJob>,
+    gate: BarrierGate,
+    rail: Mutex<Vec<Matrix>>,
+    retired: AtomicBool,
+}
+
+impl WorkerLink {
+    fn new() -> Self {
+        Self {
+            stage: StageQueue::new(PIPELINE_DEPTH),
+            gate: BarrierGate::new(),
+            rail: Mutex::new(Vec::new()),
+            retired: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Shared state of one `serve_multi` fleet: the dispatch queue plus every
+/// cross-thread accounting cell, passed by copy to the worker threads.
+#[derive(Clone, Copy)]
+struct Fleet<'f> {
+    dispatch: &'f DispatchQueue<QueuedBatch>,
+    cfg: &'f ServingConfig,
+    obs: Option<&'f ServingMetrics>,
+    /// EWMA of per-batch busy seconds — the dispatcher's virtual-clock
+    /// advance and deadline projection (guarded against non-finite
+    /// observations).
+    est: &'f Mutex<f64>,
+    compute_seconds: &'f Mutex<f64>,
+    /// Summed stage-thread busy time (occupancy numerator).
+    busy_seconds: &'f Mutex<f64>,
+    latencies: &'f Mutex<Vec<f64>>,
+    served: &'f AtomicUsize,
+    shed: &'f AtomicUsize,
+    recoveries: &'f AtomicUsize,
+    failures: &'f AtomicUsize,
+    retries: &'f AtomicUsize,
+    workers_lost: &'f AtomicUsize,
+    workers_live: &'f AtomicUsize,
+    t0: Instant,
+}
+
+impl Fleet<'_> {
+    fn add_busy(&self, secs: f64) {
+        *relock(self.busy_seconds.lock()) += secs;
+    }
+
+    fn update_est(&self, secs: f64) {
+        // A non-finite observation (e.g. a poisoned timing under fault
+        // storms) must not corrupt the estimate the dispatcher sleeps on.
+        if !secs.is_finite() || secs <= 0.0 {
+            return;
+        }
+        let mut e = relock(self.est.lock());
+        *e = if *e == 0.0 {
+            secs
+        } else {
+            EST_ALPHA * secs + (1.0 - EST_ALPHA) * *e
+        };
+    }
+
+    fn on_success(&self, nodes: &[usize], arrivals: &[f64], compute: f64, busy: f64) {
+        *relock(self.compute_seconds.lock()) += compute;
+        self.update_est(busy);
+        let done = self.t0.elapsed().as_secs_f64();
+        {
+            let mut lat = relock(self.latencies.lock());
+            for &arr in arrivals {
+                lat.push((done - arr).max(0.0) * 1e3);
+            }
+        }
+        self.served.fetch_add(nodes.len(), Ordering::Relaxed);
+        if let Some(o) = self.obs {
+            o.served.add(nodes.len() as u64);
+            o.batches.inc();
+            o.batch_size.observe(nodes.len() as f64);
+        }
+    }
+
+    /// Clean serving error: the worker survives; the batch retries or sheds.
+    fn on_clean_failure(&self, batch: QueuedBatch) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs {
+            o.failures.inc();
+        }
+        self.retry_or_shed(batch);
+    }
+
+    /// Worker panic: recover the batch, count the lost replica.
+    fn on_panic(&self, batch: QueuedBatch) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs {
+            o.recoveries.inc();
+            o.workers_lost.inc();
+        }
+        self.retry_or_shed(batch);
+    }
+
+    fn retry_or_shed(&self, batch: QueuedBatch) {
+        if batch.attempt < self.cfg.retry_cap {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs {
+                o.retries.inc();
+            }
+            // Exponential backoff, saturating on pathological configs; a
+            // poison-pill batch burns its retries and is shed.
+            let backoff =
+                saturating_backoff(self.cfg.backoff_ms * (1u64 << batch.attempt.min(10)) as f64);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            self.dispatch.requeue(QueuedBatch {
+                attempt: batch.attempt + 1,
+                ..batch
+            });
+        } else {
+            self.shed_requests(batch.nodes.len());
+        }
+    }
+
+    fn shed_requests(&self, n: usize) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+        if let Some(o) = self.obs {
+            o.shed_exhausted.add(n as u64);
+        }
+    }
+
+    /// Retire one worker; when the last live worker dies, abort the
+    /// dispatch queue so nothing (dispatcher included) blocks forever.
+    fn retire_worker(&self) {
+        if self.workers_live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.dispatch.abort();
+        }
+    }
+}
+
+/// One-thread-per-worker executor: pop → `try_infer` → account, under
+/// `catch_unwind` so an injected panic retires the replica, not the fleet.
+fn sequential_worker(engine: &mut BatchedEngine<'_>, fleet: Fleet<'_>) {
+    let mut lost = false;
+    while !lost {
+        let Some(batch) = fleet.dispatch.pop() else {
+            break;
+        };
+        let tb = Instant::now();
+        // `catch_unwind` needs `AssertUnwindSafe`: the engine is only
+        // reused after a *clean* result (its scratch self-heals via the
+        // dirty flag anyway), and a panicking worker retires its engine
+        // with itself.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.try_infer(&batch.nodes)));
+        let busy = tb.elapsed().as_secs_f64();
+        fleet.add_busy(busy);
+        match outcome {
+            Ok(Ok(res)) => fleet.on_success(&batch.nodes, &batch.arrivals, res.seconds, busy),
+            Ok(Err(_e)) => fleet.on_clean_failure(batch),
+            Err(_panic) => {
+                fleet.on_panic(batch);
+                lost = true;
+            }
+        }
+        // Resolve AFTER any requeue so idle peers never see "queue empty,
+        // nothing in flight" while work remains.
+        fleet.dispatch.resolve();
+    }
+    if lost {
+        fleet.retire_worker();
+    }
+}
+
+/// Front stage of one pipelined worker: pop → `prepare` → stage. Runs the
+/// store-visibility barrier (batch N+1's probes wait for batch N's
+/// write-backs) and recycles the back stage's spent buffers from the rail.
+fn pipelined_front(
+    core: EngineCore<'_, '_>,
+    mut front: FrontStage<'_>,
+    link: &WorkerLink,
+    fleet: Fleet<'_>,
+) {
+    let barrier = core.needs_store_barrier();
+    let mut staged: u64 = 0; // batches handed to the back stage
+    let mut lost = false;
+    loop {
+        if link.retired.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(batch) = fleet.dispatch.pop() else {
+            break;
+        };
+        // The back stage may have died while we were blocked in pop: hand
+        // the batch back for a live worker instead of preparing into a
+        // closed stage queue.
+        if link.retired.load(Ordering::Acquire) {
+            fleet.dispatch.requeue(batch);
+            fleet.dispatch.resolve();
+            break;
+        }
+        // Store-write visibility (same rule as `run_batches`): preparing
+        // batch N+1 before batch N's write-backs land would change what
+        // the store probes observe versus the sequential executor.
+        if barrier && staged > 0 && !link.gate.wait_done(staged) {
+            fleet.dispatch.requeue(batch);
+            fleet.dispatch.resolve();
+            break;
+        }
+        for m in relock(link.rail.lock()).drain(..) {
+            front.pool.recycle(m);
+        }
+        let tb = Instant::now();
+        // AssertUnwindSafe: on panic the front's scratch is abandoned with
+        // the worker (the engine behind it heals via the dirty flag).
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| core.prepare(&batch.nodes, &mut front)));
+        fleet.add_busy(tb.elapsed().as_secs_f64());
+        match outcome {
+            Ok(Ok(prep)) => {
+                staged += 1;
+                let staged_job = StagedJob {
+                    nodes: batch.nodes,
+                    arrivals: batch.arrivals,
+                    attempt: batch.attempt,
+                    prep,
+                };
+                if let Err(job) = link.stage.push(staged_job) {
+                    // Back stage died and closed the queue: hand back.
+                    fleet.dispatch.requeue(job.unstage());
+                    fleet.dispatch.resolve();
+                    break;
+                }
+                // The back stage resolves this batch after executing it.
+            }
+            Ok(Err(_e)) => {
+                fleet.on_clean_failure(batch);
+                fleet.dispatch.resolve();
+            }
+            Err(_panic) => {
+                fleet.on_panic(batch);
+                fleet.dispatch.resolve();
+                lost = true;
+                break;
+            }
+        }
+    }
+    // Always close: the back stage drains what was staged, then exits.
+    link.stage.close();
+    if lost && !link.retired.swap(true, Ordering::AcqRel) {
+        fleet.retire_worker();
+    }
+}
+
+/// Back stage of one pipelined worker: unstage → `execute` → account. On
+/// death it kills the gate, drains the stage queue back to the dispatcher
+/// (those batches were popped and never resolved), and retires the worker.
+fn pipelined_back(
+    core: EngineCore<'_, '_>,
+    mut back: BackStage<'_>,
+    link: &WorkerLink,
+    fleet: Fleet<'_>,
+) {
+    let mut lost = false;
+    while let Some(job) = link.stage.pop() {
+        let StagedJob {
+            nodes,
+            arrivals,
+            attempt,
+            prep,
+        } = job;
+        let tb = Instant::now();
+        let mut spent = Vec::new();
+        // AssertUnwindSafe: same contract as the sequential worker — the
+        // engine is only reused after a clean result.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            core.execute(prep, &mut back, &mut spent)
+        }));
+        let busy = tb.elapsed().as_secs_f64();
+        fleet.add_busy(busy);
+        // Return the front-pool buffers the batch carried even on failure:
+        // the rail is the only route back to the front's scratch pool.
+        relock(link.rail.lock()).extend(spent);
+        match outcome {
+            Ok(Ok(res)) => {
+                fleet.on_success(&nodes, &arrivals, res.seconds, busy);
+                link.gate.bump();
+                fleet.dispatch.resolve();
+            }
+            Ok(Err(_e)) => {
+                fleet.on_clean_failure(QueuedBatch {
+                    nodes,
+                    arrivals,
+                    attempt,
+                });
+                // The batch reached a terminal state for this attempt: its
+                // write-backs (if any) did not happen, but the front may
+                // proceed — a retry re-runs both stages from scratch.
+                link.gate.bump();
+                fleet.dispatch.resolve();
+            }
+            Err(_panic) => {
+                fleet.on_panic(QueuedBatch {
+                    nodes,
+                    arrivals,
+                    attempt,
+                });
+                fleet.dispatch.resolve();
+                lost = true;
+                break;
+            }
+        }
+    }
+    if lost {
+        // Release the front wherever it blocks (gate or stage push), then
+        // hand every already-staged batch back to the dispatcher: each was
+        // popped from the dispatch queue and never resolved.
+        link.gate.kill();
+        link.stage.close();
+        while let Some(job) = link.stage.pop() {
+            fleet.dispatch.requeue(job.unstage());
+            fleet.dispatch.resolve();
+        }
+        if !link.retired.swap(true, Ordering::AcqRel) {
+            fleet.retire_worker();
+        }
+    }
 }
 
 /// Multi-worker serving: replay the same Poisson request trace as
 /// [`simulate`], but drain it with `engines.len()` engine replicas running
 /// on real threads. The replicas typically share one [`crate::FeatureStore`]
-/// (pass the same store to each [`BatchedEngine::new`]); the arrival queue
-/// is shared and each idle worker steals the next micro-batch from its
-/// front, so a slow batch on one worker never stalls the others.
+/// (pass the same store to each [`BatchedEngine::new`]); the dispatcher
+/// forms micro-batches with the same [`BatchFormer`] as [`simulate`]
+/// (anchored on the earliest-free virtual worker clock) and submits them
+/// through a bounded condvar [`DispatchQueue`] — event-driven handoff, no
+/// polling — from which each idle worker takes the next batch, so a slow
+/// batch on one worker never stalls the others.
 ///
-/// Batches are pre-formed from the trace alone — a batch closes at
-/// `first_arrival + max_wait` or `max_batch` with no server-busy term (see
-/// the module docs for why this intentionally diverges from [`simulate`]).
+/// Executor: [`ServingConfig::pipeline`] selects the default two-stage
+/// pipelined executor (per worker, prepare overlaps the previous batch's
+/// execute) or the sequential escape hatch; outputs and accounting are
+/// identical across modes.
 ///
-/// Resilience: each batch execution runs under `catch_unwind`. A panicking
-/// worker requeues its in-flight batch (bounded by
-/// [`ServingConfig::retry_cap`] with exponential backoff, so a poison-pill
-/// batch is eventually shed, not looped forever) and leaves the fleet; the
-/// remaining workers finish the trace. If every worker dies, the leftover
-/// batches are shed and counted — no request is ever silently lost:
-/// `served + shed == n_requests`.
+/// Resilience: each stage runs under `catch_unwind`. A panicking worker
+/// requeues its in-flight batch (bounded by [`ServingConfig::retry_cap`]
+/// with saturating exponential backoff, so a poison-pill batch is
+/// eventually shed, not looped forever) and leaves the fleet; the remaining
+/// workers finish the trace. If every worker dies, the leftover batches are
+/// shed and counted — no request is ever silently lost: `served + shed +
+/// shed_queue + shed_deadline == n_requests`.
 ///
-/// Unlike [`simulate`], the trace is replayed as fast as the workers can
-/// drain it (offered load = ∞), so the report carries throughput only; use
-/// [`simulate`] for latency percentiles under a finite arrival rate.
+/// Pacing: by default the trace is drained as fast as the fleet allows
+/// (offered load = ∞) and the latency percentiles are only relative; set
+/// [`ServingConfig::pace`] to replay arrivals in real time for wall-clock
+/// meaningful percentiles.
 pub fn serve_multi(
     engines: &mut [BatchedEngine<'_>],
     pool: &[usize],
@@ -540,176 +1040,164 @@ pub fn serve_multi(
         .iter()
         .find_map(|e| e.metrics())
         .map(|m| ServingMetrics::new(m.registry()));
-
-    // Form micro-batches from the Poisson arrival trace (same RNG stream as
-    // `simulate`): a batch closes `max_wait` after its first arrival or at
-    // `max_batch`, whichever comes first.
     let arrivals = cfg.arrivals(pool);
-    let mut batches: VecDeque<QueuedBatch> = VecDeque::new();
-    let mut i = 0usize;
-    while i < arrivals.len() {
-        let close = arrivals[i].0 + cfg.max_wait; // audit: allow(no-fail-stop) — i < len per the loop condition
-        let mut nodes = Vec::with_capacity(cfg.max_batch);
-        // audit: allow(no-fail-stop) — i < len checked in the same condition
-        while i < arrivals.len() && nodes.len() < cfg.max_batch && arrivals[i].0 <= close {
-            nodes.push(arrivals[i].1); // audit: allow(no-fail-stop) — i < len per the loop condition
-            i += 1;
-        }
-        batches.push_back(QueuedBatch { nodes, attempt: 0 });
-    }
-    let n_batches = batches.len();
 
-    let queue = Mutex::new(batches);
-    // Batches popped but not yet resolved (served / requeued / shed). An
-    // idle worker may only exit when the queue is empty AND nothing is in
-    // flight — otherwise a panicked batch requeued by a dying worker could
-    // be stranded after its peers saw an empty queue and left.
-    let in_flight = AtomicUsize::new(0);
+    // Event-loop plumbing: the bounded dispatch queue is the admission
+    // backpressure (the dispatcher blocks while the fleet is saturated),
+    // and every shared accounting cell the workers update.
+    let dispatch: DispatchQueue<QueuedBatch> = DispatchQueue::new((2 * n_workers).max(4));
+    let est = Mutex::new(0.0f64);
     let compute_seconds = Mutex::new(0.0f64);
+    let busy_seconds = Mutex::new(0.0f64);
+    let latencies = Mutex::new(Vec::<f64>::new());
     let served = AtomicUsize::new(0);
     let shed = AtomicUsize::new(0);
     let recoveries = AtomicUsize::new(0);
     let failures = AtomicUsize::new(0);
     let retries = AtomicUsize::new(0);
     let workers_lost = AtomicUsize::new(0);
+    let workers_live = AtomicUsize::new(n_workers);
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for engine in engines.iter_mut() {
-            let queue = &queue;
-            let in_flight = &in_flight;
-            let compute_seconds = &compute_seconds;
-            let (served, shed) = (&served, &shed);
-            let (recoveries, failures, retries, workers_lost) =
-                (&recoveries, &failures, &retries, &workers_lost);
-            let obs = &obs;
-            scope.spawn(move || {
-                let mut local = 0.0f64;
-                let mut lost = false;
-                while !lost {
-                    let popped = {
-                        // Recover from poison: a peer that panicked while
-                        // holding the queue lock must not take the whole
-                        // fleet down with it (pop/push are atomic enough
-                        // that the queue behind a poisoned lock is intact).
-                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
-                        let b = q.pop_front();
-                        if b.is_some() {
-                            in_flight.fetch_add(1, Ordering::SeqCst);
-                        }
-                        b
-                    };
-                    let Some(QueuedBatch { nodes, attempt }) = popped else {
-                        if in_flight.load(Ordering::SeqCst) == 0 {
-                            break;
-                        }
-                        // A peer may yet requeue its in-flight batch.
-                        std::thread::sleep(std::time::Duration::from_micros(100));
-                        continue;
-                    };
-                    // `catch_unwind` needs `AssertUnwindSafe`: the engine is
-                    // only reused after a *clean* result (its scratch
-                    // self-heals via the dirty flag anyway), and a panicking
-                    // worker retires its engine with itself.
-                    let outcome =
-                        panic::catch_unwind(AssertUnwindSafe(|| engine.try_infer(&nodes)));
-                    let failed = match outcome {
-                        Ok(Ok(res)) => {
-                            local += res.seconds;
-                            served.fetch_add(nodes.len(), Ordering::Relaxed);
-                            if let Some(o) = obs {
-                                o.served.add(nodes.len() as u64);
-                                o.batches.inc();
-                                o.batch_size.observe(nodes.len() as f64);
-                            }
-                            false
-                        }
-                        Ok(Err(_e)) => {
-                            // Clean serving error: the worker survives.
-                            failures.fetch_add(1, Ordering::Relaxed);
-                            if let Some(o) = obs {
-                                o.failures.inc();
-                            }
-                            true
-                        }
-                        Err(_panic) => {
-                            // Worker panic: recover the batch, retire the
-                            // replica — the fleet finishes with fewer
-                            // workers rather than dying.
-                            recoveries.fetch_add(1, Ordering::Relaxed);
-                            workers_lost.fetch_add(1, Ordering::Relaxed);
-                            if let Some(o) = obs {
-                                o.recoveries.inc();
-                                o.workers_lost.inc();
-                            }
-                            lost = true;
-                            true
-                        }
-                    };
-                    if failed {
-                        if attempt < cfg.retry_cap {
-                            retries.fetch_add(1, Ordering::Relaxed);
-                            if let Some(o) = obs {
-                                o.retries.inc();
-                            }
-                            // Exponential backoff bounded to keep chaos runs
-                            // snappy; a poison-pill batch burns its retries
-                            // and is shed below.
-                            let backoff =
-                                (cfg.backoff_ms * (1u64 << attempt.min(10)) as f64).min(100.0);
-                            if backoff > 0.0 {
-                                std::thread::sleep(std::time::Duration::from_secs_f64(
-                                    backoff / 1e3,
-                                ));
-                            }
-                            queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(
-                                QueuedBatch {
-                                    nodes,
-                                    attempt: attempt + 1,
-                                },
-                            );
-                        } else {
-                            shed.fetch_add(nodes.len(), Ordering::Relaxed);
-                            if let Some(o) = obs {
-                                o.shed_exhausted.add(nodes.len() as u64);
-                            }
-                        }
-                    }
-                    // Resolve AFTER any requeue so idle peers never see
-                    // "queue empty, nothing in flight" while work remains.
-                    in_flight.fetch_sub(1, Ordering::SeqCst);
+    let fleet = Fleet {
+        dispatch: &dispatch,
+        cfg,
+        obs: obs.as_ref(),
+        est: &est,
+        compute_seconds: &compute_seconds,
+        busy_seconds: &busy_seconds,
+        latencies: &latencies,
+        served: &served,
+        shed: &shed,
+        recoveries: &recoveries,
+        failures: &failures,
+        retries: &retries,
+        workers_lost: &workers_lost,
+        workers_live: &workers_live,
+        t0,
+    };
+    let links: Vec<WorkerLink> = (0..n_workers).map(|_| WorkerLink::new()).collect();
+
+    let (n_batches, shed_queue, shed_deadline) = std::thread::scope(|scope| {
+        for (engine, link) in engines.iter_mut().zip(&links) {
+            match cfg.pipeline {
+                PipelineMode::Sequential => {
+                    scope.spawn(move || sequential_worker(engine, fleet));
                 }
-                *compute_seconds.lock().unwrap_or_else(|e| e.into_inner()) += local;
-            });
+                PipelineMode::Pipelined => {
+                    let (core, front, back) = engine.split();
+                    scope.spawn(move || pipelined_front(core, front, link, fleet));
+                    scope.spawn(move || pipelined_back(core, back, link, fleet));
+                }
+            }
         }
+
+        // Dispatcher (this thread): form batches with the shared former,
+        // anchored on the earliest-free virtual worker slot, and submit
+        // them through the bounded queue.
+        let mut former = BatchFormer::new(&arrivals, cfg);
+        let mut free = vec![0.0f64; n_workers];
+        let mut n_batches = 0usize;
+        loop {
+            let mut slot = 0usize;
+            let mut free_at = f64::INFINITY;
+            for (k, &f) in free.iter().enumerate() {
+                if f < free_at {
+                    slot = k;
+                    free_at = f;
+                }
+            }
+            let Some(w) = former.admit(free_at, obs.as_ref()) else {
+                break; // trace exhausted and queue drained
+            };
+            let e = *relock(est.lock());
+            let est_c = if e.is_finite() && e > 0.0 { e } else { 0.0 };
+            let (nodes, when) = former.seal(&w, est_c * DEADLINE_EST_SAFETY, obs.as_ref());
+            if nodes.is_empty() {
+                continue; // whole window shed; re-anchor on the next survivor
+            }
+            let fill = when.iter().fold(w.open, |acc, &t| acc.max(t));
+            let start = if nodes.len() == cfg.max_batch {
+                fill
+            } else {
+                w.close
+            };
+            if cfg.pace {
+                // Real-time replay: hold the batch until its start time.
+                let wait = start - t0.elapsed().as_secs_f64();
+                if wait.is_finite() && wait > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(wait));
+                }
+            }
+            if let Some(f) = free.get_mut(slot) {
+                *f = start + est_c;
+            }
+            match dispatch.push(QueuedBatch {
+                nodes,
+                arrivals: when,
+                attempt: 0,
+            }) {
+                Ok(()) => n_batches += 1,
+                Err(b) => {
+                    // Fleet died mid-trace: shed this batch here and the
+                    // rest below.
+                    fleet.shed_requests(b.nodes.len());
+                    break;
+                }
+            }
+        }
+        let rest = former.shed_rest();
+        if rest > 0 {
+            fleet.shed_requests(rest);
+        }
+        dispatch.close();
+        (n_batches, former.shed_queue, former.shed_deadline)
     });
-    // If the whole fleet died, the leftover batches are shed — accounted,
+
+    // If the whole fleet died, the queued batches are shed — accounted,
     // not lost.
-    for b in queue
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .drain(..)
-    {
-        shed.fetch_add(b.nodes.len(), Ordering::Relaxed);
-        if let Some(o) = &obs {
-            o.shed_exhausted.add(b.nodes.len() as u64);
-        }
+    for b in dispatch.drain() {
+        fleet.shed_requests(b.nodes.len());
     }
+
     let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
+    let busy = busy_seconds
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let stage_threads = match cfg.pipeline {
+        PipelineMode::Sequential => 1.0,
+        PipelineMode::Pipelined => 2.0,
+    };
+    let pipeline_occupancy = (busy / (stage_threads * n_workers as f64 * wall)).clamp(0.0, 1.0);
+    if let Some(o) = &obs {
+        o.pipeline_occupancy.set(pipeline_occupancy);
+        o.dispatch_wakeups.add(dispatch.wakeups());
+    }
     let compute = compute_seconds
         .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
+        .unwrap_or_else(PoisonError::into_inner)
         .max(f64::EPSILON);
+    let mut latencies_ms = latencies
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    latencies_ms.sort_by(f64::total_cmp);
     let served = served.into_inner();
     let shed = shed.into_inner();
-    debug_assert_eq!(served + shed, cfg.n_requests, "request accounting");
+    debug_assert_eq!(
+        served + shed + shed_queue + shed_deadline,
+        cfg.n_requests,
+        "request accounting"
+    );
+    let dispatched = cfg.n_requests.saturating_sub(shed_queue + shed_deadline);
 
     Ok(MultiServingReport {
         n_workers,
         n_requests: cfg.n_requests,
         n_batches,
-        mean_batch_size: cfg.n_requests as f64 / n_batches.max(1) as f64,
+        mean_batch_size: dispatched as f64 / n_batches.max(1) as f64,
         served,
         shed,
+        shed_queue,
+        shed_deadline,
         recoveries: recoveries.into_inner(),
         failures: failures.into_inner(),
         retries: retries.into_inner(),
@@ -718,6 +1206,11 @@ pub fn serve_multi(
         compute_seconds: compute,
         throughput: served as f64 / wall,
         compute_throughput: served as f64 / compute,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        pipeline_occupancy,
     })
 }
 
@@ -897,9 +1390,46 @@ mod tests {
         assert!(rep.n_batches >= 1);
         assert!(rep.throughput > 0.0 && rep.compute_throughput > 0.0);
         assert!(
+            rep.pipeline_occupancy > 0.0 && rep.pipeline_occupancy <= 1.0,
+            "occupancy must be a fraction of stage-thread time, got {}",
+            rep.pipeline_occupancy
+        );
+        assert!(
             store.len(1) > 0,
             "root write-backs from the replicas land in the shared store"
         );
+    }
+
+    #[test]
+    fn sequential_mode_matches_pipelined_accounting() {
+        // The escape hatch serves the exact same trace with the same
+        // deterministic counters — executors are interchangeable. The
+        // pre-arrived burst makes batch formation independent of worker
+        // timing, so even `n_batches` is pinned across modes.
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let run = |mode: PipelineMode| {
+            let cfg = ServingConfig {
+                arrival_rate: 1e6,
+                max_batch: 32,
+                n_requests: 320,
+                pipeline: mode,
+                ..Default::default()
+            };
+            let mut engines: Vec<BatchedEngine<'_>> = (0..2)
+                .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+                .collect();
+            serve_multi(&mut engines, &pool, &cfg).unwrap()
+        };
+        let seq = run(PipelineMode::Sequential);
+        let pip = run(PipelineMode::Pipelined);
+        assert_eq!(seq.counters(), pip.counters());
+        assert_eq!(seq.served, 320);
+        assert_eq!(seq.n_batches, 10, "320 pre-arrived requests / 32 per batch");
+        for rep in [&seq, &pip] {
+            assert!(rep.pipeline_occupancy > 0.0 && rep.pipeline_occupancy <= 1.0);
+        }
     }
 
     #[test]
@@ -1010,6 +1540,15 @@ mod tests {
         let rep = simulate(&mut engine, &pool, &cfg).unwrap();
         assert!(rep.shed_queue > 0, "overload must shed");
         assert_eq!(rep.served + rep.shed_queue + rep.shed_deadline, 400);
+        // The same accounting holds for the multi-worker loop, which now
+        // shares the same former (queue-cap shedding included).
+        let mut engine2 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let multi = serve_multi(std::slice::from_mut(&mut engine2), &pool, &cfg).unwrap();
+        assert!(multi.shed_queue > 0, "serve_multi sheds on admission too");
+        assert_eq!(
+            multi.served + multi.shed + multi.shed_queue + multi.shed_deadline,
+            400
+        );
     }
 
     #[test]
@@ -1157,6 +1696,10 @@ mod tests {
             snap.histograms["serving.batch.size"].count as usize,
             n_batches
         );
+        assert_eq!(
+            snap.gauges["serving.pipeline.occupancy"],
+            rep.pipeline_occupancy
+        );
 
         // Faulted run: panics + clean errors; counters still match exactly.
         let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
@@ -1187,45 +1730,202 @@ mod tests {
         assert_eq!(snap.counters["serving.retries"] as usize, retries);
     }
 
+    /// The old `serve_multi` former's trace-only batch count (`close =
+    /// first_arrival + max_wait`, no busy term) — the retired behavior the
+    /// equivalence test compares against.
+    fn trace_only_batches(arrivals: &[(f64, usize)], cfg: &ServingConfig) -> usize {
+        let mut i = 0usize;
+        let mut n = 0usize;
+        while i < arrivals.len() {
+            let close = arrivals[i].0 + cfg.max_wait;
+            let mut len = 0usize;
+            while i < arrivals.len() && len < cfg.max_batch && arrivals[i].0 <= close {
+                len += 1;
+                i += 1;
+            }
+            n += 1;
+        }
+        n
+    }
+
     #[test]
-    fn batch_formation_diverges_under_load() {
-        // Intentional divergence (see module docs): `simulate` models
-        // server-busy time, so under overload its batches open late and
-        // absorb backlog; `serve_multi` forms batches from the trace alone.
-        // Same trace, different mean batch sizes — and the trace-only
-        // former is deterministic.
+    fn serve_multi_anchoring_matches_simulate() {
+        // Anchoring-equivalence (replaces the retired divergence pin): both
+        // loops share one former, so on a pre-arrived burst — where window
+        // anchoring cannot depend on compute timing — a single-worker
+        // serve_multi forms *exactly* the batches simulate forms.
         let (adj, x) = setup();
         let model = zoo::graphsage(8, 8, 3, 2);
         let pool: Vec<usize> = (0..100).collect();
-        let cfg = ServingConfig {
+        let burst = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 16,
+            n_requests: 320,
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let sim = simulate(&mut engine, &pool, &burst).unwrap();
+        let run_multi = |cfg: &ServingConfig| {
+            let mut engines: Vec<BatchedEngine<'_>> = (0..2)
+                .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+                .collect();
+            serve_multi(&mut engines, &pool, cfg).unwrap()
+        };
+        let multi = run_multi(&burst);
+        assert_eq!(sim.n_batches, 20, "320 pre-arrived / 16 per batch");
+        assert_eq!(
+            multi.n_batches, sim.n_batches,
+            "shared former: identical batch formation on a burst"
+        );
+        assert_eq!(multi.mean_batch_size, sim.mean_batch_size);
+        let ma = run_multi(&burst);
+        assert_eq!(
+            ma.counters(),
+            multi.counters(),
+            "burst formation is deterministic across runs"
+        );
+
+        // Under a spread overload trace the busy-anchored window can only
+        // open later than the trace-only window, i.e. coalesce *more*:
+        // serve_multi must no longer form more batches than the retired
+        // trace-only former did.
+        let spread = ServingConfig {
             arrival_rate: 20_000.0,
             max_batch: 64,
             max_wait: 1e-3,
             n_requests: 500,
             ..Default::default()
         };
-        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
-        let sim = simulate(&mut engine, &pool, &cfg).unwrap();
-        let run_multi = || {
-            let mut engines: Vec<BatchedEngine<'_>> = (0..2)
-                .map(|w| {
-                    BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w as u64)
-                })
-                .collect();
-            serve_multi(&mut engines, &pool, &cfg).unwrap()
-        };
-        let ma = run_multi();
-        let mb = run_multi();
-        assert_eq!(
-            ma.n_batches, mb.n_batches,
-            "trace-only batch formation is deterministic"
-        );
+        let multi = run_multi(&spread);
+        let old = trace_only_batches(&spread.arrivals(&pool), &spread);
         assert!(
-            sim.mean_batch_size >= ma.mean_batch_size,
-            "busy-server batching ({:.2}) must coalesce at least as much as \
-             trace-only batching ({:.2})",
-            sim.mean_batch_size,
-            ma.mean_batch_size
+            multi.n_batches <= old,
+            "busy-anchored formation ({}) must coalesce at least as much as \
+             the retired trace-only former ({})",
+            multi.n_batches,
+            old
+        );
+    }
+
+    #[test]
+    fn saturating_backoff_clamps_pathological_values() {
+        // Regression: `Duration::from_secs_f64` panics on NaN/negative.
+        assert_eq!(saturating_backoff(f64::NAN), Duration::ZERO);
+        assert_eq!(saturating_backoff(-5.0), Duration::ZERO);
+        assert_eq!(saturating_backoff(f64::NEG_INFINITY), Duration::ZERO);
+        assert_eq!(saturating_backoff(0.0), Duration::ZERO);
+        assert_eq!(
+            saturating_backoff(f64::INFINITY),
+            Duration::from_secs_f64(MAX_BACKOFF_SECS)
+        );
+        assert_eq!(saturating_backoff(5.0), Duration::from_millis(5));
+        assert_eq!(
+            saturating_backoff(1e9),
+            Duration::from_secs_f64(MAX_BACKOFF_SECS),
+            "huge backoffs saturate instead of stalling the worker"
+        );
+    }
+
+    #[test]
+    fn pathological_backoff_config_survives_fault_retries() {
+        // Regression for the NaN-backoff panic: a non-finite or negative
+        // `backoff_ms` flows into the retry path only when a batch actually
+        // fails, so inject panics and let every retry exercise the clamp.
+        // The run must complete with full accounting, not abort.
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        for bad_backoff in [f64::NAN, -3.0, f64::INFINITY] {
+            let cfg = ServingConfig {
+                arrival_rate: 1e6,
+                max_batch: 16,
+                n_requests: 100,
+                backoff_ms: bad_backoff,
+                ..Default::default()
+            };
+            let plan = crate::FaultPlan {
+                panics: 2,
+                storms: 0,
+                horizon: 5,
+                ..Default::default()
+            };
+            let injector = plan.build().unwrap();
+            let mut engines: Vec<BatchedEngine<'_>> = (0..2)
+                .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+                .collect();
+            for e in engines.iter_mut() {
+                e.set_faults(std::sync::Arc::clone(&injector));
+            }
+            let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
+            assert_eq!(
+                rep.served + rep.shed + rep.shed_queue + rep.shed_deadline,
+                100,
+                "backoff_ms = {bad_backoff}: full accounting"
+            );
+            assert!(rep.recoveries > 0, "faults must actually fire");
+            assert!(rep.retries > 0, "the clamped backoff path must be taken");
+        }
+    }
+
+    #[test]
+    fn idle_dispatch_is_event_driven() {
+        // Satellite: an idle fleet must not burn CPU between sparse paced
+        // arrivals. The old loop woke every 100 µs (~1600 wakeups over this
+        // trace); the condvar queue wakes each blocked worker O(1) times
+        // per dispatched batch.
+        if !gcnp_obs::enabled() {
+            return;
+        }
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 50.0, // sparse: ~20 ms between arrivals
+            n_requests: 8,
+            pace: true, // replay in real time so the fleet actually idles
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        engine.set_metrics(crate::EngineMetrics::new(&registry));
+        let rep = serve_multi(std::slice::from_mut(&mut engine), &pool, &cfg).unwrap();
+        assert_eq!(rep.served, 8);
+        assert!(
+            rep.wall_seconds > 0.05,
+            "paced replay must actually idle (wall {} s)",
+            rep.wall_seconds
+        );
+        let snap = registry.snapshot();
+        let wakeups = snap.counters["serving.dispatch.wakeups"];
+        assert!(
+            wakeups < 100,
+            "idle workers woke {wakeups} times over {} batches — \
+             that is polling, not event-driven dispatch",
+            rep.n_batches
+        );
+    }
+
+    #[test]
+    fn paced_run_reports_wall_clock_latency_percentiles() {
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 300.0,
+            max_wait: 0.005,
+            n_requests: 30,
+            pace: true,
+            ..Default::default()
+        };
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let rep = serve_multi(std::slice::from_mut(&mut engine), &pool, &cfg).unwrap();
+        assert_eq!(rep.served, 30);
+        assert!(rep.p50_ms >= 0.0);
+        assert!(rep.p50_ms <= rep.p95_ms && rep.p95_ms <= rep.p99_ms && rep.p99_ms <= rep.max_ms);
+        assert!(
+            rep.wall_seconds >= 0.03,
+            "a paced 30-request trace at 300 req/s spans ≥ 100 ms of arrivals, wall {}",
+            rep.wall_seconds
         );
     }
 }

@@ -56,9 +56,10 @@ pub mod prelude {
     };
     pub use gcnp_datasets::{Dataset, DatasetKind, Labels, SpamStream};
     pub use gcnp_infer::{
-        serve_multi, simulate, simulate_tiered, BatchResult, BatchedEngine, CostModel, Fault,
-        FaultInjector, FaultPlan, FeatureStore, FullEngine, LadderPolicy, MultiServingReport,
-        QuantizedGnn, ServingConfig, ServingError, ServingReport, ServingResult, StorePolicy,
+        run_batches, serve_multi, simulate, simulate_tiered, BatchResult, BatchedEngine, CostModel,
+        Fault, FaultInjector, FaultPlan, FeatureStore, FullEngine, LadderPolicy,
+        MultiServingReport, PipelineMode, QuantizedGnn, ServingConfig, ServingError, ServingReport,
+        ServingResult, StorePolicy,
     };
     pub use gcnp_models::{
         zoo, Activation, Branch, BranchLayer, CombineMode, GnnModel, Metrics, TrainConfig, Trainer,

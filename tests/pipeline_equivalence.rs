@@ -1,0 +1,245 @@
+//! Equivalence of the pipelined and sequential batched executors: bitwise
+//! identical outputs across engine configurations, identical serving
+//! counters under fault injection, thread-count invariance, and
+//! overlap-aware occupancy accounting. See DESIGN.md "Pipelined batched
+//! executor".
+
+use gcnp::prelude::*;
+use gcnp_tensor::init::seeded_rng;
+
+fn chord_graph(n: usize) -> CsrMatrix {
+    let mut e = Vec::new();
+    for i in 0..n as u32 {
+        for hop in [1u32, 5] {
+            let j = (i + hop) % n as u32;
+            e.push((i, j));
+            e.push((j, i));
+        }
+    }
+    CsrMatrix::adjacency(n, &e)
+}
+
+fn batches(n_nodes: usize, n_batches: usize, batch: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = seeded_rng(seed);
+    (0..n_batches)
+        .map(|_| {
+            (0..batch)
+                .map(|_| rand::RngExt::random_range(&mut rng, 0..n_nodes))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal(seq: &[BatchResult], pip: &[BatchResult], what: &str) {
+    assert_eq!(seq.len(), pip.len(), "{what}: batch count");
+    for (i, (s, p)) in seq.iter().zip(pip).enumerate() {
+        assert_eq!(s.targets, p.targets, "{what}: batch {i} targets");
+        assert_eq!(
+            s.logits.as_slice(),
+            p.logits.as_slice(),
+            "{what}: batch {i} logits must be bitwise identical"
+        );
+        assert_eq!(s.macs, p.macs, "{what}: batch {i} macs");
+        assert_eq!(s.mem_bytes, p.mem_bytes, "{what}: batch {i} mem");
+        assert_eq!(s.n_supporting, p.n_supporting, "{what}: batch {i} support");
+        assert_eq!(s.store_hits, p.store_hits, "{what}: batch {i} store hits");
+    }
+}
+
+/// Acceptance: the pipelined executor produces bitwise-identical
+/// `BatchResult` outputs to the sequential executor across engine
+/// configurations — no store, write-through store (with the inter-batch
+/// visibility barrier), a pre-warmed read-only store, and fan-out caps.
+#[test]
+fn pipelined_outputs_are_bitwise_identical_across_configs() {
+    let n = 120;
+    let adj = chord_graph(n);
+    let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut seeded_rng(2));
+    let model = zoo::graphsage(8, 12, 4, 19);
+    let work = batches(n, 10, 9, 33);
+
+    // Each config builds a fresh pair of identically-seeded engines (and
+    // identically pre-warmed stores) and compares full outputs.
+    type Cfg = (&'static str, Option<bool>, StorePolicy, Vec<Option<usize>>);
+    let configs: Vec<Cfg> = vec![
+        ("no store", None, StorePolicy::None, vec![]),
+        (
+            "write-through roots",
+            Some(false),
+            StorePolicy::Roots,
+            vec![],
+        ),
+        (
+            "warm read-only store",
+            Some(true),
+            StorePolicy::None,
+            vec![],
+        ),
+        ("fan-out caps", None, StorePolicy::None, vec![Some(6); 4]),
+    ];
+    for (name, store_kind, policy, caps) in configs {
+        let run = |mode: PipelineMode| -> Vec<BatchResult> {
+            let store = store_kind.map(|warm| {
+                let s = FeatureStore::new(n, model.n_layers() - 1);
+                if warm {
+                    // Pre-warm by running the batches once with root
+                    // write-backs, then serve read-only against it.
+                    let mut w = BatchedEngine::new(
+                        &model,
+                        &adj,
+                        &x,
+                        vec![],
+                        Some(&s),
+                        StorePolicy::Roots,
+                        7,
+                    );
+                    for b in &work {
+                        w.try_infer(b).unwrap();
+                    }
+                }
+                s
+            });
+            let mut engine =
+                BatchedEngine::new(&model, &adj, &x, caps.clone(), store.as_ref(), policy, 7);
+            run_batches(&mut engine, &work, mode).unwrap()
+        };
+        let seq = run(PipelineMode::Sequential);
+        let pip = run(PipelineMode::Pipelined);
+        assert_bitwise_equal(&seq, &pip, name);
+        assert!(
+            seq.iter().any(|r| r.macs > 0),
+            "{name}: the comparison must cover real compute"
+        );
+    }
+}
+
+/// Thread-count invariance: the pipelined executor under `GCNP_THREADS=4`
+/// worth of kernel parallelism produces the same bits as single-threaded
+/// sequential execution — stage overlap composes with intra-batch
+/// parallelism without changing results.
+#[test]
+fn pipelined_is_thread_count_invariant() {
+    let n = 100;
+    let adj = chord_graph(n);
+    let x = Matrix::rand_uniform(n, 10, -1.0, 1.0, &mut seeded_rng(4));
+    let model = zoo::graphsage(10, 16, 3, 23);
+    let work = batches(n, 8, 12, 41);
+
+    gcnp_tensor::set_num_threads(1);
+    let mut e1 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+    let seq1 = run_batches(&mut e1, &work, PipelineMode::Sequential).unwrap();
+
+    gcnp_tensor::set_num_threads(4);
+    let mut e4 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+    let pip4 = run_batches(&mut e4, &work, PipelineMode::Pipelined).unwrap();
+    gcnp_tensor::set_num_threads(0);
+
+    assert_bitwise_equal(&seq1, &pip4, "1-thread sequential vs 4-thread pipelined");
+}
+
+/// Mode-matrix chaos: the same seeded fault schedule (panics + stragglers +
+/// store-miss storms) run under both executors yields identical
+/// deterministic serving counters — recovery semantics do not depend on
+/// which stage hosts the fault.
+#[test]
+fn chaos_counters_are_identical_across_modes() {
+    let n = 200;
+    let adj = chord_graph(n);
+    let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut seeded_rng(6));
+    let model = zoo::graphsage(8, 12, 4, 29);
+    let store = FeatureStore::new(n, model.n_layers() - 1);
+    let pool: Vec<usize> = (0..n).collect();
+
+    let run = |mode: PipelineMode| {
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 32,
+            n_requests: 320,
+            seed: 13,
+            pipeline: mode,
+            ..Default::default()
+        };
+        let plan = FaultPlan {
+            panics: 2,
+            stragglers: 3,
+            straggle_multiplier: 1.5,
+            storms: 2,
+            horizon: 12,
+            seed: 99,
+        };
+        let inj = plan.build().unwrap();
+        let mut engines: Vec<BatchedEngine<'_>> = (0..4)
+            .map(|w| {
+                let mut e = BatchedEngine::new(
+                    &model,
+                    &adj,
+                    &x,
+                    vec![],
+                    Some(&store),
+                    StorePolicy::Roots,
+                    w as u64,
+                );
+                e.set_faults(std::sync::Arc::clone(&inj));
+                e
+            })
+            .collect();
+        let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
+        (rep.counters(), inj.fired())
+    };
+    let (seq_counters, seq_fired) = run(PipelineMode::Sequential);
+    let (pip_counters, pip_fired) = run(PipelineMode::Pipelined);
+    assert_eq!(
+        seq_counters, pip_counters,
+        "deterministic counters must not depend on the executor"
+    );
+    assert_eq!(
+        seq_fired, pip_fired,
+        "the full schedule fires in both modes"
+    );
+    assert!(seq_fired.0 > 0, "panics must actually fire");
+}
+
+/// Overlap-aware accounting: per-stage busy time can never exceed the
+/// stage-thread wall budget, so the occupancy gauge is a true fraction in
+/// (0, 1] in both modes — and the pipelined run's per-worker busy time may
+/// legitimately exceed its wall share (that's the overlap).
+#[test]
+fn stage_busy_accounting_stays_within_wall_clock() {
+    let n = 150;
+    let adj = chord_graph(n);
+    let x = Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut seeded_rng(8));
+    let model = zoo::graphsage(8, 16, 4, 31);
+    let pool: Vec<usize> = (0..n).collect();
+    for mode in [PipelineMode::Sequential, PipelineMode::Pipelined] {
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 16,
+            n_requests: 320,
+            seed: 17,
+            pipeline: mode,
+            ..Default::default()
+        };
+        let mut engines: Vec<BatchedEngine<'_>> = (0..2)
+            .map(|w| BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, w))
+            .collect();
+        let rep = serve_multi(&mut engines, &pool, &cfg).unwrap();
+        assert_eq!(rep.served, 320, "{mode:?}");
+        assert!(
+            rep.pipeline_occupancy > 0.0 && rep.pipeline_occupancy <= 1.0,
+            "{mode:?}: occupancy {} must be a fraction of stage-thread time",
+            rep.pipeline_occupancy
+        );
+        // No wall-clock-relative bound on `compute_seconds` here: in
+        // pipelined mode a batch's `seconds` spans its inter-stage queue
+        // residency, so the sum is not capped by the stage-thread wall
+        // budget (and under CI contention it legitimately exceeds it).
+        // The busy-time invariant is exactly what the clamped occupancy
+        // gauge asserts above; just require the timings to be coherent.
+        assert!(
+            rep.compute_seconds > 0.0 && rep.wall_seconds > 0.0,
+            "{mode:?}: compute {} and wall {} must both be positive",
+            rep.compute_seconds,
+            rep.wall_seconds
+        );
+    }
+}
