@@ -1,0 +1,42 @@
+//! Fixture: panic-discipline violations in a hot-path stage loop.
+//!
+//! Seeded findings (the self-test pins these):
+//! * one `catch_unwind` whose payload is silently swallowed — fires;
+//! * one that re-raises via `resume_unwind` — clean;
+//! * one that classifies the payload against the injected-fault marker —
+//!   clean.
+
+use std::panic::{self, AssertUnwindSafe};
+
+/// VIOLATION: the payload is dropped on the floor, so a genuine bug in `f`
+/// is indistinguishable from an injected chaos fault.
+pub fn swallow(f: impl Fn() -> usize) -> usize {
+    let caught = panic::catch_unwind(AssertUnwindSafe(&f));
+    match caught {
+        Ok(v) => v,
+        Err(_ignored) => 0,
+    }
+}
+
+/// Clean: the payload is re-raised for the caller's supervisor.
+pub fn rethrow(f: impl Fn() -> usize) -> usize {
+    let caught = panic::catch_unwind(AssertUnwindSafe(&f));
+    match caught {
+        Ok(v) => v,
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+/// Clean: the payload is classified against the injected-fault marker.
+pub fn classify(f: impl Fn() -> usize) -> (usize, bool) {
+    let caught = panic::catch_unwind(AssertUnwindSafe(&f));
+    match caught {
+        Ok(v) => (v, false),
+        Err(p) => {
+            let injected = p
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("gcnp-faults:"));
+            (0, injected)
+        }
+    }
+}

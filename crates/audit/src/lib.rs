@@ -26,6 +26,12 @@
 //!    taking matrix-like inputs (`Matrix`, `[f32]`, `Vec<f32>`) must declare
 //!    its input-shape precondition in a doc comment carrying a `Shapes:`
 //!    marker (or a `# Shapes` doc section).
+//! 6. **panic-discipline** — a `catch_unwind` in the hot path must either
+//!    re-raise the payload (`resume_unwind`) or classify it
+//!    (`record_panic`, or an explicit `gcnp-faults` marker check) before
+//!    the enclosing item ends. Silently swallowing a payload turns every
+//!    genuine bug into an invisible "recovery", indistinguishable from an
+//!    injected chaos fault.
 //!
 //! The escape hatch is `// audit: allow(<lint>) — <reason>`: same-line
 //! (that line only), own-line (the next code line), or above a `fn` item
@@ -47,6 +53,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/infer/src/store.rs",
     "crates/infer/src/batched.rs",
     "crates/infer/src/pipeline.rs",
+    "crates/infer/src/supervisor.rs",
 ];
 
 /// The one module allowed to spawn kernel threads and read `GCNP_THREADS`.
@@ -58,7 +65,7 @@ const POOL_HOME: &str = "crates/tensor/src/parallel.rs";
 /// the self-test instead.
 const SKIP_DIRS: &[&str] = &["target", "shims", "fixtures", ".git", "tests", "audit"];
 
-/// The five repo-specific lints.
+/// The six repo-specific lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     NoFailStop,
@@ -66,6 +73,7 @@ pub enum Lint {
     PoolHygiene,
     SafetyComment,
     ShapeContract,
+    PanicDiscipline,
 }
 
 impl Lint {
@@ -77,17 +85,19 @@ impl Lint {
             Lint::PoolHygiene => "pool-hygiene",
             Lint::SafetyComment => "safety-comment",
             Lint::ShapeContract => "shape-contract",
+            Lint::PanicDiscipline => "panic-discipline",
         }
     }
 
     /// All lints, for iteration in reports and self-tests.
-    pub fn all() -> [Lint; 5] {
+    pub fn all() -> [Lint; 6] {
         [
             Lint::NoFailStop,
             Lint::LockDiscipline,
             Lint::PoolHygiene,
             Lint::SafetyComment,
             Lint::ShapeContract,
+            Lint::PanicDiscipline,
         ]
     }
 
@@ -734,6 +744,51 @@ fn lint_shape_contract(path: &str, lines: &[LineInfo], in_test: &[bool], out: &m
     }
 }
 
+/// Lint 6: every hot-path `catch_unwind` must re-raise or classify its
+/// payload before the enclosing top-level item ends. The accepted
+/// discipline markers are `resume_unwind` (re-raise), `record_panic` (the
+/// serving layer's classifier), or an explicit `gcnp-faults` marker check
+/// (the injected-fault payload prefix).
+fn lint_panic_discipline(path: &str, lines: &[LineInfo], in_test: &[bool], out: &mut Vec<Finding>) {
+    if !HOT_PATHS.iter().any(|h| path.ends_with(h)) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || !line.code.contains("catch_unwind") {
+            continue;
+        }
+        // Scan from the catch site to the close of the enclosing
+        // top-level item (the next column-0 `}`) for a discipline marker.
+        let mut disciplined = false;
+        let mut j = idx;
+        while j < lines.len() {
+            let l = &lines[j];
+            if l.code.contains("resume_unwind")
+                || l.code.contains("record_panic")
+                || l.strings.contains("gcnp-faults")
+            {
+                disciplined = true;
+                break;
+            }
+            if j > idx && l.code.starts_with('}') {
+                break;
+            }
+            j += 1;
+        }
+        if !disciplined {
+            out.push(Finding {
+                lint: Lint::PanicDiscipline,
+                file: PathBuf::from(path),
+                line: idx + 1,
+                msg: "caught panic is neither re-raised (resume_unwind) nor classified \
+                      (record_panic / gcnp-faults marker) before the enclosing item ends — \
+                      a swallowed payload hides real bugs behind chaos recovery"
+                    .into(),
+            });
+        }
+    }
+}
+
 /// The parameter list of the fn whose `pub fn` starts at `(line, col)`,
 /// concatenated across lines up to the matching `)`.
 fn signature_params(lines: &[LineInfo], line: usize, col: usize) -> String {
@@ -804,6 +859,7 @@ pub fn scan_file(path: &Path, src: &str) -> Vec<Finding> {
     lint_pool_hygiene(&path_str, &lines, &in_test, &mut findings);
     lint_safety_comment(&path_str, &lines, &mut findings);
     lint_shape_contract(&path_str, &lines, &in_test, &mut findings);
+    lint_panic_discipline(&path_str, &lines, &in_test, &mut findings);
 
     findings.retain(|f| {
         !allows
@@ -1043,6 +1099,58 @@ mod tests {
         );
         let elsewhere = "pub fn matmul(a: &Matrix) -> Matrix { a.clone() }\n";
         assert!(scan("crates/infer/src/cost.rs", elsewhere).is_empty());
+    }
+
+    #[test]
+    fn panic_discipline_requires_a_marker_in_the_enclosing_item() {
+        let swallowed = "fn f(g: fn()) {\n\
+                             let r = std::panic::catch_unwind(g);\n\
+                             let _ = r;\n\
+                         }\n";
+        let f = scan(HOT, swallowed);
+        assert_eq!(f.len(), 1, "swallowed payload must fire: {f:?}");
+        assert_eq!(f[0].lint, Lint::PanicDiscipline);
+
+        let reraised = "fn f(g: fn()) {\n\
+                            let r = std::panic::catch_unwind(g);\n\
+                            if let Err(p) = r {\n\
+                                std::panic::resume_unwind(p);\n\
+                            }\n\
+                        }\n";
+        assert!(scan(HOT, reraised).is_empty());
+
+        let classified = "fn f(g: fn()) {\n\
+                              let r = std::panic::catch_unwind(g);\n\
+                              if let Err(p) = r {\n\
+                                  record_panic(p);\n\
+                              }\n\
+                          }\n";
+        assert!(scan(HOT, classified).is_empty());
+
+        let marker = "fn f(g: fn()) -> bool {\n\
+                          let r = std::panic::catch_unwind(g);\n\
+                          matches!(r, Err(ref p) if is_marked(p, \"gcnp-faults:\"))\n\
+                      }\n";
+        assert!(scan(HOT, marker).is_empty());
+    }
+
+    #[test]
+    fn panic_discipline_scope_stops_at_the_item_boundary() {
+        // The marker lives in a *different* top-level item: must still fire.
+        let split = "fn f(g: fn()) {\n\
+                         let _ = std::panic::catch_unwind(g);\n\
+                     }\n\
+                     fn h(p: Payload) {\n\
+                         std::panic::resume_unwind(p);\n\
+                     }\n";
+        let f = scan(HOT, split);
+        assert_eq!(f.len(), 1, "marker in a sibling fn must not count: {f:?}");
+        // Cold paths are out of scope.
+        let swallowed = "fn f(g: fn()) { let _ = std::panic::catch_unwind(g); }\n";
+        assert!(scan(COLD, swallowed).is_empty());
+        // Tests may swallow panics freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t(g: fn()) { let _ = std::panic::catch_unwind(g); }\n}\n";
+        assert!(scan(HOT, test_only).is_empty());
     }
 
     #[test]

@@ -248,7 +248,8 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
 ///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
 ///  [--deadline-ms f] [--queue-cap n] [--retry-cap n] [--faults spec]
-///  [--ladder] [--pipeline sequential|pipelined] [--pace] [--metrics-out file]`
+///  [--watchdog-ms f] [--hedge k] [--ladder]
+///  [--pipeline sequential|pipelined] [--pace] [--metrics-out file]`
 ///
 /// With `--workers n` (n > 1) the request trace is drained by `n` engine
 /// replicas sharing one feature store (throughput mode, no latency
@@ -261,6 +262,12 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// feature store, writes the end-of-run snapshot as JSON to `file` and
 /// Prometheus text to `file.prom`, and appends a per-stage engine timing
 /// table to the summary.
+///
+/// `--watchdog-ms f` arms the supervision watchdog (a batch busy longer
+/// than `f` ms is stolen, requeued, and its stage pair respawned) and
+/// `--hedge k` arms hedged re-execution (a batch busy past `k ×` the EWMA
+/// compute estimate is speculatively duplicated; first completion wins) —
+/// both are multi-worker features and ignored by single-worker simulation.
 ///
 /// Multi-worker runs default to the two-stage **pipelined** executor
 /// (per-worker gather/GEMM overlap); `--pipeline sequential` selects the
@@ -324,6 +331,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
         retry_cap: args.get_or("retry-cap", 3)?,
         pipeline,
         pace: args.has("pace"),
+        watchdog: args.get_opt::<f64>("watchdog-ms")?.map(|ms| ms / 1e3),
+        hedge: args.get_opt("hedge")?,
         ..Default::default()
     };
     let policy = if store.is_some() {
@@ -371,6 +380,12 @@ pub fn serve(args: &Args) -> Result<String, String> {
             msg.push_str(&format!(
                 "; shed {}, recovered {} panics ({} workers lost), {} clean failures, {} retries",
                 rep.shed, rep.recoveries, rep.workers_lost, rep.failures, rep.retries
+            ));
+        }
+        if rep.watchdog_restarts + rep.hedges_fired > 0 {
+            msg.push_str(&format!(
+                "; supervisor: {} watchdog restarts, {} hedges ({} won, {} wasted)",
+                rep.watchdog_restarts, rep.hedges_fired, rep.hedges_won, rep.hedges_wasted
             ));
         }
         if let Some((path, reg)) = &metrics {
@@ -565,6 +580,18 @@ mod tests {
         if gcnp_obs::enabled() {
             assert!(json.contains("\"serving.recoveries\""), "{json}");
         }
+
+        // Supervision flags: a 400 ms stage stall under a 50 ms watchdog is
+        // stolen and re-served — the summary reports the restart and the
+        // run stays lossless.
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {p} --requests 60 --workers 2 \
+             --watchdog-ms 50 --hedge 8 \
+             --faults stalls=1,stall-ms=400,horizon=1,seed=5"
+        )))
+        .unwrap();
+        assert!(msg.contains("served 60/60"), "{msg}");
+        assert!(msg.contains("watchdog restarts"), "{msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -41,6 +41,12 @@ use crate::store::FeatureStore;
 /// Sentinel in the dense relabel table: node not present at this level.
 const ABSENT: u32 = u32::MAX;
 
+/// Optimistic throughput assumed by [`BatchedEngine::cold_compute_estimate`]
+/// before any real compute observation exists. Biased high (fast machine)
+/// on purpose: a too-small seed estimate only delays EWMA convergence by a
+/// batch, while a too-large one spuriously sheds a cold fleet's first batch.
+const COLD_MACS_PER_SEC: f64 = 2e9;
+
 /// What the engine writes back to the store after each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StorePolicy {
@@ -106,6 +112,12 @@ pub struct BatchedEngine<'a> {
     /// Optional per-stage instrumentation (see [`crate::metrics`]); `None`
     /// (or an `obs-off` build) skips all clock reads.
     metrics: Option<Arc<EngineMetrics>>,
+    /// EWMA-observation skew factor latched by the most recent execute
+    /// (`Fault::ClockSkew` perturbs only the compute-estimate observation,
+    /// never latency accounting); 1.0 otherwise. The sequential serving
+    /// worker reads it through [`BatchedEngine::last_est_skew`], the
+    /// pipelined back stage through its [`BackStage::skew`] borrow.
+    last_skew: f64,
 }
 
 /// Reusable back-stage scratch, owned by the engine and mutably borrowed
@@ -238,6 +250,23 @@ pub(crate) struct PreparedBatch {
     clock: Option<StageClock>,
 }
 
+impl PreparedBatch {
+    /// The fault drawn for this attempt. The pipelined front routes
+    /// `QueueWedge` through the quiet (no-wakeup) stage push based on this.
+    pub(crate) fn fault(&self) -> Fault {
+        self.fault
+    }
+
+    /// Return this batch's front-pool buffers to `pool` — the abandon path
+    /// when a supervisor steal voids the attempt after prepare finished.
+    pub(crate) fn recycle_into(self, pool: &mut ScratchPool) {
+        pool.recycle(self.level0);
+        for rows in self.staged.into_iter().flatten() {
+            pool.recycle(rows);
+        }
+    }
+}
+
 /// Copyable view of the engine's shared, read-only state, handed to both
 /// pipeline stages by [`BatchedEngine::split`].
 #[derive(Clone, Copy)]
@@ -264,6 +293,9 @@ pub(crate) struct FrontStage<'e> {
 pub(crate) struct BackStage<'e> {
     scratch: &'e mut BackScratch,
     dirty: &'e mut bool,
+    /// Skew-factor latch written by every execute (see
+    /// [`BatchedEngine::last_est_skew`]).
+    pub(crate) skew: &'e mut f64,
 }
 
 impl<'a> BatchedEngine<'a> {
@@ -305,6 +337,7 @@ impl<'a> BatchedEngine<'a> {
             dirty: false,
             faults: None,
             metrics: None,
+            last_skew: 1.0,
         }
     }
 
@@ -325,6 +358,28 @@ impl<'a> BatchedEngine<'a> {
     /// The attached metrics bundle, if any.
     pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
         self.metrics.as_ref()
+    }
+
+    /// Skew factor the most recent execute latched for the EWMA
+    /// compute-estimate observation (1.0 unless that batch drew
+    /// [`Fault::ClockSkew`]).
+    pub(crate) fn last_est_skew(&self) -> f64 {
+        self.last_skew
+    }
+
+    /// Analytic compute-seconds estimate for a cold batch of `batch`
+    /// targets, from the cost model (Eqs. 2–3) at an optimistic throughput.
+    /// Seeds the serving layer's EWMA virtual clock and deadline projection
+    /// before the first real observation arrives — deliberately small so a
+    /// cold fleet admits rather than sheds, but strictly positive so the
+    /// dispatcher's virtual clock advances from the first batch.
+    pub fn cold_compute_estimate(&self, batch: usize) -> f64 {
+        let n = self.adj.n_rows().max(1);
+        let avg_degree = self.adj.nnz() as f64 / n as f64;
+        let cap = self.caps.iter().flatten().copied().min();
+        let macs =
+            crate::costmodel::CostModel::new(n, avg_degree).batched_macs_per_node(self.model, cap);
+        (macs * batch as f64 / COLD_MACS_PER_SEC).max(f64::MIN_POSITIVE)
     }
 
     /// Split the engine into the shared read-only core plus the disjoint
@@ -351,6 +406,7 @@ impl<'a> BatchedEngine<'a> {
         let back = BackStage {
             scratch: &mut self.back,
             dirty: &mut self.dirty,
+            skew: &mut self.last_skew,
         };
         (core, front, back)
     }
@@ -412,6 +468,12 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             // audit: allow(no-fail-stop) — chaos-injected worker crash; serve_multi recovers it via catch_unwind
             panic!("gcnp-faults: injected worker panic");
         }
+        if let Fault::StageStall { seconds } = fault {
+            // A wedged front stage: go silent mid-prepare (capped like
+            // Straggle so a chaos schedule cannot hang a test job). The
+            // supervisor's watchdog must detect this and steal the batch.
+            std::thread::sleep(std::time::Duration::from_secs_f64(seconds.clamp(0.0, 1.0)));
+        }
         let n_nodes = self.adj.n_rows();
         for &v in targets {
             if v >= n_nodes {
@@ -433,6 +495,16 @@ impl<'e, 'a> EngineCore<'e, 'a> {
         let store = if bypass_store { None } else { self.store };
         *front.counter += 1;
         let batch_seed = self.seed ^ *front.counter;
+        if matches!(fault, Fault::RowFlip) {
+            // Corrupt one resident store row (deterministic in the batch
+            // seed). `has()` still reports the row, so this batch stages a
+            // read of it; the checksum inside `with_row` then quarantines
+            // the row and the attempt fails typed-retryable — the retry
+            // re-gathers from level 0 and serves uncorrupted data.
+            if let Some(s) = self.store {
+                s.inject_bit_flip(batch_seed);
+            }
+        }
         // Stage clock: only when a bundle is attached AND `obs` is compiled
         // in (the `enabled()` check const-folds the whole thing away in
         // obs-off builds, clock reads included).
@@ -553,6 +625,13 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             mut clock,
         } = prep;
         let store = if bypass_store { None } else { self.store };
+        // Latch the EWMA-observation skew for the serving layer before any
+        // early return: ClockSkew perturbs only the compute-estimate
+        // observation, never the batch's latency accounting.
+        *back.skew = match fault {
+            Fault::ClockSkew { factor } => factor,
+            _ => 1.0,
+        };
         let n_nodes = self.adj.n_rows();
         // Self-heal: if the previous batch on this scratch panicked or
         // errored mid-flight (dirty set, or the graph changed), rebuild the
@@ -763,6 +842,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             // chaos run's batch distribution shows the stall the stage
             // timings (busy time only) do not.
             m.batch_seconds.observe(seconds);
+            m.scratch_resident.set(pool.retained_bytes() as f64);
         }
 
         Ok(BatchResult {

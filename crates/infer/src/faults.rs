@@ -40,6 +40,22 @@ pub enum Fault {
     /// batch (every lookup misses), forcing full supporting-node expansion —
     /// models a cold or flushed cache.
     StoreMiss,
+    /// Stage stall: the stage hosting this attempt sleeps for `seconds`
+    /// before doing any work — models a wedged `StageQueue`/`BarrierGate`
+    /// pair that only the supervision watchdog can detect.
+    StageStall { seconds: f64 },
+    /// Deterministic bit flip in one resident feature-store row — models
+    /// silent memory corruption; the per-row checksum must catch it on the
+    /// next read and serve re-gathered data instead.
+    RowFlip,
+    /// Clock skew: the batch's busy-time observation fed to the EWMA
+    /// estimator is multiplied by `factor`. Perturbs only the dispatcher's
+    /// virtual clock, never real latency accounting.
+    ClockSkew { factor: f64 },
+    /// Queue wedge: one `StageQueue` wakeup for this attempt's handoff is
+    /// dropped — models a lost condvar notify; the timed re-check waits
+    /// must recover it.
+    QueueWedge,
 }
 
 /// A seeded fault schedule: how many of each fault to scatter over the
@@ -54,6 +70,18 @@ pub struct FaultPlan {
     pub straggle_multiplier: f64,
     /// Store-miss storms to inject.
     pub storms: usize,
+    /// Stage stalls to inject (second generation).
+    pub stalls: usize,
+    /// Stage-stall duration in milliseconds (≥ 0, finite).
+    pub stall_ms: f64,
+    /// Feature-store row bit flips to inject (second generation).
+    pub row_flips: usize,
+    /// EWMA clock-skew perturbations to inject (second generation).
+    pub skews: usize,
+    /// Clock-skew factor applied to the busy-time observation (> 0, finite).
+    pub skew: f64,
+    /// Stage-queue wakeup drops to inject (second generation).
+    pub wedges: usize,
     /// Attempt-index horizon the faults are scattered over. Every fault
     /// lands on a distinct index in `[0, horizon)`; a run must execute at
     /// least `horizon` batch attempts for the whole plan to fire.
@@ -68,9 +96,40 @@ impl Default for FaultPlan {
             stragglers: 0,
             straggle_multiplier: 4.0,
             storms: 0,
+            stalls: 0,
+            stall_ms: 50.0,
+            row_flips: 0,
+            skews: 0,
+            skew: 4.0,
+            wedges: 0,
             horizon: 64,
             seed: 0,
         }
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Canonical spec form: every key, in the grammar order accepted by
+    /// [`FaultPlan::parse`]. `parse(plan.to_string()) == plan` for any valid
+    /// plan (f64 fields print in Rust's shortest round-trip form).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "panics={},stragglers={},multiplier={},storms={},stalls={},stall-ms={},\
+             rowflips={},skews={},skew={},wedges={},horizon={},seed={}",
+            self.panics,
+            self.stragglers,
+            self.straggle_multiplier,
+            self.storms,
+            self.stalls,
+            self.stall_ms,
+            self.row_flips,
+            self.skews,
+            self.skew,
+            self.wedges,
+            self.horizon,
+            self.seed
+        )
     }
 }
 
@@ -95,9 +154,16 @@ impl FaultPlan {
                 "multiplier" => {
                     plan.straggle_multiplier = value.trim().parse().map_err(|_| bad(value))?
                 }
+                "stalls" => plan.stalls = value.trim().parse().map_err(|_| bad(value))?,
+                "stall-ms" => plan.stall_ms = value.trim().parse().map_err(|_| bad(value))?,
+                "rowflips" => plan.row_flips = value.trim().parse().map_err(|_| bad(value))?,
+                "skews" => plan.skews = value.trim().parse().map_err(|_| bad(value))?,
+                "skew" => plan.skew = value.trim().parse().map_err(|_| bad(value))?,
+                "wedges" => plan.wedges = value.trim().parse().map_err(|_| bad(value))?,
                 other => {
                     return Err(ServingError::InvalidFaultSpec(format!(
-                        "unknown key {other:?} (panics|stragglers|storms|horizon|seed|multiplier)"
+                        "unknown key {other:?} (panics|stragglers|storms|horizon|seed|multiplier\
+                         |stalls|stall-ms|rowflips|skews|skew|wedges)"
                     )))
                 }
             }
@@ -107,7 +173,13 @@ impl FaultPlan {
     }
 
     fn validate(&self) -> Result<(), ServingError> {
-        let total = (self.panics + self.stragglers + self.storms) as u64;
+        let total = (self.panics
+            + self.stragglers
+            + self.storms
+            + self.stalls
+            + self.row_flips
+            + self.skews
+            + self.wedges) as u64;
         if total > self.horizon {
             return Err(ServingError::InvalidFaultSpec(format!(
                 "{total} faults do not fit in horizon {}",
@@ -118,6 +190,18 @@ impl FaultPlan {
             return Err(ServingError::InvalidFaultSpec(format!(
                 "multiplier must be >= 1.0, got {}",
                 self.straggle_multiplier
+            )));
+        }
+        if !self.stall_ms.is_finite() || self.stall_ms < 0.0 {
+            return Err(ServingError::InvalidFaultSpec(format!(
+                "stall-ms must be finite and >= 0, got {}",
+                self.stall_ms
+            )));
+        }
+        if !self.skew.is_finite() || self.skew <= 0.0 {
+            return Err(ServingError::InvalidFaultSpec(format!(
+                "skew must be finite and > 0, got {}",
+                self.skew
             )));
         }
         Ok(())
@@ -151,12 +235,35 @@ impl FaultPlan {
         for _ in 0..self.storms {
             place(Fault::StoreMiss, &mut rng);
         }
+        // Second-generation faults place after the originals, so a plan with
+        // zero gen-2 counts draws exactly the same schedule as before.
+        for _ in 0..self.stalls {
+            place(
+                Fault::StageStall {
+                    seconds: self.stall_ms / 1e3,
+                },
+                &mut rng,
+            );
+        }
+        for _ in 0..self.row_flips {
+            place(Fault::RowFlip, &mut rng);
+        }
+        for _ in 0..self.skews {
+            place(Fault::ClockSkew { factor: self.skew }, &mut rng);
+        }
+        for _ in 0..self.wedges {
+            place(Fault::QueueWedge, &mut rng);
+        }
         Ok(Arc::new(FaultInjector {
             schedule,
             counter: AtomicU64::new(0),
             fired_panics: AtomicUsize::new(0),
             fired_stragglers: AtomicUsize::new(0),
             fired_storms: AtomicUsize::new(0),
+            fired_stalls: AtomicUsize::new(0),
+            fired_row_flips: AtomicUsize::new(0),
+            fired_skews: AtomicUsize::new(0),
+            fired_wedges: AtomicUsize::new(0),
         }))
     }
 }
@@ -169,6 +276,10 @@ pub struct FaultInjector {
     fired_panics: AtomicUsize,
     fired_stragglers: AtomicUsize,
     fired_storms: AtomicUsize,
+    fired_stalls: AtomicUsize,
+    fired_row_flips: AtomicUsize,
+    fired_skews: AtomicUsize,
+    fired_wedges: AtomicUsize,
 }
 
 impl FaultInjector {
@@ -183,6 +294,10 @@ impl FaultInjector {
                     Fault::Panic => self.fired_panics.fetch_add(1, Ordering::Relaxed),
                     Fault::Straggle { .. } => self.fired_stragglers.fetch_add(1, Ordering::Relaxed),
                     Fault::StoreMiss => self.fired_storms.fetch_add(1, Ordering::Relaxed),
+                    Fault::StageStall { .. } => self.fired_stalls.fetch_add(1, Ordering::Relaxed),
+                    Fault::RowFlip => self.fired_row_flips.fetch_add(1, Ordering::Relaxed),
+                    Fault::ClockSkew { .. } => self.fired_skews.fetch_add(1, Ordering::Relaxed),
+                    Fault::QueueWedge => self.fired_wedges.fetch_add(1, Ordering::Relaxed),
                     Fault::None => unreachable!("schedule never stores Fault::None"),
                 };
                 f
@@ -201,6 +316,18 @@ impl FaultInjector {
             self.fired_panics.load(Ordering::Relaxed),
             self.fired_stragglers.load(Ordering::Relaxed),
             self.fired_storms.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(stalls, row_flips, skews, wedges)` — the second-generation faults
+    /// actually fired so far. Kept separate from [`FaultInjector::fired`] so
+    /// its 3-tuple shape (pinned by the PR-2 chaos tests) stays stable.
+    pub fn fired_gen2(&self) -> (usize, usize, usize, usize) {
+        (
+            self.fired_stalls.load(Ordering::Relaxed),
+            self.fired_row_flips.load(Ordering::Relaxed),
+            self.fired_skews.load(Ordering::Relaxed),
+            self.fired_wedges.load(Ordering::Relaxed),
         )
     }
 }
@@ -265,5 +392,149 @@ mod tests {
             assert_eq!(inj.next_fault(), Fault::None);
         }
         assert_eq!(inj.fired(), (0, 0, 0));
+        assert_eq!(inj.fired_gen2(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn gen2_keys_parse_and_fire() {
+        let plan = FaultPlan::parse(
+            "stalls=2,stall-ms=1,rowflips=3,skews=1,skew=2.5,wedges=2,horizon=16,seed=4",
+        )
+        .unwrap();
+        assert_eq!(plan.stalls, 2);
+        assert_eq!(plan.stall_ms, 1.0);
+        assert_eq!(plan.row_flips, 3);
+        assert_eq!(plan.skews, 1);
+        assert_eq!(plan.skew, 2.5);
+        assert_eq!(plan.wedges, 2);
+        let inj = plan.build().unwrap();
+        let drawn: Vec<Fault> = (0..16).map(|_| inj.next_fault()).collect();
+        assert_eq!(inj.fired(), (0, 0, 0), "gen-1 counters untouched");
+        assert_eq!(inj.fired_gen2(), (2, 3, 1, 2));
+        assert!(drawn.contains(&Fault::StageStall { seconds: 1e-3 }));
+        assert!(drawn.contains(&Fault::ClockSkew { factor: 2.5 }));
+    }
+
+    #[test]
+    fn gen2_placement_preserves_gen1_schedules() {
+        // A gen-1-only plan draws the identical schedule it drew before the
+        // second-generation variants existed (placement order appends).
+        let plan = FaultPlan {
+            panics: 3,
+            stragglers: 5,
+            storms: 2,
+            horizon: 30,
+            seed: 7,
+            ..Default::default()
+        };
+        let inj = plan.build().unwrap();
+        for _ in 0..30 {
+            inj.next_fault();
+        }
+        assert_eq!(inj.fired(), (3, 5, 2));
+        assert_eq!(inj.fired_gen2(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn gen2_validation_rejects_bad_values() {
+        assert!(FaultPlan::parse("stall-ms=-1").is_err());
+        assert!(FaultPlan::parse("stall-ms=inf").is_err());
+        assert!(FaultPlan::parse("skew=0").is_err());
+        assert!(FaultPlan::parse("skew=nan").is_err());
+        assert!(
+            FaultPlan::parse("stalls=30,wedges=40,horizon=64").is_err(),
+            "gen-2 counts count against the horizon"
+        );
+    }
+
+    #[test]
+    fn display_is_canonical_and_parses_back() {
+        let plan = FaultPlan {
+            panics: 1,
+            stragglers: 2,
+            straggle_multiplier: 1.5,
+            storms: 1,
+            stalls: 1,
+            stall_ms: 12.5,
+            row_flips: 2,
+            skews: 1,
+            skew: 3.0,
+            wedges: 1,
+            horizon: 20,
+            seed: 11,
+        };
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    mod grammar_round_trip {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+            (
+                (0usize..4, 0usize..4, 0usize..4, 0usize..4),
+                (0usize..4, 0usize..4, 0usize..4),
+                (1.0f64..8.0, 0.0f64..100.0, 0.1f64..8.0),
+                0u64..1000,
+            )
+                .prop_map(
+                    |(
+                        (panics, stragglers, storms, stalls),
+                        (row_flips, skews, wedges),
+                        (straggle_multiplier, stall_ms, skew),
+                        seed,
+                    )| {
+                        let total =
+                            panics + stragglers + storms + stalls + row_flips + skews + wedges;
+                        FaultPlan {
+                            panics,
+                            stragglers,
+                            straggle_multiplier,
+                            storms,
+                            stalls,
+                            stall_ms,
+                            row_flips,
+                            skews,
+                            skew,
+                            wedges,
+                            horizon: total as u64 + 1 + seed % 64,
+                            seed,
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite acceptance: parse → display → parse identity over
+            /// the full extended grammar.
+            #[test]
+            fn parse_display_parse_identity(plan in arb_plan()) {
+                let spec = plan.to_string();
+                let reparsed = FaultPlan::parse(&spec).unwrap();
+                prop_assert_eq!(&reparsed, &plan);
+                prop_assert_eq!(reparsed.to_string(), spec);
+            }
+
+            /// Malformed specs come back as typed errors, never a panic.
+            #[test]
+            fn malformed_specs_stay_typed_errors(
+                key in collection::vec(0u8..26, 1..8),
+                value in -3i64..3,
+            ) {
+                let name: String = key.iter().map(|k| (b'a' + k) as char).collect();
+                let spec = format!("{name}={value}");
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => {
+                        // Only real grammar keys with valid values parse.
+                        prop_assert!(FaultPlan::parse(&plan.to_string()).is_ok());
+                    }
+                    Err(e) => {
+                        prop_assert!(matches!(e, ServingError::InvalidFaultSpec(_)));
+                    }
+                }
+            }
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod pipeline;
 pub mod quantized;
 pub mod serving;
 pub mod store;
+pub(crate) mod supervisor;
 pub mod timing;
 
 pub use batched::{BatchResult, BatchedEngine, StorePolicy};

@@ -58,6 +58,10 @@ pub struct EngineMetrics {
     pub batch_size: Arc<Histogram>,
     /// Batches completed successfully.
     pub batches: Arc<Counter>,
+    /// Bytes resident in this engine's scratch pool, sampled after each
+    /// batch (`scratch.resident_bytes`). Bounded by the pool's byte cap
+    /// even under retry/hedge storms.
+    pub scratch_resident: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -74,6 +78,7 @@ impl EngineMetrics {
             batch_seconds: registry.histogram("engine.batch.seconds"),
             batch_size: registry.histogram("engine.batch.size"),
             batches: registry.counter("engine.batches"),
+            scratch_resident: registry.gauge("scratch.resident_bytes"),
         })
     }
 
@@ -122,6 +127,21 @@ pub struct ServingMetrics {
     /// the observable replacing the old 100 µs polling loop (which "woke"
     /// ~10 000×/s while idle).
     pub dispatch_wakeups: Arc<Counter>,
+    /// Speculative duplicate dispatches fired by the hedging policy
+    /// (`serving.hedge.fired`).
+    pub hedge_fired: Arc<Counter>,
+    /// Hedges whose duplicate finished first (`serving.hedge.won`).
+    pub hedge_won: Arc<Counter>,
+    /// Hedges whose duplicate lost the race — wasted speculative work
+    /// (`serving.hedge.wasted`).
+    pub hedge_wasted: Arc<Counter>,
+    /// Wedged stage pairs the watchdog tore down and respawned
+    /// (`supervisor.watchdog.restarts`).
+    pub watchdog_restarts: Arc<Counter>,
+    /// Worker panics whose payload did not carry the injected-fault marker —
+    /// i.e. genuine bugs surfacing through the recovery path
+    /// (`serving.panics.unexpected`).
+    pub panics_unexpected: Arc<Counter>,
 }
 
 impl ServingMetrics {
@@ -143,6 +163,11 @@ impl ServingMetrics {
             tier: registry.gauge("serving.tier"),
             pipeline_occupancy: registry.gauge("serving.pipeline.occupancy"),
             dispatch_wakeups: registry.counter("serving.dispatch.wakeups"),
+            hedge_fired: registry.counter("serving.hedge.fired"),
+            hedge_won: registry.counter("serving.hedge.won"),
+            hedge_wasted: registry.counter("serving.hedge.wasted"),
+            watchdog_restarts: registry.counter("supervisor.watchdog.restarts"),
+            panics_unexpected: registry.counter("serving.panics.unexpected"),
         }
     }
 }
@@ -161,6 +186,11 @@ pub struct StoreMetrics {
     writes: Vec<Arc<Counter>>,
     /// Stripe-guard acquisitions that recovered a poisoned lock.
     pub poison_recovered: Arc<Counter>,
+    /// Checksum mismatches caught on read (`store.corruption.detected`).
+    pub corruption_detected: Arc<Counter>,
+    /// Corrupted rows evicted so they re-gather from level-0
+    /// (`store.corruption.quarantined`).
+    pub corruption_quarantined: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -176,6 +206,8 @@ impl StoreMetrics {
             evicts: per_level("evict"),
             writes: per_level("write"),
             poison_recovered: registry.counter("store.poison_recovered"),
+            corruption_detected: registry.counter("store.corruption.detected"),
+            corruption_quarantined: registry.counter("store.corruption.quarantined"),
         }
     }
 

@@ -30,7 +30,8 @@
 //! to it.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
 
 use gcnp_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -42,6 +43,14 @@ use crate::error::{ServingError, ServingResult};
 /// may run ahead of the back end. Two is enough to hide the shorter stage
 /// behind the longer one; more only grows staged-gather memory.
 pub(crate) const PIPELINE_DEPTH: usize = 2;
+
+/// How long a blocked stage waits before re-checking queue/gate state. The
+/// inter-stage channels tolerate a *lost wakeup* (the `QueueWedge` fault, or
+/// a missed notify under a buggy refactor) by bounding every condvar wait:
+/// a dropped notification costs at most one recheck interval, never a
+/// permanent wedge. The `DispatchQueue` keeps unbounded waits — its wakeup
+/// count is a pinned observable and its notify paths are fault-free.
+pub(crate) const STAGE_RECHECK: Duration = Duration::from_millis(10);
 
 /// Executor selection for batched serving — the `GemmPath::Naive`-style
 /// escape hatch for A/B benchmarking and bisection.
@@ -61,6 +70,16 @@ pub(crate) fn relock<'a, T>(
     // Queue state is a plain VecDeque + flags: a panicking holder cannot
     // leave it logically torn, so recover instead of cascading the poison.
     r.unwrap_or_else(PoisonError::into_inner)
+}
+
+type TimedWait<'a, T> = (MutexGuard<'a, T>, WaitTimeoutResult);
+
+pub(crate) fn relock_timed<'a, T>(
+    r: Result<TimedWait<'a, T>, PoisonError<TimedWait<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Same poison-recovery rationale as `relock`; the timeout flag is
+    // irrelevant because every bounded wait re-checks its predicate.
+    r.unwrap_or_else(PoisonError::into_inner).0
 }
 
 // ---------------------------------------------------------------------------
@@ -96,11 +115,13 @@ impl<T> StageQueue<T> {
     }
 
     /// Block until there is room (backpressure), then enqueue. Returns the
-    /// item back if the queue was closed — the producer should stop.
+    /// item back if the queue was closed — the producer should stop. The
+    /// wait is bounded by [`STAGE_RECHECK`], so a lost `can_push` wakeup
+    /// delays the producer instead of wedging it.
     pub(crate) fn push(&self, item: T) -> Result<(), T> {
         let mut s = relock(self.state.lock());
         while s.items.len() >= self.cap && !s.closed {
-            s = relock(self.can_push.wait(s));
+            s = relock_timed(self.can_push.wait_timeout(s, STAGE_RECHECK));
         }
         if s.closed {
             return Err(item);
@@ -111,8 +132,26 @@ impl<T> StageQueue<T> {
         Ok(())
     }
 
+    /// Enqueue *without notifying the consumer* — the `QueueWedge` fault
+    /// hook. The item is queued correctly; only the wakeup is dropped, so
+    /// recovery is entirely down to the consumer's bounded re-check wait.
+    /// Blocks at the bound like [`StageQueue::push`].
+    pub(crate) fn push_quiet(&self, item: T) -> Result<(), T> {
+        let mut s = relock(self.state.lock());
+        while s.items.len() >= self.cap && !s.closed {
+            s = relock_timed(self.can_push.wait_timeout(s, STAGE_RECHECK));
+        }
+        if s.closed {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        Ok(())
+    }
+
     /// Block until an item is available; `None` once the queue is closed
-    /// and fully drained.
+    /// and fully drained. The wait is bounded by [`STAGE_RECHECK`]: a
+    /// dropped `can_pop` notification (the `QueueWedge` fault) costs at
+    /// most one recheck interval.
     pub(crate) fn pop(&self) -> Option<T> {
         let mut s = relock(self.state.lock());
         loop {
@@ -124,7 +163,7 @@ impl<T> StageQueue<T> {
             if s.closed {
                 return None;
             }
-            s = relock(self.can_pop.wait(s));
+            s = relock_timed(self.can_pop.wait_timeout(s, STAGE_RECHECK));
         }
     }
 
@@ -136,6 +175,13 @@ impl<T> StageQueue<T> {
         drop(s);
         self.can_pop.notify_all();
         self.can_push.notify_all();
+    }
+
+    /// Reopen a closed queue for the next stage-pair generation after a
+    /// watchdog teardown. Both stage threads must have exited (the worker
+    /// manager joins them first); queued items, if any, carry over.
+    pub(crate) fn reopen(&self) {
+        relock(self.state.lock()).closed = false;
     }
 }
 
@@ -185,13 +231,24 @@ impl BarrierGate {
     }
 
     /// Block until at least `target` batches have executed. Returns false
-    /// if the gate was killed before the target was reached.
+    /// if the gate was killed before the target was reached. Bounded wait
+    /// ([`STAGE_RECHECK`]) for the same lost-wakeup tolerance as
+    /// [`StageQueue`].
     pub(crate) fn wait_done(&self, target: u64) -> bool {
         let mut s = relock(self.state.lock());
         while s.done < target && !s.dead {
-            s = relock(self.cv.wait(s));
+            s = relock_timed(self.cv.wait_timeout(s, STAGE_RECHECK));
         }
         s.done >= target
+    }
+
+    /// Rearm a killed gate for the next stage-pair generation (watchdog
+    /// respawn): completion count restarts with the fresh front's staged
+    /// count. Only called between generations, with both stages joined.
+    pub(crate) fn reset(&self) {
+        let mut s = relock(self.state.lock());
+        s.done = 0;
+        s.dead = false;
     }
 }
 
@@ -401,7 +458,15 @@ fn run_pipelined(
                 }
                 match core.prepare(targets, &mut front) {
                     Ok(prep) => {
-                        if queue.push((i, prep)).is_err() {
+                        // QueueWedge chaos: stage without the wakeup; the
+                        // consumer's bounded re-check wait must recover.
+                        let wedged = matches!(prep.fault(), crate::faults::Fault::QueueWedge);
+                        let pushed = if wedged {
+                            queue.push_quiet((i, prep))
+                        } else {
+                            queue.push((i, prep))
+                        };
+                        if pushed.is_err() {
                             break; // back stage closed the queue
                         }
                     }
@@ -479,6 +544,27 @@ mod tests {
         assert_eq!(q.pop(), Some(3), "close drains queued items first");
         assert_eq!(q.pop(), None);
         assert_eq!(q.push(4), Err(4), "push after close returns the item");
+    }
+
+    #[test]
+    fn stage_queue_recovers_from_lost_wakeup() {
+        // push_quiet drops the consumer notification (the QueueWedge
+        // fault). The bounded recheck wait must deliver the item anyway,
+        // within a few recheck intervals rather than wedging forever.
+        let q: StageQueue<u32> = StageQueue::new(2);
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!consumer.is_finished(), "consumer blocks while idle");
+            let t = Instant::now();
+            q.push_quiet(9).unwrap();
+            assert_eq!(consumer.join().unwrap(), Some(9));
+            assert!(
+                t.elapsed() < STAGE_RECHECK * 20,
+                "lost wakeup must be recovered by the bounded wait, took {:?}",
+                t.elapsed()
+            );
+        });
     }
 
     #[test]

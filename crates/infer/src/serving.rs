@@ -60,6 +60,9 @@ use crate::metrics::ServingMetrics;
 use crate::pipeline::{
     relock, BarrierGate, DispatchQueue, PipelineMode, StageQueue, PIPELINE_DEPTH,
 };
+use crate::supervisor::{
+    supervise, PendingEntry, PendingSlot, SupervisorPolicy, SupervisorStats, WorkerWatch,
+};
 use gcnp_tensor::init::seeded_rng;
 use gcnp_tensor::Matrix;
 use rand::RngExt;
@@ -67,7 +70,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Safety factor applied to the per-tier compute-time estimate when
@@ -126,6 +129,19 @@ pub struct ServingConfig {
     /// (default) the trace is drained as fast as the fleet allows —
     /// throughput-oriented, percentiles only relative.
     pub pace: bool,
+    /// [`serve_multi`]: watchdog bound in seconds. A batch whose stage has
+    /// made no progress for longer than this is presumed wedged: the
+    /// supervisor tears the stage pair down, requeues the batch through the
+    /// normal retry path, and (pipelined mode) respawns the pair. `None`
+    /// (default) disables the watchdog entirely — no supervisor thread is
+    /// spawned and the executor behaves exactly as before.
+    pub watchdog: Option<f64>,
+    /// [`serve_multi`]: hedging multiplier `k`. A batch busy for more than
+    /// `k ×` the fleet's EWMA compute estimate is speculatively
+    /// re-dispatched; the first attempt to finish wins and the loser's
+    /// write-back is suppressed, so results stay bitwise identical to an
+    /// unhedged run. `None` (default) disables hedging.
+    pub hedge: Option<f64>,
 }
 
 impl Default for ServingConfig {
@@ -142,6 +158,8 @@ impl Default for ServingConfig {
             backoff_ms: 1.0,
             pipeline: PipelineMode::default(),
             pace: false,
+            watchdog: None,
+            hedge: None,
         }
     }
 }
@@ -178,6 +196,20 @@ impl ServingConfig {
         }
         if self.queue_cap == Some(0) {
             return Err(ServingError::InvalidConfig("queue_cap must be > 0".into()));
+        }
+        if let Some(w) = self.watchdog {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(ServingError::InvalidConfig(format!(
+                    "watchdog must be > 0 seconds, got {w}"
+                )));
+            }
+        }
+        if let Some(k) = self.hedge {
+            if !k.is_finite() || k < 1.0 {
+                return Err(ServingError::InvalidConfig(format!(
+                    "hedge multiplier must be >= 1, got {k}"
+                )));
+            }
         }
         Ok(())
     }
@@ -442,8 +474,18 @@ pub fn simulate_tiered(
     let mut tier_switches = 0usize;
     let mut dwell = 0usize;
     // Per-tier EWMA of batch compute seconds: the completion estimate used
-    // for deadline projection (0.0 = no observation yet).
-    let mut est_compute = vec![0.0f64; n_tiers];
+    // for deadline projection. Seeded from the analytic cost model so the
+    // very first windows project against a real (if rough) number instead
+    // of the old 0.0 sentinel, which admitted every request into batch #1
+    // regardless of deadline and then missed on all of them.
+    let mut est_compute: Vec<f64> = tiers
+        .iter()
+        .map(|t| t.cold_compute_estimate(cfg.max_batch))
+        .collect();
+    // Whether a tier has a *measured* observation yet: the first real
+    // measurement replaces the analytic seed outright (one measurement
+    // beats the model); later ones blend via the EWMA.
+    let mut est_warm = vec![false; n_tiers];
 
     let mut former = BatchFormer::new(&arrivals, cfg);
     while let Some(w) = former.admit(server_free_at, obs.as_ref()) {
@@ -492,10 +534,11 @@ pub fn simulate_tiered(
         let compute = res.seconds;
         total_compute += compute;
         // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
-        est_compute[tier] = if est_compute[tier] == 0.0 {
-            compute
-        } else {
+        est_compute[tier] = if est_warm[tier] {
             EST_ALPHA * compute + (1.0 - EST_ALPHA) * est_compute[tier] // audit: allow(no-fail-stop) — same tier bound
+        } else {
+            est_warm[tier] = true; // audit: allow(no-fail-stop) — same tier bound
+            compute
         };
         let done = start + compute;
         server_free_at = done;
@@ -619,6 +662,17 @@ pub struct MultiServingReport {
     /// n_workers × wall`. Under the pipelined executor a value near the
     /// sequential baseline's means the stages genuinely overlap.
     pub pipeline_occupancy: f64,
+    /// Wedged stage pairs the watchdog tore down and respawned (0 when
+    /// [`ServingConfig::watchdog`] is `None`).
+    pub watchdog_restarts: usize,
+    /// Speculative duplicate dispatches fired by the hedging policy (0
+    /// when [`ServingConfig::hedge`] is `None`).
+    pub hedges_fired: usize,
+    /// Hedge races the duplicate finished first (its result was used).
+    pub hedges_won: usize,
+    /// Hedge races the primary won anyway — the duplicate's work was
+    /// wasted speculation.
+    pub hedges_wasted: usize,
 }
 
 impl MultiServingReport {
@@ -641,10 +695,19 @@ impl MultiServingReport {
 
 /// One queued unit of work: a micro-batch, its members' arrival times (for
 /// latency accounting), and how many times it has been attempted already.
+///
+/// `claim` is the hedge race token. A batch the supervisor speculatively
+/// re-dispatched shares one `AtomicBool` between the primary attempt (via
+/// its pending slot) and the duplicate (via this field): the first attempt
+/// to reach a terminal outcome swaps it true and *owns* the batch; the
+/// loser discards its result without accounting, so a hedged run serves
+/// every request exactly once.
+#[derive(Clone)]
 struct QueuedBatch {
     nodes: Vec<usize>,
     arrivals: Vec<f64>,
     attempt: u32,
+    claim: Option<Arc<AtomicBool>>,
 }
 
 /// A batch staged by a worker's front thread, waiting on the inter-stage
@@ -653,6 +716,7 @@ struct StagedJob {
     nodes: Vec<usize>,
     arrivals: Vec<f64>,
     attempt: u32,
+    claim: Option<Arc<AtomicBool>>,
     prep: PreparedBatch,
 }
 
@@ -662,6 +726,7 @@ impl StagedJob {
             nodes: self.nodes,
             arrivals: self.arrivals,
             attempt: self.attempt,
+            claim: self.claim,
         }
     }
 }
@@ -676,6 +741,17 @@ struct WorkerLink {
     gate: BarrierGate,
     rail: Mutex<Vec<Matrix>>,
     retired: AtomicBool,
+    /// Set by the watchdog's teardown: the stage pair must wind down (the
+    /// stage queue is closed, the gate killed) and the managing worker
+    /// thread respawns a fresh generation. Distinct from `retired`, which
+    /// is permanent.
+    torn: AtomicBool,
+    /// The batch the front stage is currently preparing (sequential mode
+    /// uses this slot for its whole `try_infer`), watched by the
+    /// supervisor.
+    front_pending: PendingSlot<QueuedBatch>,
+    /// The batch the back stage is currently executing.
+    back_pending: PendingSlot<QueuedBatch>,
 }
 
 impl WorkerLink {
@@ -685,7 +761,18 @@ impl WorkerLink {
             gate: BarrierGate::new(),
             rail: Mutex::new(Vec::new()),
             retired: AtomicBool::new(false),
+            torn: AtomicBool::new(false),
+            front_pending: PendingSlot::new(),
+            back_pending: PendingSlot::new(),
         }
+    }
+
+    /// Re-arm the link for a fresh stage-pair generation after a watchdog
+    /// teardown: reopen the closed stage queue and reset the barrier gate
+    /// (the new front restarts its staged count from zero).
+    fn reopen(&self) {
+        self.stage.reopen();
+        self.gate.reset();
     }
 }
 
@@ -711,6 +798,11 @@ struct Fleet<'f> {
     retries: &'f AtomicUsize,
     workers_lost: &'f AtomicUsize,
     workers_live: &'f AtomicUsize,
+    /// Whether `est` holds a measured observation (vs the analytic cold
+    /// seed, which the first real measurement replaces outright).
+    est_warm: &'f AtomicBool,
+    hedges_won: &'f AtomicUsize,
+    hedges_wasted: &'f AtomicUsize,
     t0: Instant,
 }
 
@@ -726,10 +818,10 @@ impl Fleet<'_> {
             return;
         }
         let mut e = relock(self.est.lock());
-        *e = if *e == 0.0 {
-            secs
-        } else {
+        *e = if self.est_warm.swap(true, Ordering::AcqRel) {
             EST_ALPHA * secs + (1.0 - EST_ALPHA) * *e
+        } else {
+            secs
         };
     }
 
@@ -771,6 +863,36 @@ impl Fleet<'_> {
         self.retry_or_shed(batch);
     }
 
+    /// Worker panic on a batch some other attempt already owns (it was
+    /// stolen by the watchdog or lost a hedge race): the replica is still
+    /// lost, but the batch needs no recovery — its owner accounts for it.
+    fn on_panic_unowned(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs {
+            o.recoveries.inc();
+            o.workers_lost.inc();
+        }
+    }
+
+    /// This attempt won a hedge race: record whether the winner was the
+    /// speculative duplicate (`hedges_won`) or the primary — in which case
+    /// the duplicate's work is wasted speculation (`hedges_wasted`).
+    fn hedge_settled(&self, duplicate_won: bool) {
+        if duplicate_won {
+            self.hedges_won.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hedges_wasted.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(o) = self.obs {
+            if duplicate_won {
+                o.hedge_won.inc();
+            } else {
+                o.hedge_wasted.inc();
+            }
+        }
+    }
+
     fn retry_or_shed(&self, batch: QueuedBatch) {
         if batch.attempt < self.cfg.retry_cap {
             self.retries.fetch_add(1, Ordering::Relaxed);
@@ -784,8 +906,11 @@ impl Fleet<'_> {
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
+            // A retry is a fresh attempt: it never inherits a hedge token
+            // (the race that token tracked is settled by now).
             self.dispatch.requeue(QueuedBatch {
                 attempt: batch.attempt + 1,
+                claim: None,
                 ..batch
             });
         } else {
@@ -809,14 +934,35 @@ impl Fleet<'_> {
     }
 }
 
+/// Classify a caught panic payload: chaos-injected faults carry the
+/// `"gcnp-faults:"` marker in their message; anything else is a genuine
+/// bug surfacing through the recovery machinery and is counted under
+/// `serving.panics.unexpected` so chaos runs cannot silently mask real
+/// defects behind the recovery path.
+fn record_panic(fleet: &Fleet<'_>, payload: &(dyn std::any::Any + Send)) {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+    if !msg.is_some_and(|m| m.contains("gcnp-faults:")) {
+        if let Some(o) = fleet.obs {
+            o.panics_unexpected.inc();
+        }
+    }
+}
+
 /// One-thread-per-worker executor: pop → `try_infer` → account, under
 /// `catch_unwind` so an injected panic retires the replica, not the fleet.
-fn sequential_worker(engine: &mut BatchedEngine<'_>, fleet: Fleet<'_>) {
+fn sequential_worker(engine: &mut BatchedEngine<'_>, link: &WorkerLink, fleet: Fleet<'_>) {
     let mut lost = false;
     while !lost {
         let Some(batch) = fleet.dispatch.pop() else {
             break;
         };
+        // Publish the in-flight batch for the supervisor (hedgeable: the
+        // whole try_infer counts as one stage here).
+        link.front_pending
+            .begin(&batch, fleet.t0.elapsed().as_secs_f64(), true);
         let tb = Instant::now();
         // `catch_unwind` needs `AssertUnwindSafe`: the engine is only
         // reused after a *clean* result (its scratch self-heals via the
@@ -825,17 +971,63 @@ fn sequential_worker(engine: &mut BatchedEngine<'_>, fleet: Fleet<'_>) {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| engine.try_infer(&batch.nodes)));
         let busy = tb.elapsed().as_secs_f64();
         fleet.add_busy(busy);
+        // An empty slot means the watchdog stole this batch: it was already
+        // requeued and resolved, and this attempt's outcome is void.
+        let pending = link.front_pending.finish();
+        let stolen = pending.is_none();
+        // The race token: ours if this attempt *is* the hedge duplicate,
+        // or installed into the slot if a duplicate was fired against us.
+        let token = batch
+            .claim
+            .clone()
+            .or_else(|| pending.and_then(|p| p.hedge));
+        let owns = !stolen
+            && token
+                .as_ref()
+                .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
         match outcome {
-            Ok(Ok(res)) => fleet.on_success(&batch.nodes, &batch.arrivals, res.seconds, busy),
-            Ok(Err(_e)) => fleet.on_clean_failure(batch),
-            Err(_panic) => {
-                fleet.on_panic(batch);
+            Ok(Ok(res)) => {
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(batch.claim.is_some());
+                    }
+                    // ClockSkew chaos inflates only the *estimate* feed,
+                    // never the served latency.
+                    fleet.on_success(
+                        &batch.nodes,
+                        &batch.arrivals,
+                        res.seconds,
+                        busy * engine.last_est_skew(),
+                    );
+                }
+            }
+            Ok(Err(_e)) => {
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(false);
+                    }
+                    fleet.on_clean_failure(batch);
+                }
+            }
+            Err(payload) => {
+                record_panic(&fleet, payload.as_ref());
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(false);
+                    }
+                    fleet.on_panic(batch);
+                } else {
+                    fleet.on_panic_unowned();
+                }
                 lost = true;
             }
         }
         // Resolve AFTER any requeue so idle peers never see "queue empty,
-        // nothing in flight" while work remains.
-        fleet.dispatch.resolve();
+        // nothing in flight" while work remains. A stolen batch was
+        // already resolved by the watchdog.
+        if !stolen {
+            fleet.dispatch.resolve();
+        }
     }
     if lost {
         fleet.retire_worker();
@@ -855,16 +1047,16 @@ fn pipelined_front(
     let mut staged: u64 = 0; // batches handed to the back stage
     let mut lost = false;
     loop {
-        if link.retired.load(Ordering::Acquire) {
+        if link.retired.load(Ordering::Acquire) || link.torn.load(Ordering::Acquire) {
             break;
         }
         let Some(batch) = fleet.dispatch.pop() else {
             break;
         };
-        // The back stage may have died while we were blocked in pop: hand
-        // the batch back for a live worker instead of preparing into a
-        // closed stage queue.
-        if link.retired.load(Ordering::Acquire) {
+        // The back stage may have died (or the watchdog torn the pair
+        // down) while we were blocked in pop: hand the batch back for a
+        // live worker instead of preparing into a closed stage queue.
+        if link.retired.load(Ordering::Acquire) || link.torn.load(Ordering::Acquire) {
             fleet.dispatch.requeue(batch);
             fleet.dispatch.resolve();
             break;
@@ -880,19 +1072,33 @@ fn pipelined_front(
         for m in relock(link.rail.lock()).drain(..) {
             front.pool.recycle(m);
         }
+        // Not hedgeable mid-prepare: the estimate the hedge races against
+        // covers the whole prepare+execute span, so speculation is decided
+        // at the back stage. The watchdog still covers this slot.
+        link.front_pending
+            .begin(&batch, fleet.t0.elapsed().as_secs_f64(), false);
         let tb = Instant::now();
         // AssertUnwindSafe: on panic the front's scratch is abandoned with
         // the worker (the engine behind it heals via the dirty flag).
         let outcome =
             panic::catch_unwind(AssertUnwindSafe(|| core.prepare(&batch.nodes, &mut front)));
         fleet.add_busy(tb.elapsed().as_secs_f64());
+        let stolen = link.front_pending.finish().is_none();
         match outcome {
             Ok(Ok(prep)) => {
+                if stolen {
+                    // The watchdog already requeued + resolved this batch;
+                    // the prepared scratch goes straight back to the pool
+                    // and the torn check above winds the generation down.
+                    prep.recycle_into(front.pool);
+                    continue;
+                }
                 staged += 1;
                 let staged_job = StagedJob {
                     nodes: batch.nodes,
                     arrivals: batch.arrivals,
                     attempt: batch.attempt,
+                    claim: batch.claim,
                     prep,
                 };
                 if let Err(job) = link.stage.push(staged_job) {
@@ -904,12 +1110,41 @@ fn pipelined_front(
                 // The back stage resolves this batch after executing it.
             }
             Ok(Err(_e)) => {
-                fleet.on_clean_failure(batch);
-                fleet.dispatch.resolve();
+                if !stolen {
+                    // Terminal for this attempt: claim the race token (a
+                    // hedge duplicate that already lost stays silent).
+                    let owns = batch
+                        .claim
+                        .as_ref()
+                        .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
+                    if owns {
+                        if batch.claim.is_some() {
+                            fleet.hedge_settled(false);
+                        }
+                        fleet.on_clean_failure(batch);
+                    }
+                    fleet.dispatch.resolve();
+                }
             }
-            Err(_panic) => {
-                fleet.on_panic(batch);
-                fleet.dispatch.resolve();
+            Err(payload) => {
+                record_panic(&fleet, payload.as_ref());
+                if stolen {
+                    fleet.on_panic_unowned();
+                } else {
+                    let owns = batch
+                        .claim
+                        .as_ref()
+                        .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
+                    if owns {
+                        if batch.claim.is_some() {
+                            fleet.hedge_settled(false);
+                        }
+                        fleet.on_panic(batch);
+                    } else {
+                        fleet.on_panic_unowned();
+                    }
+                    fleet.dispatch.resolve();
+                }
                 lost = true;
                 break;
             }
@@ -937,8 +1172,20 @@ fn pipelined_back(
             nodes,
             arrivals,
             attempt,
+            claim,
             prep,
         } = job;
+        // Publish for the supervisor: the back stage is where a straggling
+        // batch becomes hedgeable (the EWMA the hedge races against covers
+        // the whole prepare+execute span, and execute dominates it).
+        let batch = QueuedBatch {
+            nodes,
+            arrivals,
+            attempt,
+            claim,
+        };
+        link.back_pending
+            .begin(&batch, fleet.t0.elapsed().as_secs_f64(), true);
         let tb = Instant::now();
         let mut spent = Vec::new();
         // AssertUnwindSafe: same contract as the sequential worker — the
@@ -951,31 +1198,69 @@ fn pipelined_back(
         // Return the front-pool buffers the batch carried even on failure:
         // the rail is the only route back to the front's scratch pool.
         relock(link.rail.lock()).extend(spent);
+        // An empty slot means the watchdog stole the batch (it was already
+        // requeued + resolved); otherwise any hedge token the supervisor
+        // installed against us rides back in the entry.
+        let pending = link.back_pending.finish();
+        let stolen = pending.is_none();
+        let token = batch
+            .claim
+            .clone()
+            .or_else(|| pending.and_then(|p| p.hedge));
+        let owns = !stolen
+            && token
+                .as_ref()
+                .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
         match outcome {
             Ok(Ok(res)) => {
-                fleet.on_success(&nodes, &arrivals, res.seconds, busy);
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(batch.claim.is_some());
+                    }
+                    // ClockSkew chaos inflates only the estimate feed,
+                    // never the served latency.
+                    fleet.on_success(
+                        &batch.nodes,
+                        &batch.arrivals,
+                        res.seconds,
+                        busy * *back.skew,
+                    );
+                }
+                // Bump even when not owning: the gate tracks *staged*
+                // batches so the front's visibility barrier stays in sync.
                 link.gate.bump();
-                fleet.dispatch.resolve();
+                if !stolen {
+                    fleet.dispatch.resolve();
+                }
             }
             Ok(Err(_e)) => {
-                fleet.on_clean_failure(QueuedBatch {
-                    nodes,
-                    arrivals,
-                    attempt,
-                });
-                // The batch reached a terminal state for this attempt: its
-                // write-backs (if any) did not happen, but the front may
-                // proceed — a retry re-runs both stages from scratch.
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(false);
+                    }
+                    // The batch reached a terminal state for this attempt:
+                    // its write-backs (if any) did not happen, but the
+                    // front may proceed — a retry re-runs both stages.
+                    fleet.on_clean_failure(batch);
+                }
                 link.gate.bump();
-                fleet.dispatch.resolve();
+                if !stolen {
+                    fleet.dispatch.resolve();
+                }
             }
-            Err(_panic) => {
-                fleet.on_panic(QueuedBatch {
-                    nodes,
-                    arrivals,
-                    attempt,
-                });
-                fleet.dispatch.resolve();
+            Err(payload) => {
+                record_panic(&fleet, payload.as_ref());
+                if owns {
+                    if token.is_some() {
+                        fleet.hedge_settled(false);
+                    }
+                    fleet.on_panic(batch);
+                } else {
+                    fleet.on_panic_unowned();
+                }
+                if !stolen {
+                    fleet.dispatch.resolve();
+                }
                 lost = true;
                 break;
             }
@@ -994,6 +1279,25 @@ fn pipelined_back(
         if !link.retired.swap(true, Ordering::AcqRel) {
             fleet.retire_worker();
         }
+    }
+}
+
+/// One pipelined worker across watchdog generations: split the engine,
+/// run front + back until they wind down, and — when the teardown flag
+/// (not retirement) ended the generation — re-arm the link and respawn a
+/// fresh stage pair on the same engine. A worker retired by a genuine
+/// panic stays down; a worker torn down for being wedged comes back.
+fn pipelined_worker(engine: &mut BatchedEngine<'_>, link: &WorkerLink, fleet: Fleet<'_>) {
+    loop {
+        let (core, front, back) = engine.split();
+        std::thread::scope(|inner| {
+            inner.spawn(move || pipelined_front(core, front, link, fleet));
+            pipelined_back(core, back, link, fleet);
+        });
+        if link.retired.load(Ordering::Acquire) || !link.torn.swap(false, Ordering::AcqRel) {
+            break;
+        }
+        link.reopen();
     }
 }
 
@@ -1046,7 +1350,16 @@ pub fn serve_multi(
     // backpressure (the dispatcher blocks while the fleet is saturated),
     // and every shared accounting cell the workers update.
     let dispatch: DispatchQueue<QueuedBatch> = DispatchQueue::new((2 * n_workers).max(4));
-    let est = Mutex::new(0.0f64);
+    // The compute-estimate EWMA starts from the analytic cost model (see
+    // `cold_compute_estimate`) instead of the old 0.0 sentinel, so the
+    // first windows already project deadlines and the supervisor's hedge
+    // bound is meaningful from batch #1. The first measurement replaces it.
+    let est = Mutex::new(
+        engines
+            .first()
+            .map_or(0.0, |e| e.cold_compute_estimate(cfg.max_batch)),
+    );
+    let est_warm = AtomicBool::new(false);
     let compute_seconds = Mutex::new(0.0f64);
     let busy_seconds = Mutex::new(0.0f64);
     let latencies = Mutex::new(Vec::<f64>::new());
@@ -1057,6 +1370,8 @@ pub fn serve_multi(
     let retries = AtomicUsize::new(0);
     let workers_lost = AtomicUsize::new(0);
     let workers_live = AtomicUsize::new(n_workers);
+    let hedges_won = AtomicUsize::new(0);
+    let hedges_wasted = AtomicUsize::new(0);
     let t0 = Instant::now();
     let fleet = Fleet {
         dispatch: &dispatch,
@@ -1073,22 +1388,118 @@ pub fn serve_multi(
         retries: &retries,
         workers_lost: &workers_lost,
         workers_live: &workers_live,
+        est_warm: &est_warm,
+        hedges_won: &hedges_won,
+        hedges_wasted: &hedges_wasted,
         t0,
     };
     let links: Vec<WorkerLink> = (0..n_workers).map(|_| WorkerLink::new()).collect();
 
+    // Supervision plumbing (inert when both knobs are None): per-worker
+    // teardown closures, the watch table over every pending slot, and the
+    // worker-exit counter that stops the supervisor thread.
+    let policy = SupervisorPolicy {
+        watchdog: cfg.watchdog,
+        hedge: cfg.hedge,
+    };
+    let sup_stats = SupervisorStats::default();
+    let finished = AtomicUsize::new(0);
+    let is_pipelined = matches!(cfg.pipeline, PipelineMode::Pipelined);
+    let teardowns: Vec<Box<dyn Fn() + Send + Sync>> = links
+        .iter()
+        .map(|link| {
+            Box::new(move || {
+                // Wind the stage pair down; `pipelined_worker` respawns it.
+                // Sequential workers cannot be respawned mid-`try_infer`,
+                // so the steal alone (requeue + resolve) recovers there.
+                if is_pipelined && !link.torn.swap(true, Ordering::AcqRel) {
+                    link.gate.kill();
+                    link.stage.close();
+                }
+            }) as Box<dyn Fn() + Send + Sync>
+        })
+        .collect();
+    let watches: Vec<WorkerWatch<'_, QueuedBatch>> = links
+        .iter()
+        .zip(&teardowns)
+        .map(|(link, td)| WorkerWatch {
+            slots: [&link.front_pending, &link.back_pending],
+            teardown: &**td,
+        })
+        .collect();
+
     let (n_batches, shed_queue, shed_deadline) = std::thread::scope(|scope| {
+        let finished = &finished;
         for (engine, link) in engines.iter_mut().zip(&links) {
             match cfg.pipeline {
                 PipelineMode::Sequential => {
-                    scope.spawn(move || sequential_worker(engine, fleet));
+                    scope.spawn(move || {
+                        sequential_worker(engine, link, fleet);
+                        finished.fetch_add(1, Ordering::Release);
+                    });
                 }
                 PipelineMode::Pipelined => {
-                    let (core, front, back) = engine.split();
-                    scope.spawn(move || pipelined_front(core, front, link, fleet));
-                    scope.spawn(move || pipelined_back(core, back, link, fleet));
+                    scope.spawn(move || {
+                        pipelined_worker(engine, link, fleet);
+                        finished.fetch_add(1, Ordering::Release);
+                    });
                 }
             }
+        }
+        if policy.active() {
+            let watches = &watches;
+            let policy = &policy;
+            let sup_stats = &sup_stats;
+            scope.spawn(move || {
+                supervise(
+                    watches,
+                    policy,
+                    &|| fleet.t0.elapsed().as_secs_f64(),
+                    &|| *relock(fleet.est.lock()),
+                    &|| finished.load(Ordering::Acquire) >= n_workers,
+                    &|entry: PendingEntry<QueuedBatch>| {
+                        // Watchdog steal: the wedged attempt's slot is
+                        // empty now, so its eventual outcome is void.
+                        // Claim any hedge token first — if a duplicate
+                        // already owns the batch, stealing must not
+                        // re-serve it through the retry path.
+                        let token = entry.item.claim.clone().or(entry.hedge);
+                        let owns = token
+                            .as_ref()
+                            .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
+                        if owns {
+                            if token.is_some() {
+                                // The steal voids whatever the race would
+                                // have produced: the hedge is wasted.
+                                fleet.hedge_settled(false);
+                            }
+                            fleet.retry_or_shed(QueuedBatch {
+                                claim: None,
+                                ..entry.item
+                            });
+                        }
+                        // Pair the wedged worker's pop (it will skip its
+                        // own resolve once it sees the empty slot).
+                        fleet.dispatch.resolve();
+                        if let Some(o) = fleet.obs {
+                            o.watchdog_restarts.inc();
+                        }
+                    },
+                    &|item: QueuedBatch, token: Arc<AtomicBool>| {
+                        // Hedge: speculative duplicate through the normal
+                        // dispatch path, sharing the race token with the
+                        // straggling primary.
+                        if let Some(o) = fleet.obs {
+                            o.hedge_fired.inc();
+                        }
+                        fleet.dispatch.requeue(QueuedBatch {
+                            claim: Some(token),
+                            ..item
+                        });
+                    },
+                    sup_stats,
+                );
+            });
         }
 
         // Dispatcher (this thread): form batches with the shared former,
@@ -1135,6 +1546,7 @@ pub fn serve_multi(
                 nodes,
                 arrivals: when,
                 attempt: 0,
+                claim: None,
             }) {
                 Ok(()) => n_batches += 1,
                 Err(b) => {
@@ -1154,9 +1566,16 @@ pub fn serve_multi(
     });
 
     // If the whole fleet died, the queued batches are shed — accounted,
-    // not lost.
+    // not lost. A leftover hedge duplicate whose primary already reached a
+    // terminal outcome (its token is claimed) is a ghost, not a request.
     for b in dispatch.drain() {
-        fleet.shed_requests(b.nodes.len());
+        let owns = b
+            .claim
+            .as_ref()
+            .is_none_or(|t| !t.swap(true, Ordering::AcqRel));
+        if owns {
+            fleet.shed_requests(b.nodes.len());
+        }
     }
 
     let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
@@ -1211,6 +1630,10 @@ pub fn serve_multi(
         p99_ms: percentile(&latencies_ms, 0.99),
         max_ms: latencies_ms.last().copied().unwrap_or(0.0),
         pipeline_occupancy,
+        watchdog_restarts: sup_stats.restarts.into_inner(),
+        hedges_fired: sup_stats.hedges_fired.into_inner(),
+        hedges_won: hedges_won.into_inner(),
+        hedges_wasted: hedges_wasted.into_inner(),
     })
 }
 

@@ -24,13 +24,42 @@ use crate::error::{ServingError, ServingResult};
 use crate::metrics::StoreMetrics;
 use gcnp_obs::MetricsRegistry;
 use gcnp_tensor::Matrix;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of lock stripes; power of two so `node & (N_STRIPES - 1)` selects
 /// the stripe. 16 keeps contention negligible for typical worker counts
 /// (≤ 16 replicas) at ~1 KiB of lock overhead.
 pub const N_STRIPES: usize = 16;
+
+/// Corruption events on one stripe before its circuit breaker trips and the
+/// whole stripe is bypassed (every probe misses, forcing re-gather from
+/// level-0). Quarantining individual rows handles isolated flips; a stripe
+/// that keeps producing mismatches is treated as bad memory.
+pub const STRIPE_BREAKER_THRESHOLD: u32 = 3;
+
+/// Dependency-free xxhash64-style checksum over a row's f32 bit patterns.
+/// Not cryptographic — it only needs to make a single flipped bit (the
+/// `RowFlip` fault, or real silent corruption) detectably change the sum.
+pub fn row_checksum(row: &[f32]) -> u64 {
+    const P1: u64 = 0x9E37_79B1_85EB_CA87;
+    const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    const P3: u64 = 0x1656_67B1_9E37_79F9;
+    let mut h = P3 ^ (row.len() as u64).wrapping_mul(P1);
+    for chunk in row.chunks(2) {
+        let mut lane = chunk.first().map_or(0, |v| v.to_bits() as u64);
+        if let Some(second) = chunk.get(1) {
+            lane |= (second.to_bits() as u64) << 32;
+        }
+        h ^= lane.wrapping_mul(P2).rotate_left(31).wrapping_mul(P1);
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P2);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^ (h >> 32)
+}
 
 /// One level's rows owned by one stripe. Nodes are mapped to local slots by
 /// `node / N_STRIPES`, keeping each shard dense.
@@ -40,6 +69,9 @@ struct StripeLevel {
     /// Batch counter at write time, for staleness policies on evolving
     /// graphs (the paper discards features past an accuracy threshold).
     stamps: Vec<u32>,
+    /// [`row_checksum`] of each stored row, written with it under the same
+    /// guard; meaningless while `rows[local]` is `None`.
+    sums: Vec<u64>,
     count: usize,
 }
 
@@ -54,6 +86,13 @@ pub struct FeatureStore {
     n_nodes: usize,
     n_levels: usize,
     clock: AtomicU32,
+    /// Per-stripe corruption event counts; a stripe whose count reaches
+    /// [`STRIPE_BREAKER_THRESHOLD`] is bypassed entirely (circuit breaker).
+    corruptions: Vec<AtomicU32>,
+    /// Checksum mismatches observed on read (each is also quarantined).
+    detected: AtomicU64,
+    /// Rows evicted because their checksum no longer matched.
+    quarantined: AtomicU64,
     /// Optional hit/miss/evict/write counters (see
     /// [`FeatureStore::attach_metrics`]); unset stores count nothing.
     metrics: OnceLock<StoreMetrics>,
@@ -112,6 +151,7 @@ impl FeatureStore {
                         .map(|_| StripeLevel {
                             rows: (0..per_stripe).map(|_| None).collect(),
                             stamps: vec![0; per_stripe],
+                            sums: vec![0; per_stripe],
                             count: 0,
                         })
                         .collect(),
@@ -123,6 +163,9 @@ impl FeatureStore {
             n_nodes,
             n_levels,
             clock: AtomicU32::new(0),
+            corruptions: (0..N_STRIPES).map(|_| AtomicU32::new(0)).collect(),
+            detected: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             metrics: OnceLock::new(),
         }
     }
@@ -153,7 +196,9 @@ impl FeatureStore {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return false;
         }
-        let hit = {
+        let hit = if self.stripe_bypassed(stripe_of(node)) {
+            false // breaker open: the whole stripe reads as absent
+        } else {
             let stripe = self.read_stripe(stripe_of(node));
             stripe.levels[level - 1].rows[local_of(node)].is_some() // audit: allow(no-fail-stop) — level/node bounds checked above
         };
@@ -169,17 +214,130 @@ impl FeatureStore {
 
     /// Lend the stored row to `f` under the stripe's read guard — the
     /// copy-free read path for hot loops. Returns `None` (without calling
-    /// `f`) when the row is absent. Deliberately uncounted: the engine
-    /// probes [`FeatureStore::has`] during expansion and reads the row here
-    /// afterwards, so counting both would double-report every hit.
+    /// `f`) when the row is absent, when its stripe's circuit breaker is
+    /// open, or when the row's [`row_checksum`] no longer matches — a
+    /// mismatched row is quarantined (evicted and counted) instead of
+    /// served, so corrupted data can never reach a batch. Deliberately
+    /// uncounted: the engine probes [`FeatureStore::has`] during expansion
+    /// and reads the row here afterwards, so counting both would
+    /// double-report every hit.
     pub fn with_row<R>(&self, level: usize, node: usize, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
         if node >= self.n_nodes || level == 0 || level > self.n_levels {
             return None;
         }
-        let stripe = self.read_stripe(stripe_of(node));
-        stripe.levels[level - 1].rows[local_of(node)] // audit: allow(no-fail-stop) — level/node bounds checked above
-            .as_deref()
-            .map(f)
+        if self.stripe_bypassed(stripe_of(node)) {
+            return None;
+        }
+        {
+            let stripe = self.read_stripe(stripe_of(node));
+            let l = &stripe.levels[level - 1]; // audit: allow(no-fail-stop) — level bounds checked above
+            let local = local_of(node);
+            // audit: allow(no-fail-stop) — every node < n_nodes has a local slot by construction
+            match l.rows[local].as_deref() {
+                None => return None,
+                Some(row) if row_checksum(row) == l.sums[local] => return Some(f(row)), // audit: allow(no-fail-stop) — same validated slot
+                Some(_) => {} // checksum mismatch: fall through, guard drops
+            }
+        }
+        self.quarantine(level, node);
+        None
+    }
+
+    /// True when `stripe`'s circuit breaker is open.
+    fn stripe_bypassed(&self, stripe: usize) -> bool {
+        self.corruptions
+            .get(stripe)
+            .is_some_and(|c| c.load(Ordering::Relaxed) >= STRIPE_BREAKER_THRESHOLD)
+    }
+
+    /// Evict a row whose checksum failed, under the write guard (re-checked
+    /// there: a concurrent `put` may have replaced the row since the read).
+    fn quarantine(&self, level: usize, node: usize) {
+        self.detected.fetch_add(1, Ordering::Relaxed);
+        let mut still_corrupt = false;
+        {
+            let mut stripe = self.write_stripe(stripe_of(node));
+            let l = &mut stripe.levels[level - 1]; // audit: allow(no-fail-stop) — bounds validated by the only caller (with_row)
+            let local = local_of(node);
+            // audit: allow(no-fail-stop) — every node < n_nodes has a local slot by construction
+            if let Some(row) = l.rows[local].as_deref() {
+                // audit: allow(no-fail-stop) — same validated slot
+                if row_checksum(row) != l.sums[local] {
+                    // audit: allow(no-fail-stop) — same validated slot
+                    l.rows[local] = None;
+                    l.count -= 1;
+                    still_corrupt = true;
+                }
+            }
+        }
+        if !still_corrupt {
+            return;
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.corruptions.get(stripe_of(node)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = self.metrics.get() {
+            m.corruption_detected.inc();
+            m.corruption_quarantined.inc();
+        }
+    }
+
+    /// `(detected, quarantined)` checksum-mismatch events so far —
+    /// obs-independent, so chaos acceptance tests hold in `obs-off` builds.
+    pub fn corruption_counts(&self) -> (u64, u64) {
+        (
+            self.detected.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of stripes whose circuit breaker is currently open.
+    pub fn bypassed_stripes(&self) -> usize {
+        (0..N_STRIPES).filter(|&s| self.stripe_bypassed(s)).count()
+    }
+
+    /// Fault hook for [`crate::Fault::RowFlip`]: flip one bit of one
+    /// resident row, chosen deterministically from `seed`, *without*
+    /// updating its checksum — exactly what silent memory corruption looks
+    /// like. Returns the `(level, node)` hit, or `None` when the store holds
+    /// no rows. The next [`FeatureStore::with_row`] on that row detects the
+    /// mismatch and quarantines it.
+    pub fn inject_bit_flip(&self, seed: u64) -> Option<(usize, usize)> {
+        let total: usize = (0..N_STRIPES)
+            .map(|i| {
+                let stripe = self.read_stripe(i);
+                stripe.levels.iter().map(|l| l.count).sum::<usize>()
+            })
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut k = (seed % total as u64) as usize;
+        for i in 0..N_STRIPES {
+            let mut stripe = self.write_stripe(i);
+            for (li, l) in stripe.levels.iter_mut().enumerate() {
+                if k >= l.count {
+                    k -= l.count;
+                    continue;
+                }
+                for (local, row) in l.rows.iter_mut().enumerate() {
+                    let Some(row) = row.as_deref_mut() else {
+                        continue;
+                    };
+                    if k > 0 {
+                        k -= 1;
+                        continue;
+                    }
+                    let elem = (seed >> 8) as usize % row.len().max(1);
+                    if let Some(v) = row.get_mut(elem) {
+                        *v = f32::from_bits(v.to_bits() ^ (1 << ((seed >> 16) % 23)));
+                    }
+                    return Some((li + 1, local * N_STRIPES + i));
+                }
+            }
+        }
+        None
     }
 
     /// Copy the stored row, if present. Prefer [`FeatureStore::with_row`] in
@@ -206,6 +364,7 @@ impl FeatureStore {
             m.write(level);
         }
         let clock = self.clock.load(Ordering::Relaxed);
+        let sum = row_checksum(row);
         let mut stripe = self.write_stripe(stripe_of(node));
         let l = &mut stripe.levels[level - 1]; // audit: allow(no-fail-stop) — level bounds validated above
         let local = local_of(node);
@@ -215,6 +374,7 @@ impl FeatureStore {
         }
         l.rows[local] = Some(row.into()); // audit: allow(no-fail-stop) — same validated slot
         l.stamps[local] = clock; // audit: allow(no-fail-stop) — same validated slot
+        l.sums[local] = sum; // audit: allow(no-fail-stop) — same validated slot
         Ok(())
     }
 
@@ -296,8 +456,12 @@ impl FeatureStore {
                     *row = None;
                 }
                 l.stamps.fill(0);
+                l.sums.fill(0);
                 l.count = 0;
             }
+        }
+        for c in &self.corruptions {
+            c.store(0, Ordering::Relaxed);
         }
     }
 
@@ -552,5 +716,95 @@ mod tests {
                 "len() out of sync at level {level}"
             );
         }
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let row = [1.0f32, -2.5, 3.25, 0.0];
+        let base = row_checksum(&row);
+        for elem in 0..row.len() {
+            for bit in 0..32 {
+                let mut flipped = row;
+                flipped[elem] = f32::from_bits(flipped[elem].to_bits() ^ (1 << bit));
+                assert_ne!(
+                    row_checksum(&flipped),
+                    base,
+                    "flip of bit {bit} in element {elem} must change the sum"
+                );
+            }
+        }
+        assert_ne!(row_checksum(&[]), row_checksum(&[0.0]), "length is hashed");
+    }
+
+    #[test]
+    fn corrupted_row_is_quarantined_not_served() {
+        let store = FeatureStore::new(64, 1);
+        let registry = Arc::new(MetricsRegistry::new());
+        store.attach_metrics(&registry);
+        store.put(1, 5, &[1.0, 2.0, 3.0]).unwrap();
+        store.put(1, 6, &[4.0, 5.0, 6.0]).unwrap();
+        let hit = store.inject_bit_flip(0x1234);
+        assert!(hit.is_some(), "a resident row must be flipped");
+        let (level, node) = hit.unwrap();
+        assert_eq!(level, 1);
+        // The corrupted row reads as absent (quarantined on first touch)…
+        assert_eq!(store.with_row(level, node, |r| r.to_vec()), None);
+        assert!(!store.has(level, node), "quarantined row is gone");
+        assert_eq!(store.corruption_counts(), (1, 1));
+        // …while the untouched row still serves, checksum-verified.
+        let other = if node == 5 { 6 } else { 5 };
+        assert!(store.with_row(1, other, |r| r.len() == 3).unwrap_or(false));
+        assert_eq!(store.len(1), 1);
+        // Re-putting the quarantined node serves again.
+        store.put(level, node, &[9.0, 9.0, 9.0]).unwrap();
+        assert_eq!(store.get(level, node), Some(vec![9.0, 9.0, 9.0]));
+        if gcnp_obs::enabled() {
+            let snap = registry.snapshot();
+            assert_eq!(snap.counters["store.corruption.detected"], 1);
+            assert_eq!(snap.counters["store.corruption.quarantined"], 1);
+        }
+    }
+
+    #[test]
+    fn stripe_breaker_trips_after_repeated_corruption() {
+        let n = 4 * N_STRIPES;
+        let store = FeatureStore::new(n, 1);
+        // All rows on stripe 0, so every corruption lands there.
+        let stripe0: Vec<usize> = (0..4).map(|i| i * N_STRIPES).collect();
+        for &v in &stripe0 {
+            store.put(1, v, &[v as f32, 1.0]).unwrap();
+        }
+        for round in 0..STRIPE_BREAKER_THRESHOLD {
+            let (_, node) = store.inject_bit_flip(round as u64 * 977).unwrap();
+            assert_eq!(store.with_row(1, node, |r| r.len()), None);
+        }
+        assert_eq!(store.bypassed_stripes(), 1, "stripe 0's breaker is open");
+        // The breaker bypasses even healthy rows on the bad stripe…
+        let survivor = stripe0
+            .iter()
+            .copied()
+            .find(|&v| store.len(1) > 0 && store.get(1, v).is_none());
+        assert!(survivor.is_some() || store.len(1) == 0);
+        for &v in &stripe0 {
+            assert!(!store.has(1, v), "bypassed stripe reads as absent");
+            assert_eq!(store.with_row(1, v, |r| r.len()), None);
+        }
+        // …and other stripes are unaffected.
+        store.put(1, 1, &[7.0]).unwrap();
+        assert!(store.has(1, 1));
+        assert_eq!(
+            store.corruption_counts(),
+            (
+                u64::from(STRIPE_BREAKER_THRESHOLD),
+                u64::from(STRIPE_BREAKER_THRESHOLD)
+            )
+        );
+    }
+
+    #[test]
+    fn bit_flip_on_empty_store_is_a_noop() {
+        let store = FeatureStore::new(8, 1);
+        assert_eq!(store.inject_bit_flip(42), None);
+        assert_eq!(store.corruption_counts(), (0, 0));
     }
 }

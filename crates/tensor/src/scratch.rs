@@ -19,6 +19,13 @@ use crate::matrix::Matrix;
 /// in favor of larger ones (large buffers are the expensive ones to rebuild).
 const MAX_RETAINED: usize = 32;
 
+/// High-water mark on total retained capacity. Retry and hedge storms
+/// re-lease buffers before returning old ones, so the count cap alone can
+/// pin tens of large buffers; past this byte budget the pool sheds its
+/// smallest buffers until back under (never the incoming one first — large
+/// buffers stay the cheapest to keep).
+const MAX_RETAINED_BYTES: usize = 64 << 20;
+
 /// Pool of reusable `f32` buffers dispensing zeroed [`Matrix`] scratch.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
@@ -80,6 +87,14 @@ impl ScratchPool {
             }
         }
         self.free.push(buf);
+        // Byte high-water mark: evict smallest-first until back under the
+        // cap. A single buffer larger than the whole budget is kept alone —
+        // dropping it would only force an immediate identical allocation.
+        while self.retained_bytes() > MAX_RETAINED_BYTES && self.free.len() > 1 {
+            if let Some(i) = self.smallest() {
+                self.free.swap_remove(i);
+            }
+        }
     }
 
     /// Buffers currently retained.
@@ -161,6 +176,40 @@ mod tests {
         // Zero-capacity returns are dropped outright.
         pool.recycle_vec(Vec::new());
         assert!(pool.retained() <= MAX_RETAINED);
+    }
+
+    #[test]
+    fn retry_storm_stays_under_the_byte_cap() {
+        // A retry/hedge storm: 100 attempts each leased a fresh large
+        // buffer (4 MiB) before the previous one came back, and now they
+        // all return. The count cap alone would pin 32 × 4 MiB = 128 MiB;
+        // the byte high-water mark must keep residency bounded throughout.
+        let mut pool = ScratchPool::new();
+        let elems = (4 << 20) / std::mem::size_of::<f32>();
+        for attempt in 0..100 {
+            pool.recycle_vec(Vec::with_capacity(elems + attempt % 7));
+            assert!(
+                pool.retained_bytes() <= MAX_RETAINED_BYTES,
+                "attempt {attempt}: resident {} bytes over the cap",
+                pool.retained_bytes()
+            );
+        }
+        assert!(pool.retained() >= 1, "working buffers must survive");
+        // The survivors still serve the storm's shape without growing.
+        let m = pool.take_matrix(1 << 10, 1 << 10);
+        assert_eq!(m.shape(), (1 << 10, 1 << 10));
+    }
+
+    #[test]
+    fn oversized_single_buffer_is_kept_alone() {
+        let mut pool = ScratchPool::new();
+        let elems = MAX_RETAINED_BYTES / std::mem::size_of::<f32>() + 1024;
+        pool.recycle_vec(Vec::with_capacity(elems));
+        assert_eq!(pool.retained(), 1, "a lone oversized buffer is retained");
+        // Anything else recycled alongside it is shed to respect the cap.
+        pool.recycle_vec(Vec::with_capacity(512));
+        assert_eq!(pool.retained(), 1);
+        assert!(pool.free[0].capacity() >= elems);
     }
 
     #[test]

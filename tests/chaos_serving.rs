@@ -85,6 +85,7 @@ fn chaos_run_is_lossless_and_deterministic() {
             storms: 2,
             horizon: clean.n_batches as u64 + 3,
             seed: 77,
+            ..Default::default()
         };
         assert!(
             clean.n_batches >= 7,
@@ -357,7 +358,8 @@ fn edge_cases_complete_with_full_accounting() {
 }
 
 /// Soak test for the CI chaos job (run with `--include-ignored`): several
-/// seeds, heavier schedules, always lossless.
+/// seeds, heavier schedules spanning all seven fault kinds, supervision on
+/// for half the seeds — always lossless.
 #[test]
 #[ignore = "soak test; run explicitly in the CI chaos job"]
 fn chaos_soak_across_seeds() {
@@ -365,18 +367,23 @@ fn chaos_soak_across_seeds() {
     let store = FeatureStore::new(300, model.n_layers() - 1);
     let pool: Vec<usize> = (0..300).collect();
     for seed in 0..5u64 {
-        // Alternate executors across seeds so the soak covers both.
+        // Alternate executors across seeds so the soak covers both, and
+        // turn the supervisor on for alternating seeds so both the bare
+        // retry path and the watchdog/hedge path soak.
         let mode = if seed % 2 == 0 {
             PipelineMode::Pipelined
         } else {
             PipelineMode::Sequential
         };
+        let supervised = seed % 2 == 1;
         let cfg = ServingConfig {
             arrival_rate: 1e6,
             max_batch: 32,
             n_requests: 1000,
             seed,
             pipeline: mode,
+            watchdog: supervised.then_some(0.25),
+            hedge: supervised.then_some(8.0),
             ..Default::default()
         };
         let plan = FaultPlan {
@@ -384,6 +391,12 @@ fn chaos_soak_across_seeds() {
             stragglers: 8,
             straggle_multiplier: 2.0,
             storms: 4,
+            stalls: 2,
+            stall_ms: 20.0,
+            row_flips: 2,
+            skews: 2,
+            skew: 3.0,
+            wedges: 2,
             horizon: 30,
             seed: seed ^ 0xc0ffee,
         };
@@ -411,5 +424,15 @@ fn chaos_soak_across_seeds() {
         );
         assert_eq!(rep.recoveries, 3, "seed {seed}: all panics recovered");
         assert!(rep.workers_lost <= 3, "seed {seed}: fleet survives");
+        assert_eq!(
+            inj.fired_gen2(),
+            (2, 2, 2, 2),
+            "seed {seed}: the gen-2 schedule fired in full"
+        );
+        assert_eq!(
+            rep.hedges_fired,
+            rep.hedges_won + rep.hedges_wasted,
+            "seed {seed}: hedge ledger balances"
+        );
     }
 }

@@ -166,6 +166,7 @@ fn chaos_counters_are_identical_across_modes() {
             storms: 2,
             horizon: 12,
             seed: 99,
+            ..Default::default()
         };
         let inj = plan.build().unwrap();
         let mut engines: Vec<BatchedEngine<'_>> = (0..4)
