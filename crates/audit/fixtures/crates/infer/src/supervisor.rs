@@ -1,0 +1,149 @@
+//! Fixture: concurrency-discipline violations for the lock-order pass.
+//!
+//! Seeded findings (the self-test pins these):
+//! * an A→B / B→A acquisition pair (`lock_ab` / `lock_ba`) — the cycle
+//!   detector fires on the fixture tree;
+//! * an unregistered `Mutex` declaration (`Rogue::m`) — registry
+//!   enforcement fires;
+//! * a `Condvar::wait` outside a while/loop predicate re-check — fires;
+//!   plus a compliant while-loop wait — clean;
+//! * a guard held across a `notify_one` on a condvar paired with a
+//!   *different* lock — fires; an own-pair notify and an after-drop
+//!   notify — clean;
+//! * a guard held across `catch_unwind` — fires;
+//! * `Ordering::Relaxed` on a claim token — fires; on an allowlisted
+//!   pure counter (`restarts`) — clean.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub struct Dual {
+    a: Mutex<usize>, // lock: ab.a
+    b: Mutex<usize>, // lock: ab.b
+    cv: Condvar, // lock: dual.cv pairs ab.a
+    claim: AtomicBool,
+    restarts: AtomicUsize,
+}
+
+/// VIOLATION (lock-order registry): an unregistered lock declaration.
+pub struct Rogue {
+    pub m: Mutex<u8>,
+}
+
+impl Dual {
+    /// One half of the seeded inversion: `ab.a` then `ab.b`.
+    pub fn lock_ab(&self) -> usize {
+        let first = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let second = match self.b.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        *first + *second
+    }
+
+    /// The other half: `ab.b` then `ab.a` — closes the cycle.
+    pub fn lock_ba(&self) -> usize {
+        let first = match self.b.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let second = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        *first + *second
+    }
+
+    /// VIOLATION (condvar-predicate): a one-shot wait with no re-check —
+    /// a spurious wakeup or a dropped notify corrupts the protocol.
+    pub fn wait_once(&self) -> usize {
+        let guard = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let guard = match self.cv.wait(guard) {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        *guard
+    }
+
+    /// Clean: the wait re-checks its predicate in a while loop.
+    pub fn wait_until_nonzero(&self) -> usize {
+        let mut guard = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        while *guard == 0 {
+            guard = match self.cv.wait(guard) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+        *guard
+    }
+
+    /// VIOLATION (guard-across-notify): `cv` pairs `ab.a`, but the notify
+    /// runs while the guard on `ab.b` is live — the woken waiter convoys
+    /// behind an unrelated lock.
+    pub fn notify_under_wrong_guard(&self) {
+        let guard = match self.b.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        self.cv.notify_one();
+        drop(guard);
+    }
+
+    /// Clean: notifying under the condvar's own paired guard is the
+    /// canonical idiom.
+    pub fn notify_under_own_guard(&self) {
+        let mut guard = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        *guard += 1;
+        self.cv.notify_all();
+    }
+
+    /// Clean: the unrelated guard is dropped before the notify.
+    pub fn notify_after_drop(&self) {
+        let guard = match self.b.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        drop(guard);
+        self.cv.notify_one();
+    }
+
+    /// VIOLATION (guard-across-notify): a guard held across a
+    /// `catch_unwind` boundary — a panic inside would poison `ab.a` for
+    /// every other thread.
+    pub fn guarded_catch(&self, f: impl Fn() -> usize) -> usize {
+        let guard = match self.a.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let caught = panic::catch_unwind(AssertUnwindSafe(&f));
+        match caught {
+            Ok(v) => v + *guard,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    /// VIOLATION (atomic-ordering): a claim token decided with `Relaxed` —
+    /// the winner's subsequent reads are unordered against the loser's
+    /// writes.
+    pub fn try_claim(&self) -> bool {
+        !self.claim.swap(true, Ordering::Relaxed)
+    }
+
+    /// Clean: a pure monotonic counter may stay `Relaxed` (allowlisted).
+    pub fn count_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -32,6 +32,26 @@
 //!    the enclosing item ends. Silently swallowing a payload turns every
 //!    genuine bug into an invisible "recovery", indistinguishable from an
 //!    injected chaos fault.
+//! 7. **lock-order** — every `Mutex`/`RwLock`/`Condvar` declared in the
+//!    registry files (store / pipeline / supervisor / serving /
+//!    tensor-parallel / obs-registry) carries a `// lock: <name>`
+//!    annotation; guard liveness builds a static acquisition-order graph
+//!    ([`lockorder`]), and a cycle — two sites taking the same pair of
+//!    locks in opposite orders — is a deadlock-by-construction and fails
+//!    the scan. `--emit-lock-graph` renders the graph (plus its
+//!    transitive closure) as `crates/tensor/src/lockgraph.rs` for the
+//!    opt-in runtime tracker (`lock-order` cargo feature).
+//! 8. **condvar-predicate** — every `Condvar::wait` must sit inside a
+//!    `while`/`loop` predicate re-check; a one-shot wait corrupts
+//!    silently on a spurious or dropped wakeup.
+//! 9. **guard-across-notify** — no guard on lock X may be live across a
+//!    notify of a condvar paired with a *different* lock (the woken
+//!    waiter convoys behind X), nor across a `catch_unwind` (a panic
+//!    inside poisons the lock for every other thread).
+//! 10. **atomic-ordering** — `Ordering::Relaxed` in the concurrency
+//!     files is reserved for a pure-counter allowlist; claim tokens,
+//!     `PendingSlot` state, and circuit-breaker atomics need
+//!     acquire/release edges.
 //!
 //! The escape hatch is `// audit: allow(<lint>) — <reason>`: same-line
 //! (that line only), own-line (the next code line), or above a `fn` item
@@ -45,6 +65,10 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+mod lockorder;
+
+pub use lockorder::{emit_lock_graph, Edge, LockGraph};
 
 /// Hot-path modules where fail-stop calls are forbidden (suffix-matched so
 /// the fixture tree under `crates/audit/fixtures/` exercises the same rules).
@@ -63,9 +87,9 @@ const POOL_HOME: &str = "crates/tensor/src/parallel.rs";
 /// skipped because its lint needles (`"GCNP_THREADS"`, …) are string
 /// literals that would self-match; its fixtures are scanned explicitly by
 /// the self-test instead.
-const SKIP_DIRS: &[&str] = &["target", "shims", "fixtures", ".git", "tests", "audit"];
+const SKIP_DIRS: &[&str] = &["target", "shims", "fixtures", ".git", "audit"];
 
-/// The six repo-specific lints.
+/// The ten repo-specific lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     NoFailStop,
@@ -74,6 +98,10 @@ pub enum Lint {
     SafetyComment,
     ShapeContract,
     PanicDiscipline,
+    LockOrder,
+    CondvarPredicate,
+    GuardAcrossNotify,
+    AtomicOrdering,
 }
 
 impl Lint {
@@ -86,11 +114,15 @@ impl Lint {
             Lint::SafetyComment => "safety-comment",
             Lint::ShapeContract => "shape-contract",
             Lint::PanicDiscipline => "panic-discipline",
+            Lint::LockOrder => "lock-order",
+            Lint::CondvarPredicate => "condvar-predicate",
+            Lint::GuardAcrossNotify => "guard-across-notify",
+            Lint::AtomicOrdering => "atomic-ordering",
         }
     }
 
     /// All lints, for iteration in reports and self-tests.
-    pub fn all() -> [Lint; 6] {
+    pub fn all() -> [Lint; 10] {
         [
             Lint::NoFailStop,
             Lint::LockDiscipline,
@@ -98,6 +130,10 @@ impl Lint {
             Lint::SafetyComment,
             Lint::ShapeContract,
             Lint::PanicDiscipline,
+            Lint::LockOrder,
+            Lint::CondvarPredicate,
+            Lint::GuardAcrossNotify,
+            Lint::AtomicOrdering,
         ]
     }
 
@@ -846,8 +882,9 @@ fn doc_block_above(lines: &[LineInfo], idx: usize) -> String {
     doc
 }
 
-/// Run every lint over one file's source.
-pub fn scan_file(path: &Path, src: &str) -> Vec<Finding> {
+/// Run every lint over one file's source, returning findings plus the
+/// file's contribution to the workspace lock graph.
+fn scan_file_full(path: &Path, src: &str) -> (Vec<Finding>, lockorder::FileLocks) {
     let path_str = norm(path);
     let lines = mask(src);
     let in_test = test_mask(&lines);
@@ -860,6 +897,7 @@ pub fn scan_file(path: &Path, src: &str) -> Vec<Finding> {
     lint_safety_comment(&path_str, &lines, &mut findings);
     lint_shape_contract(&path_str, &lines, &in_test, &mut findings);
     lint_panic_discipline(&path_str, &lines, &in_test, &mut findings);
+    let locks = lockorder::analyze(&path_str, &lines, &in_test, &allows, &mut findings);
 
     findings.retain(|f| {
         !allows
@@ -868,15 +906,22 @@ pub fn scan_file(path: &Path, src: &str) -> Vec<Finding> {
     });
     findings.sort_by_key(|f| f.line);
     findings.dedup_by(|a, b| a.line == b.line && a.lint == b.lint);
-    findings
+    (findings, locks)
 }
 
-/// Walk `root/crates` and `root/src`, scanning every `.rs` file (skipping
-/// `target/`, vendored `shims/`, the audit `fixtures/`, and test-only
-/// `tests/` directories).
+/// Run every lint over one file's source.
+pub fn scan_file(path: &Path, src: &str) -> Vec<Finding> {
+    scan_file_full(path, src).0
+}
+
+/// Walk `root/crates`, `root/src`, and `root/tests`, scanning every `.rs`
+/// file (skipping `target/`, vendored `shims/`, and the audit crate —
+/// its lint needles and seeded fixtures would self-match; the self-test
+/// scans the fixture tree explicitly). After the per-file lints, the
+/// union of lock-acquisition edges is checked for cycles.
 pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
-    for top in ["crates", "src"] {
+    for top in ["crates", "src", "tests"] {
         let dir = root.join(top);
         if dir.is_dir() {
             collect_rs(&dir, &mut files)?;
@@ -884,11 +929,38 @@ pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
     }
     files.sort();
     let mut findings = Vec::new();
+    let mut edges = Vec::new();
     for file in files {
         let src = std::fs::read_to_string(&file)?;
-        findings.extend(scan_file(&file, &src));
+        let (f, locks) = scan_file_full(&file, &src);
+        findings.extend(f);
+        edges.extend(locks.edges);
     }
+    findings.extend(lockorder::cycle_findings(&edges));
     Ok(findings)
+}
+
+/// Extract the workspace lock graph (registered nodes + transitive
+/// closure of acquisition order) for `--emit-lock-graph` and the
+/// generated-artifact drift test.
+pub fn lock_graph(root: &Path) -> std::io::Result<LockGraph> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let (_, locks) = scan_file_full(&file, &src);
+        nodes.extend(locks.nodes);
+        edges.extend(locks.edges);
+    }
+    Ok(lockorder::build_graph(nodes, &edges))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

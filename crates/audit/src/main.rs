@@ -1,21 +1,90 @@
 //! `gcnp-audit` — the repo's static-analysis CI gate.
 //!
-//! Usage: `cargo run -p gcnp-audit [-- <root>]`. With no argument the
-//! workspace root (two levels above this crate's manifest) is scanned.
-//! Exit status: 0 when clean, 1 when any lint fires, 2 on I/O failure.
+//! Usage: `cargo run -p gcnp-audit [-- <root>] [--json] [--emit-lock-graph <path>]`.
+//! With no root argument the workspace root (two levels above this
+//! crate's manifest) is scanned.
+//!
+//! * `--json` prints findings as a JSON array of
+//!   `{file, line, lint, reason}` objects (for CI annotation) instead of
+//!   the human-readable lines.
+//! * `--emit-lock-graph <path>` regenerates the checked-in lock-order
+//!   graph artifact (`crates/tensor/src/lockgraph.rs`) from the
+//!   `// lock:` site registry and exits.
+//!
+//! Exit status: 0 clean · 1 findings · 2 I/O failure · 3 findings that
+//! include `lock-order` (registry/graph violations — the severe class CI
+//! treats as a hard stop even on advisory runs).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("..")
-                .join("..")
-        });
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut emit: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--emit-lock-graph" => match args.next() {
+                Some(p) => emit = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("gcnp-audit: --emit-lock-graph needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => root = Some(PathBuf::from(a)),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    if !root.is_dir() {
+        // Without this a typo'd path scans zero files and reports "clean".
+        eprintln!("gcnp-audit: {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    if let Some(out_path) = emit {
+        let graph = match gcnp_audit::lock_graph(&root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("gcnp-audit: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rendered = gcnp_audit::emit_lock_graph(&graph);
+        if let Err(e) = std::fs::write(&out_path, rendered) {
+            eprintln!("gcnp-audit: cannot write {}: {e}", out_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gcnp-audit: wrote {} ({} nodes, {} edges, {} closure paths)",
+            out_path.display(),
+            graph.nodes.len(),
+            graph.edges.len(),
+            graph.paths.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let findings = match gcnp_audit::scan_tree(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -23,15 +92,33 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if findings.is_empty() {
-        println!(
-            "gcnp-audit: clean ({} lints)",
-            gcnp_audit::Lint::all().len()
-        );
-        return ExitCode::SUCCESS;
+    if json {
+        let rows: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"reason\": \"{}\"}}",
+                    json_escape(&f.file.display().to_string()),
+                    f.line,
+                    f.lint.name(),
+                    json_escape(&f.msg)
+                )
+            })
+            .collect();
+        println!("[\n{}\n]", rows.join(",\n"));
+    } else if !findings.is_empty() {
+        for f in &findings {
+            println!("{f}");
+        }
     }
-    for f in &findings {
-        println!("{f}");
+    if findings.is_empty() {
+        if !json {
+            println!(
+                "gcnp-audit: clean ({} lints)",
+                gcnp_audit::Lint::all().len()
+            );
+        }
+        return ExitCode::SUCCESS;
     }
     let mut per_lint: Vec<(&str, usize)> = Vec::new();
     for lint in gcnp_audit::Lint::all() {
@@ -49,5 +136,11 @@ fn main() -> ExitCode {
         findings.len(),
         summary.join(", ")
     );
+    if findings
+        .iter()
+        .any(|f| f.lint == gcnp_audit::Lint::LockOrder)
+    {
+        return ExitCode::from(3);
+    }
     ExitCode::FAILURE
 }

@@ -122,6 +122,88 @@ fn safety_and_shape_fixtures_fire_once_each() {
 }
 
 #[test]
+fn concurrency_fixture_findings_are_pinpointed() {
+    let findings = fixture_findings();
+    let sup = in_file(&findings, "crates/infer/src/supervisor.rs");
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/crates/infer/src/supervisor.rs"),
+    )
+    .expect("fixture readable");
+    let line_of = |needle: &str| {
+        src.lines()
+            .position(|l| l.contains(needle))
+            .map(|p| p + 1)
+            .expect("needle present in fixture")
+    };
+    let fires = |lint: Lint, line: usize| {
+        assert!(
+            sup.iter().any(|f| f.lint == lint && f.line == line),
+            "expected {} at supervisor.rs:{line}; got: {sup:#?}",
+            lint.name()
+        );
+    };
+    // The unregistered Rogue::m declaration.
+    fires(Lint::LockOrder, line_of("pub m: Mutex<u8>"));
+    // The one-shot wait (on its cv.wait line), while the while-loop wait
+    // stays clean.
+    fires(
+        Lint::CondvarPredicate,
+        line_of("let guard = match self.cv.wait(guard) {"),
+    );
+    // The wrong-pair notify and the guard across catch_unwind; the
+    // own-pair and after-drop notifies stay clean.
+    fires(Lint::GuardAcrossNotify, line_of("self.cv.notify_one();"));
+    fires(
+        Lint::GuardAcrossNotify,
+        line_of("panic::catch_unwind(AssertUnwindSafe"),
+    );
+    // The Relaxed claim token; the allowlisted restart counter stays clean.
+    fires(Lint::AtomicOrdering, line_of("self.claim.swap"));
+    let clean = [
+        line_of("while *guard == 0 {"),
+        line_of("self.cv.notify_all();"),
+        line_of("self.restarts.fetch_add"),
+    ];
+    for f in &sup {
+        assert!(
+            !clean.contains(&f.line),
+            "clean idiom at line {} fired: {f}",
+            f.line
+        );
+    }
+}
+
+#[test]
+fn cycle_detector_fires_on_the_seeded_inversion_pair() {
+    // lock_ab takes ab.a then ab.b; lock_ba takes them in the opposite
+    // order — scan_tree must report the cycle.
+    let findings = fixture_findings();
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::LockOrder
+            && f.msg.contains("cycle")
+            && f.msg.contains("ab.a")
+            && f.msg.contains("ab.b")),
+        "expected the ab.a <-> ab.b cycle finding: {findings:#?}"
+    );
+}
+
+#[test]
+fn checked_in_lock_graph_matches_the_workspace() {
+    // The generated artifact must never drift from what `--emit-lock-graph`
+    // would produce for the current tree.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let graph = gcnp_audit::lock_graph(&root).expect("workspace must be readable");
+    let rendered = gcnp_audit::emit_lock_graph(&graph);
+    let checked_in = std::fs::read_to_string(root.join("crates/tensor/src/lockgraph.rs"))
+        .expect("lockgraph.rs present");
+    assert_eq!(
+        rendered, checked_in,
+        "crates/tensor/src/lockgraph.rs is stale — regenerate: \
+         cargo run -p gcnp-audit -- --emit-lock-graph crates/tensor/src/lockgraph.rs"
+    );
+}
+
+#[test]
 fn the_workspace_scans_clean() {
     // The CI gate in test form: the real tree must carry zero violations.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

@@ -95,9 +95,9 @@ struct StageState<T> {
 /// stage thread. Push blocks at the bound; pop blocks when empty; close
 /// wakes everyone and drains to `None`.
 pub(crate) struct StageQueue<T> {
-    state: Mutex<StageState<T>>,
-    can_pop: Condvar,
-    can_push: Condvar,
+    state: Mutex<StageState<T>>, // lock: stage.state
+    can_pop: Condvar,            // lock: stage.can_pop pairs stage.state
+    can_push: Condvar,           // lock: stage.can_push pairs stage.state
     cap: usize,
 }
 
@@ -119,6 +119,7 @@ impl<T> StageQueue<T> {
     /// wait is bounded by [`STAGE_RECHECK`], so a lost `can_push` wakeup
     /// delays the producer instead of wedging it.
     pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let _order = gcnp_tensor::lockcheck::acquire("stage.state");
         let mut s = relock(self.state.lock());
         while s.items.len() >= self.cap && !s.closed {
             s = relock_timed(self.can_push.wait_timeout(s, STAGE_RECHECK));
@@ -137,6 +138,7 @@ impl<T> StageQueue<T> {
     /// recovery is entirely down to the consumer's bounded re-check wait.
     /// Blocks at the bound like [`StageQueue::push`].
     pub(crate) fn push_quiet(&self, item: T) -> Result<(), T> {
+        let _order = gcnp_tensor::lockcheck::acquire("stage.state");
         let mut s = relock(self.state.lock());
         while s.items.len() >= self.cap && !s.closed {
             s = relock_timed(self.can_push.wait_timeout(s, STAGE_RECHECK));
@@ -153,6 +155,7 @@ impl<T> StageQueue<T> {
     /// dropped `can_pop` notification (the `QueueWedge` fault) costs at
     /// most one recheck interval.
     pub(crate) fn pop(&self) -> Option<T> {
+        let _order = gcnp_tensor::lockcheck::acquire("stage.state");
         let mut s = relock(self.state.lock());
         loop {
             if let Some(item) = s.items.pop_front() {
@@ -170,6 +173,7 @@ impl<T> StageQueue<T> {
     /// Close the queue: producers get their item back, consumers drain the
     /// remainder and then see `None`. Idempotent.
     pub(crate) fn close(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("stage.state");
         let mut s = relock(self.state.lock());
         s.closed = true;
         drop(s);
@@ -181,6 +185,7 @@ impl<T> StageQueue<T> {
     /// watchdog teardown. Both stage threads must have exited (the worker
     /// manager joins them first); queued items, if any, carry over.
     pub(crate) fn reopen(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("stage.state");
         relock(self.state.lock()).closed = false;
     }
 }
@@ -199,8 +204,8 @@ struct GateState {
 /// engine writes to a store. `kill` releases all waiters permanently (back
 /// stage died).
 pub(crate) struct BarrierGate {
-    state: Mutex<GateState>,
-    cv: Condvar,
+    state: Mutex<GateState>, // lock: gate.state
+    cv: Condvar,             // lock: gate.cv pairs gate.state
 }
 
 impl BarrierGate {
@@ -216,6 +221,7 @@ impl BarrierGate {
 
     /// One more batch fully executed (write-backs visible).
     pub(crate) fn bump(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("gate.state");
         let mut s = relock(self.state.lock());
         s.done += 1;
         drop(s);
@@ -224,6 +230,7 @@ impl BarrierGate {
 
     /// Release all waiters permanently; `wait_done` reports failure.
     pub(crate) fn kill(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("gate.state");
         let mut s = relock(self.state.lock());
         s.dead = true;
         drop(s);
@@ -235,6 +242,7 @@ impl BarrierGate {
     /// ([`STAGE_RECHECK`]) for the same lost-wakeup tolerance as
     /// [`StageQueue`].
     pub(crate) fn wait_done(&self, target: u64) -> bool {
+        let _order = gcnp_tensor::lockcheck::acquire("gate.state");
         let mut s = relock(self.state.lock());
         while s.done < target && !s.dead {
             s = relock_timed(self.cv.wait_timeout(s, STAGE_RECHECK));
@@ -246,6 +254,7 @@ impl BarrierGate {
     /// respawn): completion count restarts with the fresh front's staged
     /// count. Only called between generations, with both stages joined.
     pub(crate) fn reset(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("gate.state");
         let mut s = relock(self.state.lock());
         s.done = 0;
         s.dead = false;
@@ -277,9 +286,9 @@ struct DispatchState<T> {
 /// backpressure, unbounded retry requeue, in-flight tracking so retries
 /// can't race shutdown, and abort-on-fleet-death.
 pub(crate) struct DispatchQueue<T> {
-    state: Mutex<DispatchState<T>>,
-    can_pop: Condvar,
-    can_push: Condvar,
+    state: Mutex<DispatchState<T>>, // lock: dispatch.state
+    can_pop: Condvar,               // lock: dispatch.can_pop pairs dispatch.state
+    can_push: Condvar,              // lock: dispatch.can_push pairs dispatch.state
     cap: usize,
 }
 
@@ -302,6 +311,7 @@ impl<T> DispatchQueue<T> {
     /// Dispatcher-side submit: blocks while the queue is at capacity
     /// (admission backpressure), returns the batch back if the fleet died.
     pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         while s.queue.len() >= self.cap && !s.aborted {
             s = relock(self.can_push.wait(s));
@@ -321,6 +331,7 @@ impl<T> DispatchQueue<T> {
     /// [`DispatchQueue::resolve`] so the queue is never observed empty
     /// while the retried batch is in neither `queue` nor `in_flight`.
     pub(crate) fn requeue(&self, item: T) {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         // Enqueue even after close/abort: every queued batch is either
         // popped by a live worker or shed via `drain` — never lost.
@@ -335,6 +346,7 @@ impl<T> DispatchQueue<T> {
     /// return moves the batch into the in-flight set — the worker must
     /// [`DispatchQueue::resolve`] it exactly once.
     pub(crate) fn pop(&self) -> Option<T> {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         loop {
             if s.aborted {
@@ -357,6 +369,7 @@ impl<T> DispatchQueue<T> {
     /// A popped batch reached a terminal state for this attempt (served,
     /// requeued for retry, or shed).
     pub(crate) fn resolve(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         s.in_flight = s.in_flight.saturating_sub(1);
         let done = s.closed && s.in_flight == 0 && s.queue.is_empty();
@@ -370,6 +383,7 @@ impl<T> DispatchQueue<T> {
 
     /// Dispatcher finished submitting.
     pub(crate) fn close(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         s.closed = true;
         drop(s);
@@ -379,6 +393,7 @@ impl<T> DispatchQueue<T> {
     /// Fleet death: unblock everything; queued batches stay for
     /// [`DispatchQueue::drain`].
     pub(crate) fn abort(&self) {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         s.aborted = true;
         drop(s);
@@ -388,12 +403,14 @@ impl<T> DispatchQueue<T> {
 
     /// Take whatever is still queued (shed accounting after close/abort).
     pub(crate) fn drain(&self) -> Vec<T> {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         let mut s = relock(self.state.lock());
         s.queue.drain(..).collect()
     }
 
     /// Times a blocked consumer was woken (see [`DispatchState::wakeups`]).
     pub(crate) fn wakeups(&self) -> u64 {
+        let _order = gcnp_tensor::lockcheck::acquire("dispatch.state");
         relock(self.state.lock()).wakeups
     }
 }
@@ -402,7 +419,9 @@ impl<T> DispatchQueue<T> {
 // run_batches: mode-switched batch runner
 // ---------------------------------------------------------------------------
 
+// lock: acquires pipeline.first_err
 fn record_first(slot: &Mutex<Option<(usize, ServingError)>>, index: usize, err: ServingError) {
+    let _order = gcnp_tensor::lockcheck::acquire("pipeline.first_err");
     let mut g = relock(slot.lock());
     // Smallest batch index wins, so both modes surface the same error: the
     // sequential loop can only ever reach the earliest failing batch.
@@ -439,7 +458,8 @@ fn run_pipelined(
     let gate = BarrierGate::new();
     // Return rail for front-pool buffers the back stage retired; the front
     // drains it before each prepare (double-buffered scratch circulation).
-    let rail: Mutex<Vec<Matrix>> = Mutex::new(Vec::new());
+    let rail: Mutex<Vec<Matrix>> = Mutex::new(Vec::new()); // lock: pipeline.rail
+                                                           // lock: pipeline.first_err
     let first_err: Mutex<Option<(usize, ServingError)>> = Mutex::new(None);
 
     let results = std::thread::scope(|s| {
@@ -453,8 +473,11 @@ fn run_pipelined(
                 if barrier && i > 0 && !gate.wait_done(i as u64) {
                     break; // back stage died
                 }
-                for m in relock(rail.lock()).drain(..) {
-                    front.pool.recycle(m);
+                {
+                    let _order = gcnp_tensor::lockcheck::acquire("pipeline.rail");
+                    for m in relock(rail.lock()).drain(..) {
+                        front.pool.recycle(m);
+                    }
                 }
                 match core.prepare(targets, &mut front) {
                     Ok(prep) => {
@@ -492,12 +515,16 @@ fn run_pipelined(
                     break;
                 }
             }
-            relock(rail.lock()).extend(spent);
+            {
+                let _order = gcnp_tensor::lockcheck::acquire("pipeline.rail");
+                relock(rail.lock()).extend(spent);
+            }
             gate.bump();
         }
         results
     });
 
+    let _order = gcnp_tensor::lockcheck::acquire("pipeline.first_err");
     let err = relock(first_err.lock()).take();
     match err {
         Some((_, e)) => Err(e),

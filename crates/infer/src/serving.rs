@@ -739,7 +739,7 @@ impl StagedJob {
 struct WorkerLink {
     stage: StageQueue<StagedJob>,
     gate: BarrierGate,
-    rail: Mutex<Vec<Matrix>>,
+    rail: Mutex<Vec<Matrix>>, // lock: worker.rail
     retired: AtomicBool,
     /// Set by the watchdog's teardown: the stage pair must wind down (the
     /// stage queue is closed, the gate killed) and the managing worker
@@ -786,11 +786,11 @@ struct Fleet<'f> {
     /// EWMA of per-batch busy seconds — the dispatcher's virtual-clock
     /// advance and deadline projection (guarded against non-finite
     /// observations).
-    est: &'f Mutex<f64>,
-    compute_seconds: &'f Mutex<f64>,
+    est: &'f Mutex<f64>, // lock: fleet.est
+    compute_seconds: &'f Mutex<f64>, // lock: fleet.compute
     /// Summed stage-thread busy time (occupancy numerator).
-    busy_seconds: &'f Mutex<f64>,
-    latencies: &'f Mutex<Vec<f64>>,
+    busy_seconds: &'f Mutex<f64>, // lock: fleet.busy
+    latencies: &'f Mutex<Vec<f64>>,  // lock: fleet.latencies
     served: &'f AtomicUsize,
     shed: &'f AtomicUsize,
     recoveries: &'f AtomicUsize,
@@ -808,6 +808,7 @@ struct Fleet<'f> {
 
 impl Fleet<'_> {
     fn add_busy(&self, secs: f64) {
+        let _order = gcnp_tensor::lockcheck::acquire("fleet.busy");
         *relock(self.busy_seconds.lock()) += secs;
     }
 
@@ -817,6 +818,7 @@ impl Fleet<'_> {
         if !secs.is_finite() || secs <= 0.0 {
             return;
         }
+        let _order = gcnp_tensor::lockcheck::acquire("fleet.est");
         let mut e = relock(self.est.lock());
         *e = if self.est_warm.swap(true, Ordering::AcqRel) {
             EST_ALPHA * secs + (1.0 - EST_ALPHA) * *e
@@ -826,10 +828,14 @@ impl Fleet<'_> {
     }
 
     fn on_success(&self, nodes: &[usize], arrivals: &[f64], compute: f64, busy: f64) {
-        *relock(self.compute_seconds.lock()) += compute;
+        {
+            let _order = gcnp_tensor::lockcheck::acquire("fleet.compute");
+            *relock(self.compute_seconds.lock()) += compute;
+        }
         self.update_est(busy);
         let done = self.t0.elapsed().as_secs_f64();
         {
+            let _order = gcnp_tensor::lockcheck::acquire("fleet.latencies");
             let mut lat = relock(self.latencies.lock());
             for &arr in arrivals {
                 lat.push((done - arr).max(0.0) * 1e3);
@@ -1069,8 +1075,11 @@ fn pipelined_front(
             fleet.dispatch.resolve();
             break;
         }
-        for m in relock(link.rail.lock()).drain(..) {
-            front.pool.recycle(m);
+        {
+            let _order = gcnp_tensor::lockcheck::acquire("worker.rail");
+            for m in relock(link.rail.lock()).drain(..) {
+                front.pool.recycle(m);
+            }
         }
         // Not hedgeable mid-prepare: the estimate the hedge races against
         // covers the whole prepare+execute span, so speculation is decided
@@ -1197,7 +1206,10 @@ fn pipelined_back(
         fleet.add_busy(busy);
         // Return the front-pool buffers the batch carried even on failure:
         // the rail is the only route back to the front's scratch pool.
-        relock(link.rail.lock()).extend(spent);
+        {
+            let _order = gcnp_tensor::lockcheck::acquire("worker.rail");
+            relock(link.rail.lock()).extend(spent);
+        }
         // An empty slot means the watchdog stole the batch (it was already
         // requeued + resolved); otherwise any hedge token the supervisor
         // installed against us rides back in the entry.
@@ -1354,15 +1366,16 @@ pub fn serve_multi(
     // `cold_compute_estimate`) instead of the old 0.0 sentinel, so the
     // first windows already project deadlines and the supervisor's hedge
     // bound is meaningful from batch #1. The first measurement replaces it.
+    // lock: fleet.est
     let est = Mutex::new(
         engines
             .first()
             .map_or(0.0, |e| e.cold_compute_estimate(cfg.max_batch)),
     );
     let est_warm = AtomicBool::new(false);
-    let compute_seconds = Mutex::new(0.0f64);
-    let busy_seconds = Mutex::new(0.0f64);
-    let latencies = Mutex::new(Vec::<f64>::new());
+    let compute_seconds = Mutex::new(0.0f64); // lock: fleet.compute
+    let busy_seconds = Mutex::new(0.0f64); // lock: fleet.busy
+    let latencies = Mutex::new(Vec::<f64>::new()); // lock: fleet.latencies
     let served = AtomicUsize::new(0);
     let shed = AtomicUsize::new(0);
     let recoveries = AtomicUsize::new(0);
@@ -1455,7 +1468,10 @@ pub fn serve_multi(
                     watches,
                     policy,
                     &|| fleet.t0.elapsed().as_secs_f64(),
-                    &|| *relock(fleet.est.lock()),
+                    &|| {
+                        let _order = gcnp_tensor::lockcheck::acquire("fleet.est");
+                        *relock(fleet.est.lock())
+                    },
                     &|| finished.load(Ordering::Acquire) >= n_workers,
                     &|entry: PendingEntry<QueuedBatch>| {
                         // Watchdog steal: the wedged attempt's slot is
@@ -1520,6 +1536,7 @@ pub fn serve_multi(
             let Some(w) = former.admit(free_at, obs.as_ref()) else {
                 break; // trace exhausted and queue drained
             };
+            let _order = gcnp_tensor::lockcheck::acquire("fleet.est");
             let e = *relock(est.lock());
             let est_c = if e.is_finite() && e > 0.0 { e } else { 0.0 };
             let (nodes, when) = former.seal(&w, est_c * DEADLINE_EST_SAFETY, obs.as_ref());

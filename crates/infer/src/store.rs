@@ -79,10 +79,31 @@ struct Stripe {
     levels: Vec<StripeLevel>,
 }
 
+/// A stripe guard carrying its runtime lock-order token (`lock-order`
+/// feature): the token lives exactly as long as the guard, so the tracker
+/// sees `store.stripe` on the acquisition stack whenever a stripe is held.
+struct OrderedGuard<G> {
+    guard: G,
+    _order: gcnp_tensor::lockcheck::Token,
+}
+
+impl<G: std::ops::Deref> std::ops::Deref for OrderedGuard<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: std::ops::DerefMut> std::ops::DerefMut for OrderedGuard<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
 /// Stored hidden features for the middle layers of an `L`-layer model,
 /// sharded across [`N_STRIPES`] lock stripes keyed by node id.
 pub struct FeatureStore {
-    stripes: Vec<RwLock<Stripe>>,
+    stripes: Vec<RwLock<Stripe>>, // lock: store.stripe
     n_nodes: usize,
     n_levels: usize,
     clock: AtomicU32,
@@ -116,28 +137,40 @@ impl FeatureStore {
     /// data behind a poisoned lock is still consistent — a worker crash
     /// must not brick the shared store for the surviving replicas. Each
     /// recovery is counted in `store.poison_recovered`.
+    // lock: acquires store.stripe
     #[inline]
-    fn read_stripe(&self, idx: usize) -> RwLockReadGuard<'_, Stripe> {
+    fn read_stripe(&self, idx: usize) -> OrderedGuard<RwLockReadGuard<'_, Stripe>> {
+        let order = gcnp_tensor::lockcheck::acquire("store.stripe");
         let lock = &self.stripes[idx & (N_STRIPES - 1)]; // audit: allow(no-fail-stop) — masked into 0..N_STRIPES and the store holds exactly N_STRIPES stripes
-        lock.read().unwrap_or_else(|e| {
+        let guard = lock.read().unwrap_or_else(|e| {
             if let Some(m) = self.metrics.get() {
                 m.poison_recovered.inc();
             }
             e.into_inner()
-        })
+        });
+        OrderedGuard {
+            guard,
+            _order: order,
+        }
     }
 
     /// Acquire stripe `idx`'s write guard, recovering from poison (see
     /// `FeatureStore::read_stripe`).
+    // lock: acquires store.stripe
     #[inline]
-    fn write_stripe(&self, idx: usize) -> RwLockWriteGuard<'_, Stripe> {
+    fn write_stripe(&self, idx: usize) -> OrderedGuard<RwLockWriteGuard<'_, Stripe>> {
+        let order = gcnp_tensor::lockcheck::acquire("store.stripe");
         let lock = &self.stripes[idx & (N_STRIPES - 1)]; // audit: allow(no-fail-stop) — masked into 0..N_STRIPES and the store holds exactly N_STRIPES stripes
-        lock.write().unwrap_or_else(|e| {
+        let guard = lock.write().unwrap_or_else(|e| {
             if let Some(m) = self.metrics.get() {
                 m.poison_recovered.inc();
             }
             e.into_inner()
-        })
+        });
+        OrderedGuard {
+            guard,
+            _order: order,
+        }
     }
 
     /// An empty store for `n_nodes` nodes and `n_levels` middle layers
@@ -247,7 +280,7 @@ impl FeatureStore {
     fn stripe_bypassed(&self, stripe: usize) -> bool {
         self.corruptions
             .get(stripe)
-            .is_some_and(|c| c.load(Ordering::Relaxed) >= STRIPE_BREAKER_THRESHOLD)
+            .is_some_and(|c| c.load(Ordering::Acquire) >= STRIPE_BREAKER_THRESHOLD)
     }
 
     /// Evict a row whose checksum failed, under the write guard (re-checked
@@ -275,7 +308,7 @@ impl FeatureStore {
         }
         self.quarantined.fetch_add(1, Ordering::Relaxed);
         if let Some(c) = self.corruptions.get(stripe_of(node)) {
-            c.fetch_add(1, Ordering::Relaxed);
+            c.fetch_add(1, Ordering::AcqRel);
         }
         if let Some(m) = self.metrics.get() {
             m.corruption_detected.inc();
@@ -461,7 +494,7 @@ impl FeatureStore {
             }
         }
         for c in &self.corruptions {
-            c.store(0, Ordering::Relaxed);
+            c.store(0, Ordering::Release);
         }
     }
 

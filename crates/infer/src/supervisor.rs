@@ -87,7 +87,7 @@ pub(crate) struct PendingEntry<T> {
 /// A worker's published in-flight batch. `begin` before the stage body,
 /// `finish` after: `None` from `finish` means the supervisor stole the
 /// batch and this attempt's outcome is void.
-pub(crate) struct PendingSlot<T>(Mutex<Option<PendingEntry<T>>>);
+pub(crate) struct PendingSlot<T>(Mutex<Option<PendingEntry<T>>>); // lock: pending.slot
 
 impl<T: Clone> PendingSlot<T> {
     pub(crate) fn new() -> Self {
@@ -95,6 +95,7 @@ impl<T: Clone> PendingSlot<T> {
     }
 
     pub(crate) fn begin(&self, item: &T, since: f64, hedgeable: bool) {
+        let _order = gcnp_tensor::lockcheck::acquire("pending.slot");
         *relock(self.0.lock()) = Some(PendingEntry {
             item: item.clone(),
             since,
@@ -104,6 +105,7 @@ impl<T: Clone> PendingSlot<T> {
     }
 
     pub(crate) fn finish(&self) -> Option<PendingEntry<T>> {
+        let _order = gcnp_tensor::lockcheck::acquire("pending.slot");
         relock(self.0.lock()).take()
     }
 }
@@ -135,6 +137,7 @@ pub(crate) fn tick<T: Clone>(
             let mut fired: Option<PendingEntry<T>> = None;
             let mut hedged: Option<(T, Arc<AtomicBool>)> = None;
             {
+                let _order = gcnp_tensor::lockcheck::acquire("pending.slot");
                 let mut guard = relock(slot.0.lock());
                 if let Some(entry) = guard.as_mut() {
                     let busy = now - entry.since;

@@ -209,11 +209,12 @@ impl Drop for ScopedTimer<'_> {
 /// registry its peers share.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
-    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
-    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>, // lock: obs.counters
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,     // lock: obs.gauges
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>, // lock: obs.histograms
 }
 
+// lock: acquires obs.counters, obs.gauges, obs.histograms
 fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
     if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
         return Arc::clone(found);

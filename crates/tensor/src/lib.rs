@@ -22,6 +22,8 @@
 pub mod check;
 pub mod gemm;
 pub mod init;
+pub mod lockcheck;
+pub mod lockgraph;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;

@@ -1,0 +1,98 @@
+//! Runtime lock-order validation (the `lock-order` cargo feature).
+//!
+//! Every registered synchronization site (see the `// lock:` registry
+//! enforced by `gcnp-audit`) calls [`acquire`] with its registered name
+//! just before taking the real lock and holds the returned [`Token`] for
+//! the guard's lifetime. With the feature enabled, a thread-local
+//! acquisition stack is checked against the statically-extracted graph in
+//! [`crate::lockgraph`]: acquiring `B` while holding `A` panics iff the
+//! static graph contains a path `B ⇝ A` — i.e. the two orders observed
+//! together would deadlock. Unanticipated but *acyclic* orderings are
+//! allowed (they extend the graph on the next `--emit-lock-graph`), so
+//! the chaos / supervision suites run green unless a genuine inversion
+//! interleaves.
+//!
+//! With the feature disabled (the default), [`acquire`] is a `const`
+//! no-op returning a zero-sized token: the hot paths carry no cost.
+
+#[cfg(feature = "lock-order")]
+mod imp {
+    use crate::lockgraph::{LOCK_NODES, LOCK_ORDER_PATHS};
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Node indices of the locks this thread currently holds, in
+        /// acquisition order.
+        static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof of a checked acquisition; keep it alive as long as the guard.
+    #[must_use = "the token must live as long as the guard it orders"]
+    pub struct Token {
+        idx: u16,
+    }
+
+    /// Check `name` against this thread's held set and push it.
+    ///
+    /// Panics (typed, greppable prefixes) on an inversion against the
+    /// static graph or on a name missing from the generated node table.
+    pub fn acquire(name: &'static str) -> Token {
+        let idx = match LOCK_NODES.binary_search(&name) {
+            Ok(i) => i as u16,
+            Err(_) => panic!(
+                "lock-order: unregistered lock `{name}` — regenerate the graph: \
+                 cargo run -p gcnp-audit -- --emit-lock-graph crates/tensor/src/lockgraph.rs"
+            ),
+        };
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            for &prior in held.iter() {
+                if prior != idx && LOCK_ORDER_PATHS.binary_search(&(idx, prior)).is_ok() {
+                    panic!(
+                        "lock-order inversion: acquiring `{name}` while holding `{prior_name}` \
+                         — the static graph orders `{name}` before `{prior_name}`; two threads \
+                         taking these in opposite order deadlock",
+                        prior_name = LOCK_NODES[prior as usize],
+                    );
+                }
+            }
+            held.push(idx);
+        });
+        Token { idx }
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            // Ignore a destroyed thread-local during thread teardown: the
+            // tracker is best-effort there and the thread can no longer
+            // deadlock anyway.
+            let _ = HELD.try_with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(p) = held.iter().rposition(|&i| i == self.idx) {
+                    held.remove(p);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(feature = "lock-order"))]
+mod imp {
+    /// Zero-sized stand-in; dropping it is a no-op.
+    pub struct Token;
+
+    // An explicit (empty) Drop keeps call sites uniform across both
+    // feature states: `drop(token)` is meaningful scope control with the
+    // tracker on, and must not lint as a no-op with it off.
+    impl Drop for Token {
+        fn drop(&mut self) {}
+    }
+
+    /// No-op acquisition check (feature disabled).
+    #[inline(always)]
+    pub const fn acquire(_name: &'static str) -> Token {
+        Token
+    }
+}
+
+pub use imp::{acquire, Token};

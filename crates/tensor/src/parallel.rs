@@ -66,14 +66,14 @@ type Job = Box<dyn FnOnce() + Send>;
 /// The shared job queue feeding the persistent workers.
 #[derive(Default)]
 struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
-    available: Condvar,
+    jobs: Mutex<VecDeque<Job>>, // lock: pool.jobs
+    available: Condvar,         // lock: pool.available pairs pool.jobs
 }
 
 struct Pool {
     queue: Arc<Queue>,
     /// Workers spawned so far; grows up to the largest width requested.
-    spawned: Mutex<usize>,
+    spawned: Mutex<usize>, // lock: pool.spawned
 }
 
 fn pool() -> &'static Pool {
@@ -87,6 +87,7 @@ fn pool() -> &'static Pool {
 impl Pool {
     /// Make sure at least `want` workers are alive.
     fn ensure_workers(&self, want: usize) {
+        let _order = crate::lockcheck::acquire("pool.spawned");
         let mut spawned = self.spawned.lock().unwrap();
         while *spawned < want {
             let queue = Arc::clone(&self.queue);
@@ -100,7 +101,9 @@ impl Pool {
     }
 
     fn submit(&self, job: Job) {
+        let order = crate::lockcheck::acquire("pool.jobs");
         self.queue.jobs.lock().unwrap().push_back(job);
+        drop(order);
         self.queue.available.notify_one();
     }
 }
@@ -108,6 +111,7 @@ impl Pool {
 fn worker_loop(queue: &Queue) {
     loop {
         let job = {
+            let _order = crate::lockcheck::acquire("pool.jobs");
             let mut jobs = queue.jobs.lock().unwrap();
             loop {
                 if let Some(job) = jobs.pop_front() {
@@ -123,9 +127,9 @@ fn worker_loop(queue: &Queue) {
 /// Completion latch for one `parallel_row_chunks` call: counts outstanding
 /// chunk jobs and parks the first panic payload for re-raise on the caller.
 struct ScopeLatch {
-    remaining: Mutex<usize>,
-    done: Condvar,
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    remaining: Mutex<usize>,                   // lock: latch.remaining
+    done: Condvar,                             // lock: latch.done pairs latch.remaining
+    panic: Mutex<Option<Box<dyn Any + Send>>>, // lock: latch.panic
 }
 
 impl ScopeLatch {
@@ -140,11 +144,13 @@ impl ScopeLatch {
     /// Record one finished chunk (and its panic payload, if any).
     fn complete(&self, payload: Option<Box<dyn Any + Send>>) {
         if let Some(p) = payload {
+            let _order = crate::lockcheck::acquire("latch.panic");
             let mut slot = self.panic.lock().unwrap();
             if slot.is_none() {
                 *slot = Some(p);
             }
         }
+        let _order = crate::lockcheck::acquire("latch.remaining");
         let mut remaining = self.remaining.lock().unwrap();
         *remaining -= 1;
         if *remaining == 0 {
@@ -155,11 +161,14 @@ impl ScopeLatch {
     /// Block until every chunk has completed, then re-raise the first
     /// captured panic payload, preserving the original message.
     fn wait(&self) {
+        let order = crate::lockcheck::acquire("latch.remaining");
         let mut remaining = self.remaining.lock().unwrap();
         while *remaining > 0 {
             remaining = self.done.wait(remaining).unwrap();
         }
         drop(remaining);
+        drop(order);
+        let _order = crate::lockcheck::acquire("latch.panic");
         if let Some(payload) = self.panic.lock().unwrap().take() {
             panic::resume_unwind(payload);
         }
