@@ -14,11 +14,15 @@
 
 use gcnp_bench::harness::{fnum, print_table};
 use gcnp_bench::Ctx;
-use gcnp_infer::{BatchedEngine, StorePolicy, STAGES};
-use gcnp_models::zoo;
+use gcnp_infer::{
+    simulate_tiered, BatchedEngine, LadderPolicy, Precision, ServingConfig, StorePolicy, STAGES,
+};
+use gcnp_models::{zoo, GnnModel};
 use gcnp_sparse::CsrMatrix;
 use gcnp_tensor::init::seeded_rng;
-use gcnp_tensor::{set_gemm_path, set_num_threads, GemmPath, Matrix};
+use gcnp_tensor::{
+    qgemm_packed_into, set_gemm_path, set_num_threads, GemmPath, Matrix, PackedB, QuantPackedB,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,6 +77,57 @@ struct StageShare {
     gemm_share: f64,
 }
 
+/// One int8-vs-f32 blocked GEMM comparison point (both sides use pre-packed
+/// B; per-call activation quantization/packing is inside the int8 timing,
+/// as in the serving path).
+#[derive(Serialize, Deserialize)]
+struct QgemmRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    f32_gflops: f64,
+    int8_gops: f64,
+    int8_speedup: f64,
+}
+
+/// Mask-folded packing vs the retired materialize-then-pack route, f32 and
+/// int8 packs: the cost of building the packed operand straight from a
+/// pruned branch's `keep` list.
+#[derive(Serialize, Deserialize)]
+struct MaskedPackRow {
+    kernel: String,
+    k_full: usize,
+    k_kept: usize,
+    n: usize,
+    pack_rows_seconds: f64,
+    select_then_pack_seconds: f64,
+    speedup: f64,
+}
+
+/// One arm of the degradation-ladder overload comparison.
+#[derive(Serialize, Deserialize)]
+struct LadderArm {
+    label: String,
+    n_requests: usize,
+    served: usize,
+    shed: usize,
+    shed_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    tier_served: Vec<usize>,
+    tier_switches: usize,
+}
+
+/// Pre-arrived overload burst with a deadline, served through the pruning
+/// ladder with and without the quantized bottom rung.
+#[derive(Serialize, Deserialize)]
+struct LadderOverload {
+    deadline_ms: f64,
+    pruned_only: LadderArm,
+    with_quantized: LadderArm,
+}
+
 #[derive(Serialize, Deserialize)]
 struct Report {
     smoke: bool,
@@ -81,6 +136,13 @@ struct Report {
     /// single-threaded: blocked vs naive.
     gemm_speedup_1024: Option<Speedup>,
     spmm: Vec<SpmmRow>,
+    /// Blocked int8 GEMM vs the blocked f32 GEMM at the same shapes.
+    qgemm: Vec<QgemmRow>,
+    /// Mask-folded `pack_rows` vs materialize-then-pack, f32 and int8.
+    masked_pack: Vec<MaskedPackRow>,
+    /// Deadline-overload serving through the ladder with and without the
+    /// quantized rung.
+    ladder_overload: Option<LadderOverload>,
     /// Per-stage GEMM share of the batched serving path under the naive vs
     /// auto (blocked) kernels; empty without the `obs` feature.
     serving_stage_share: Vec<StageShare>,
@@ -177,6 +239,179 @@ fn bench_spmm(shapes: &[(usize, usize, usize)], threads: &[usize], budget: f64) 
     rows
 }
 
+fn bench_qgemm(shapes: &[(usize, usize, usize)], threads: &[usize], budget: f64) -> Vec<QgemmRow> {
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        let mut rng = seeded_rng(0x17e8);
+        let a = Matrix::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let pb_f32 = PackedB::pack(&b);
+        let pb_int8 = QuantPackedB::pack(&b);
+        let ops = 2.0 * (m * k * n) as f64;
+        let mut out = Matrix::zeros(m, n);
+        for &t in threads {
+            set_num_threads(t);
+            let f32_secs = best_seconds(budget, || {
+                a.matmul_packed_into(std::hint::black_box(&pb_f32), &mut out);
+                std::hint::black_box(&out);
+            });
+            let int8_secs = best_seconds(budget, || {
+                qgemm_packed_into(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&pb_int8),
+                    &mut out,
+                );
+                std::hint::black_box(&out);
+            });
+            rows.push(QgemmRow {
+                m,
+                k,
+                n,
+                threads: t,
+                f32_gflops: ops / f32_secs / 1e9,
+                int8_gops: ops / int8_secs / 1e9,
+                int8_speedup: f32_secs / int8_secs,
+            });
+        }
+    }
+    set_num_threads(0);
+    rows
+}
+
+fn bench_masked_pack(smoke: bool, budget: f64) -> Vec<MaskedPackRow> {
+    // Reddit-shaped layer: 602 input channels pruned 4x, hidden 128.
+    let (k_full, n) = if smoke { (96, 32) } else { (602, 128) };
+    let keep: Vec<usize> = (0..k_full).step_by(4).collect();
+    let b = Matrix::rand_uniform(k_full, n, -1.0, 1.0, &mut seeded_rng(0x9acc));
+    let mut rows = Vec::new();
+
+    let fold_f32 = best_seconds(budget, || {
+        std::hint::black_box(PackedB::pack_rows(&b, &keep));
+    });
+    let select_f32 = best_seconds(budget, || {
+        std::hint::black_box(PackedB::pack(&b.select_rows(&keep)));
+    });
+    rows.push(MaskedPackRow {
+        kernel: "f32".into(),
+        k_full,
+        k_kept: keep.len(),
+        n,
+        pack_rows_seconds: fold_f32,
+        select_then_pack_seconds: select_f32,
+        speedup: select_f32 / fold_f32,
+    });
+
+    let fold_int8 = best_seconds(budget, || {
+        std::hint::black_box(QuantPackedB::pack_rows(&b, &keep));
+    });
+    let select_int8 = best_seconds(budget, || {
+        std::hint::black_box(QuantPackedB::pack(&b.select_rows(&keep)));
+    });
+    rows.push(MaskedPackRow {
+        kernel: "int8".into(),
+        k_full,
+        k_kept: keep.len(),
+        n,
+        pack_rows_seconds: fold_int8,
+        select_then_pack_seconds: select_int8,
+        speedup: select_int8 / fold_int8,
+    });
+    rows
+}
+
+/// Structurally prune every branch to its first quarter of input channels
+/// (the bench needs pruned *shapes*, not trained masks — kernel timing does
+/// not care which channels survive).
+fn prune_quarter(model: &GnnModel) -> GnnModel {
+    let mut m = model.clone();
+    for layer in &mut m.layers {
+        for b in &mut layer.branches {
+            let rows = b.weight.rows();
+            if rows >= 8 {
+                let keep: Vec<usize> = (0..rows / 4).collect();
+                b.weight = b.weight.select_rows(&keep);
+                b.keep = Some(keep);
+            }
+        }
+    }
+    m
+}
+
+/// Pre-arrived overload burst against a hard deadline: every request that
+/// cannot be projected to finish in time is shed, so the arm that serves
+/// the backlog faster sheds less. Compares the pruned-only ladder against
+/// the same ladder with the quantized (int8, 4x-pruned) bottom rung.
+fn ladder_overload(smoke: bool, seed: u64) -> LadderOverload {
+    let (nodes, attr, hidden, n_requests, deadline) = if smoke {
+        (512, 32, 32, 160, 0.25)
+    } else {
+        (4096, 256, 256, 2400, 0.75)
+    };
+    let adj = synth_graph(nodes, 12);
+    let x = Matrix::rand_uniform(nodes, attr, -1.0, 1.0, &mut seeded_rng(seed));
+    let full = zoo::graphsage(attr, hidden, 8, seed);
+    let pruned = prune_quarter(&full);
+    let pool: Vec<usize> = (0..nodes).collect();
+    let cfg = ServingConfig {
+        arrival_rate: 1e6, // burst: everything queued at t ≈ 0
+        max_batch: 64,
+        n_requests,
+        deadline: Some(deadline),
+        seed,
+        ..Default::default()
+    };
+    let ladder = LadderPolicy::default();
+
+    let run = |label: &str, specs: &[(&GnnModel, Precision)]| {
+        let mut tiers: Vec<BatchedEngine<'_>> = specs
+            .iter()
+            .map(|&(m, p)| {
+                BatchedEngine::new_with_precision(
+                    m,
+                    &adj,
+                    &x,
+                    vec![None, Some(16)],
+                    None,
+                    StorePolicy::None,
+                    seed,
+                    p,
+                )
+            })
+            .collect();
+        let rep = simulate_tiered(&mut tiers, &pool, &cfg, Some(&ladder)).expect("overload run");
+        let shed = rep.shed_queue + rep.shed_deadline;
+        LadderArm {
+            label: label.to_string(),
+            n_requests: rep.n_requests,
+            served: rep.served,
+            shed,
+            shed_rate: shed as f64 / rep.n_requests.max(1) as f64,
+            p50_ms: rep.p50_ms,
+            p99_ms: rep.p99_ms,
+            tier_served: rep.tier_served,
+            tier_switches: rep.tier_switches,
+        }
+    };
+
+    let pruned_only = run(
+        "full->pruned4x",
+        &[(&full, Precision::F32), (&pruned, Precision::F32)],
+    );
+    let with_quantized = run(
+        "full->pruned4x->quantized",
+        &[
+            (&full, Precision::F32),
+            (&pruned, Precision::F32),
+            (&pruned, Precision::Int8),
+        ],
+    );
+    LadderOverload {
+        deadline_ms: deadline * 1e3,
+        pruned_only,
+        with_quantized,
+    }
+}
+
 /// Serve a fixed batch schedule under one GEMM path and report the GEMM
 /// stage's share of the total stage time.
 fn stage_share(path_label: &str, path: Option<GemmPath>, smoke: bool, seed: u64) -> StageShare {
@@ -248,6 +483,9 @@ fn main() {
 
     let gemm = bench_gemm(gemm_shapes, &threads, budget);
     let spmm = bench_spmm(spmm_shapes, &threads, budget);
+    let qgemm = bench_qgemm(gemm_shapes, &threads, budget);
+    let masked_pack = bench_masked_pack(smoke, budget);
+    let overload = ladder_overload(smoke, ctx.seed);
 
     let gemm_speedup_1024 = {
         let at = |path: &str| {
@@ -296,8 +534,38 @@ fn main() {
                     fnum(r.gflops, 2),
                 ]
             }))
+            .chain(qgemm.iter().map(|r| {
+                vec![
+                    "qgemm".into(),
+                    format!("{}x{}x{}", r.m, r.k, r.n),
+                    r.threads.to_string(),
+                    "int8".into(),
+                    fnum(r.int8_gops, 2),
+                ]
+            }))
             .collect::<Vec<_>>(),
     );
+    for r in &masked_pack {
+        println!(
+            "masked pack [{}] {}->{} x{}: fold {}x vs select-then-pack",
+            r.kernel,
+            r.k_full,
+            r.k_kept,
+            r.n,
+            fnum(r.speedup, 2)
+        );
+    }
+    for arm in [&overload.pruned_only, &overload.with_quantized] {
+        println!(
+            "ladder overload [{}]: shed {}/{} ({}%), p99 {} ms, tiers {:?}",
+            arm.label,
+            arm.shed,
+            arm.n_requests,
+            fnum(100.0 * arm.shed_rate, 1),
+            fnum(arm.p99_ms, 1),
+            arm.tier_served
+        );
+    }
     if let Some(s) = &gemm_speedup_1024 {
         println!(
             "1024^3 single-thread: naive {} GFLOP/s, blocked {} GFLOP/s ({}x)",
@@ -319,6 +587,9 @@ fn main() {
         gemm,
         gemm_speedup_1024,
         spmm,
+        qgemm,
+        masked_pack,
+        ladder_overload: Some(overload),
         serving_stage_share,
     };
     ctx.write_json(&report);

@@ -6,8 +6,8 @@ use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
 use gcnp_datasets::{Dataset, DatasetKind};
 use gcnp_infer::{
     format_stage_table, serve_multi, simulate_tiered, stage_breakdown, BatchedEngine,
-    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, PipelineMode, QuantizedGnn,
-    ServingConfig, StorePolicy,
+    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, PipelineMode, Precision,
+    QuantizedGnn, ServingConfig, StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
 use gcnp_obs::MetricsRegistry;
@@ -257,7 +257,9 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// injects a deterministic chaos schedule (see
 /// [`gcnp_infer::FaultPlan::parse`]), `--deadline-ms`/`--queue-cap` turn on
 /// deadline and admission shedding, and `--ladder` (single-worker) serves
-/// through a full → pruned-2x → pruned-4x degradation ladder.
+/// through a full → pruned-2x → pruned-4x → quantized degradation ladder
+/// (the bottom rung re-runs the 4x-pruned weights through the blocked int8
+/// kernel, ≈16x smaller weight memory than the full model).
 /// `--metrics-out file` attaches a `gcnp-obs` registry to the engines and
 /// feature store, writes the end-of-run snapshot as JSON to `file` and
 /// Prometheus text to `file.prom`, and appends a per-stage engine timing
@@ -413,10 +415,19 @@ pub fn serve(args: &Args) -> Result<String, String> {
     } else {
         vec![]
     };
-    let mut tiers: Vec<BatchedEngine<'_>> = std::iter::once(&model)
-        .chain(tier_models.iter())
-        .map(|m| {
-            let mut e = BatchedEngine::new(
+    // Rung specs: the f32 rungs, then (with --ladder) the quantized floor —
+    // the heaviest-pruned model's weights re-run as int8, compounding the
+    // 4x channel pruning with 4x weight compression.
+    let mut specs: Vec<(&GnnModel, Precision)> = std::iter::once((&model, Precision::F32))
+        .chain(tier_models.iter().map(|m| (m, Precision::F32)))
+        .collect();
+    if args.has("ladder") {
+        specs.push((tier_models.last().unwrap_or(&model), Precision::Int8));
+    }
+    let mut tiers: Vec<BatchedEngine<'_>> = specs
+        .into_iter()
+        .map(|(m, precision)| {
+            let mut e = BatchedEngine::new_with_precision(
                 m,
                 &data.adj,
                 &data.features,
@@ -424,6 +435,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
                 store,
                 policy,
                 seed,
+                precision,
             );
             if let Some(inj) = &faults {
                 e.set_faults(Arc::clone(inj));

@@ -26,9 +26,9 @@
 //! front stage also means a poisoned store row surfaces as a typed error
 //! *before* any GEMM or write-back runs (fail before side effects).
 
-use gcnp_models::{Branch, CombineMode, GnnModel, PackedModel};
+use gcnp_models::{Branch, CombineMode, GnnModel, PackedModel, QuantPackedModel};
 use gcnp_sparse::{BatchSupport, CsrMatrix};
-use gcnp_tensor::{parallel_row_chunks, Matrix, ScratchPool};
+use gcnp_tensor::{parallel_row_chunks, qgemm_packed_into, Matrix, ScratchPool};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,6 +46,58 @@ const ABSENT: u32 = u32::MAX;
 /// on purpose: a too-small seed estimate only delays EWMA convergence by a
 /// batch, while a too-large one spuriously sheds a cold fleet's first batch.
 const COLD_MACS_PER_SEC: f64 = 2e9;
+
+/// Sampled zero fraction of a gathered operand above which the dense branch
+/// GEMM is routed to the column-blocked CSR SpMM instead. ReLU-sparsified
+/// hidden layers routinely exceed this; raw feature gathers rarely do. At
+/// 87.5% zeros the sparse kernel touches ⅛ of the multiply work, which
+/// comfortably covers the compression cost.
+const SPARSE_DISPATCH_ZERO_FRAC: f32 = 0.875;
+
+/// Minimum `rows · in · out` multiply-adds before the density probe runs at
+/// all: below this even a free sparse kernel cannot repay the probe and
+/// compression overhead, so small products always take the dense pack.
+const SPARSE_DISPATCH_MIN_MACS: usize = 1 << 15;
+
+/// Elements the density probe samples per gathered operand (fixed-stride,
+/// sequential — deterministic and thread-count invariant).
+const DENSITY_PROBE_SAMPLES: usize = 1024;
+
+/// Numeric precision an engine runs its branch transforms in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// f32 blocked GEMM with runtime sparsity dispatch (dense ↔ CSR SpMM).
+    F32,
+    /// Blocked int8 GEMM over per-column-quantized packed weights — the
+    /// degradation ladder's cheapest rung.
+    Int8,
+}
+
+/// The engine's weight-pack cache in its chosen precision. Both variants
+/// fold channel-pruning masks into the pack step, so pruned channels are
+/// never packed or multiplied.
+pub(crate) enum WeightPacks<'m> {
+    F32(PackedModel<'m>),
+    Int8(QuantPackedModel<'m>),
+}
+
+impl WeightPacks<'_> {
+    fn precision(&self) -> Precision {
+        match self {
+            WeightPacks::F32(_) => Precision::F32,
+            WeightPacks::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// Bytes of weight data a batch streams through (the per-batch memory
+    /// metric's weight term): 4 bytes per f32 weight, 1 per int8.
+    fn weight_bytes(&self, model: &GnnModel) -> usize {
+        match self {
+            WeightPacks::F32(_) => model.n_weights() * 4,
+            WeightPacks::Int8(_) => model.n_weights(),
+        }
+    }
+}
 
 /// What the engine writes back to the store after each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,9 +135,10 @@ pub struct BatchResult {
 /// Batched-inference engine.
 pub struct BatchedEngine<'a> {
     model: &'a GnnModel,
-    /// Weight-pack cache: every branch weight packed once at construction,
-    /// so per-batch GEMMs skip the operand-pack step entirely.
-    packed: PackedModel<'a>,
+    /// Weight-pack cache: every branch weight packed once at construction
+    /// (f32 or int8 per the engine's [`Precision`]), so per-batch GEMMs skip
+    /// the operand-pack step entirely.
+    packed: WeightPacks<'a>,
     /// Raw (unnormalized) adjacency; the engine applies mean aggregation.
     adj: &'a CsrMatrix,
     features: &'a Matrix,
@@ -272,7 +325,7 @@ impl PreparedBatch {
 #[derive(Clone, Copy)]
 pub(crate) struct EngineCore<'e, 'a> {
     model: &'a GnnModel,
-    packed: &'e PackedModel<'a>,
+    packed: &'e WeightPacks<'a>,
     adj: &'a CsrMatrix,
     features: &'a Matrix,
     caps: &'e [Option<usize>],
@@ -299,7 +352,8 @@ pub(crate) struct BackStage<'e> {
 }
 
 impl<'a> BatchedEngine<'a> {
-    /// Create an engine. `store = None` disables the hidden-feature reuse.
+    /// Create an f32 engine. `store = None` disables the hidden-feature
+    /// reuse. See [`BatchedEngine::new_with_precision`] for the int8 tier.
     pub fn new(
         model: &'a GnnModel,
         adj: &'a CsrMatrix,
@@ -308,6 +362,34 @@ impl<'a> BatchedEngine<'a> {
         store: Option<&'a FeatureStore>,
         policy: StorePolicy,
         seed: u64,
+    ) -> Self {
+        Self::new_with_precision(
+            model,
+            adj,
+            features,
+            caps,
+            store,
+            policy,
+            seed,
+            Precision::F32,
+        )
+    }
+
+    /// Create an engine whose branch transforms run in the given
+    /// [`Precision`]: `F32` packs the weights for the blocked f32 GEMM (with
+    /// runtime sparsity dispatch), `Int8` quantizes them per column and
+    /// packs for the blocked int8 kernel — the degradation ladder's
+    /// `quantized` rung.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_precision(
+        model: &'a GnnModel,
+        adj: &'a CsrMatrix,
+        features: &'a Matrix,
+        caps: Vec<Option<usize>>,
+        store: Option<&'a FeatureStore>,
+        policy: StorePolicy,
+        seed: u64,
+        precision: Precision,
     ) -> Self {
         for layer in &model.layers {
             // audit: allow(no-fail-stop) — constructor misuse is a programmer error; engines are built once at startup, not per request
@@ -320,7 +402,10 @@ impl<'a> BatchedEngine<'a> {
         assert!(!model.jk, "BatchedEngine: JK models not supported");
         Self {
             model,
-            packed: PackedModel::new(model),
+            packed: match precision {
+                Precision::F32 => WeightPacks::F32(PackedModel::new(model)),
+                Precision::Int8 => WeightPacks::Int8(QuantPackedModel::new(model)),
+            },
             adj,
             features,
             caps,
@@ -358,6 +443,11 @@ impl<'a> BatchedEngine<'a> {
     /// The attached metrics bundle, if any.
     pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
         self.metrics.as_ref()
+    }
+
+    /// The numeric precision the branch transforms run in.
+    pub fn precision(&self) -> Precision {
+        self.packed.precision()
     }
 
     /// Skew factor the most recent execute latched for the EWMA
@@ -524,7 +614,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
         );
         lap(&mut clock, Stage::Expand);
 
-        let mut mem_bytes: usize = self.model.n_weights() * 4;
+        let mut mem_bytes: usize = self.packed.weight_bytes(self.model);
         let mut store_hits = 0usize;
 
         // Level 0: raw attributes of the input nodes, gathered into a pooled
@@ -669,10 +759,9 @@ impl<'e, 'a> EngineCore<'e, 'a> {
         for li in 1..=n_layers {
             let ls = &support.layers[li - 1]; // audit: allow(no-fail-stop) — li ranges over 1..=n_layers and support has one entry per layer
             let layer = &self.model.layers[li - 1]; // audit: allow(no-fail-stop) — same loop bound
-            let packs = self.packed.branch_packs(li - 1);
-            // --- compute branch outputs for ls.compute --------------------
+                                                    // --- compute branch outputs for ls.compute --------------------
             let mut parts: Vec<Matrix> = Vec::with_capacity(layer.branches.len());
-            for (branch, pack) in layer.branches.iter().zip(packs) {
+            for (bi, branch) in layer.branches.iter().enumerate() {
                 let gathered = match branch.k {
                     0 => gather_selected(&level_mat, relabel, &ls.compute, branch, pool),
                     1 => aggregate_mean(&level_mat, relabel, ls, branch, pool),
@@ -683,12 +772,46 @@ impl<'e, 'a> EngineCore<'e, 'a> {
                 if branch.k == 1 {
                     macs += (ls.neigh_ids.len() * branch.in_dim()) as u64;
                 }
-                macs += (gathered.rows() * branch.in_dim() * branch.out_dim()) as u64;
+                let branch_macs = gathered.rows() * branch.in_dim() * branch.out_dim();
+                macs += branch_macs as u64;
                 lap(&mut clock, Stage::Spmm);
                 // Pre-packed weights (no per-call operand pack) into a pooled
                 // output buffer; the gathered operand goes back to the pool.
                 let mut prod = pool.take_matrix(gathered.rows(), branch.out_dim());
-                gathered.matmul_packed_into(pack, &mut prod);
+                match self.packed {
+                    WeightPacks::Int8(qm) => {
+                        // Quantized tier: the blocked int8 kernel over the
+                        // mask-folded per-column-quantized pack.
+                        // audit: allow(no-fail-stop) — packs are built 1:1 with model branches at construction
+                        qgemm_packed_into(&gathered, &qm.branch_packs(li - 1)[bi], &mut prod);
+                        if let Some(m) = self.metrics {
+                            m.dispatch_int8.inc();
+                        }
+                    }
+                    WeightPacks::F32(pm) => {
+                        // Density probe: ReLU-sparsified (or pruned-gather)
+                        // operands above the zero-fraction threshold route to
+                        // the column-blocked CSR SpMM; everything else takes
+                        // the dense blocked GEMM. The probe is a fixed-stride
+                        // sample, so the decision is deterministic and
+                        // independent of thread count.
+                        if branch_macs >= SPARSE_DISPATCH_MIN_MACS
+                            && gathered.zero_fraction_sampled(DENSITY_PROBE_SAMPLES)
+                                >= SPARSE_DISPATCH_ZERO_FRAC
+                        {
+                            CsrMatrix::from_dense(&gathered).spmm_into(&branch.weight, &mut prod);
+                            if let Some(m) = self.metrics {
+                                m.dispatch_sparse.inc();
+                            }
+                        } else {
+                            // audit: allow(no-fail-stop) — packs are built 1:1 with model branches at construction
+                            gathered.matmul_packed_into(&pm.branch_packs(li - 1)[bi], &mut prod);
+                            if let Some(m) = self.metrics {
+                                m.dispatch_dense.inc();
+                            }
+                        }
+                    }
+                }
                 pool.recycle(gathered);
                 parts.push(prod);
                 lap(&mut clock, Stage::Gemm);
@@ -1348,5 +1471,146 @@ mod tests {
         for c in 0..4 {
             assert_eq!(straggled.logits.get(0, c), baseline.logits.get(0, c));
         }
+    }
+
+    #[test]
+    fn quantized_engine_approximates_f32_logits() {
+        let (adj, x, model) = setup();
+        let mut f32e = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        let mut q8e = BatchedEngine::new_with_precision(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            None,
+            StorePolicy::None,
+            0,
+            Precision::Int8,
+        );
+        assert_eq!(f32e.precision(), Precision::F32);
+        assert_eq!(q8e.precision(), Precision::Int8);
+        let targets = vec![4usize, 17, 25];
+        let a = f32e.infer(&targets);
+        let b = q8e.infer(&targets);
+        // Per-column symmetric int8 weights + per-row activation scales keep
+        // the logits close; exact values differ by quantization noise.
+        let mut max_abs = 0.0f32;
+        let mut denom = 0.0f32;
+        for i in 0..targets.len() {
+            for c in 0..4 {
+                max_abs = max_abs.max((a.logits.get(i, c) - b.logits.get(i, c)).abs());
+                denom = denom.max(a.logits.get(i, c).abs());
+            }
+        }
+        assert!(
+            max_abs <= 0.05 * denom.max(1.0),
+            "int8 logits drifted: max |Δ| = {max_abs}, max |f32| = {denom}"
+        );
+        // The quantized tier's weight footprint is 4x smaller, which the
+        // per-batch memory accounting must reflect.
+        assert!(
+            b.mem_bytes < a.mem_bytes,
+            "int8 mem {} must undercut f32 mem {}",
+            b.mem_bytes,
+            a.mem_bytes
+        );
+    }
+
+    #[test]
+    fn dispatch_counters_classify_kernel_choices() {
+        if !gcnp_obs::enabled() {
+            return; // counters are no-ops in obs-off builds
+        }
+        let (adj, x, model) = setup();
+        let registry = Arc::new(gcnp_obs::MetricsRegistry::new());
+        let metrics = crate::EngineMetrics::new(&registry);
+
+        // Dense activations on a small model: every layer GEMM is below the
+        // MAC floor, so everything routes to the dense blocked kernel.
+        let mut dense = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        dense.set_metrics(Arc::clone(&metrics));
+        dense.infer(&[4, 17, 25]);
+        assert!(metrics.dispatch_dense.get() > 0, "dense path must engage");
+        assert_eq!(metrics.dispatch_sparse.get(), 0);
+        assert_eq!(metrics.dispatch_int8.get(), 0);
+
+        // An int8 engine routes every branch GEMM to the quantized kernel.
+        let before_dense = metrics.dispatch_dense.get();
+        let mut q8 = BatchedEngine::new_with_precision(
+            &model,
+            &adj,
+            &x,
+            vec![],
+            None,
+            StorePolicy::None,
+            0,
+            Precision::Int8,
+        );
+        q8.set_metrics(Arc::clone(&metrics));
+        q8.infer(&[4, 17, 25]);
+        assert!(metrics.dispatch_int8.get() > 0, "int8 path must engage");
+        assert_eq!(metrics.dispatch_dense.get(), before_dense);
+        assert_eq!(metrics.dispatch_sparse.get(), 0);
+    }
+
+    #[test]
+    fn sparse_dispatch_engages_on_sparse_features_and_preserves_logits() {
+        // Nearly-empty feature rows (a few one-hot attributes) over a wide
+        // model: level-0 gathers clear both the zero-fraction threshold and
+        // the MAC floor, so layer 1 must take the CSR SpMM path — and the
+        // logits must still match full inference.
+        let n = 128;
+        let d = 96;
+        let adj = ring(n);
+        let mut x = Matrix::zeros(n, d);
+        for v in 0..n {
+            x.set(v, v % d, 1.0);
+            x.set(v, (v * 7 + 3) % d, 0.5);
+        }
+        let model = zoo::graphsage(d, 16, 4, 11);
+        let targets: Vec<usize> = (0..64).collect();
+
+        let registry = Arc::new(gcnp_obs::MetricsRegistry::new());
+        let metrics = crate::EngineMetrics::new(&registry);
+        let mut engine = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        engine.set_metrics(Arc::clone(&metrics));
+        let res = engine.infer(&targets);
+
+        if gcnp_obs::enabled() {
+            assert!(
+                metrics.dispatch_sparse.get() > 0,
+                "sparse path must engage on 98%-zero gathers"
+            );
+            assert!(
+                metrics.dispatch_dense.get() > 0,
+                "narrow layer-2 GEMMs stay dense"
+            );
+        }
+        let norm = adj.normalized(Normalization::Row);
+        let full = model.forward_full(Some(&norm), &x);
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..4 {
+                assert!(
+                    (res.logits.get(i, c) - full.get(t, c)).abs() < 1e-4,
+                    "target {t} class {c}: {} vs {}",
+                    res.logits.get(i, c),
+                    full.get(t, c)
+                );
+            }
+        }
+
+        // The probe is a fixed-stride sample over the gathered operand, so
+        // the kernel choice — and therefore the counters — are deterministic
+        // across runs and thread counts.
+        let registry2 = Arc::new(gcnp_obs::MetricsRegistry::new());
+        let metrics2 = crate::EngineMetrics::new(&registry2);
+        let mut engine2 = BatchedEngine::new(&model, &adj, &x, vec![], None, StorePolicy::None, 0);
+        engine2.set_metrics(Arc::clone(&metrics2));
+        engine2.infer(&targets);
+        assert_eq!(
+            metrics.dispatch_sparse.get(),
+            metrics2.dispatch_sparse.get()
+        );
+        assert_eq!(metrics.dispatch_dense.get(), metrics2.dispatch_dense.get());
     }
 }

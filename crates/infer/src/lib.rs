@@ -33,7 +33,7 @@ pub mod store;
 pub(crate) mod supervisor;
 pub mod timing;
 
-pub use batched::{BatchResult, BatchedEngine, StorePolicy};
+pub use batched::{BatchResult, BatchedEngine, Precision, StorePolicy};
 pub use costmodel::CostModel;
 pub use error::{ServingError, ServingResult};
 pub use faults::{Fault, FaultInjector, FaultPlan};

@@ -15,6 +15,9 @@
 //!   queue wait excluded), and per-stage busy time is bounded by the run's
 //!   wall clock rather than tiling it;
 //! * `engine.batch.seconds` / `engine.batch.size` / `engine.batches`;
+//! * `engine.dispatch.{dense|sparse|int8}` — per-branch kernel picks of the
+//!   runtime sparsity/precision dispatch;
+//! * `serving.tier{i}.served` — requests served on ladder tier `i`;
 //! * `store.{hit|miss|evict|write}.l{level}` + `store.poison_recovered`;
 //! * `serving.*` — loop counters (shed, retries, recoveries, tier switches),
 //!   the `serving.queue.depth` / `serving.batch.size` distributions, the
@@ -62,6 +65,16 @@ pub struct EngineMetrics {
     /// batch (`scratch.resident_bytes`). Bounded by the pool's byte cap
     /// even under retry/hedge storms.
     pub scratch_resident: Arc<Gauge>,
+    /// Branch GEMMs routed to the dense blocked f32 kernel
+    /// (`engine.dispatch.dense`) by the runtime density probe.
+    pub dispatch_dense: Arc<Counter>,
+    /// Branch GEMMs routed to the column-blocked CSR SpMM
+    /// (`engine.dispatch.sparse`): the probe saw a mostly-zero gathered
+    /// operand (ReLU-sparsified activations).
+    pub dispatch_sparse: Arc<Counter>,
+    /// Branch GEMMs executed on the blocked int8 kernel
+    /// (`engine.dispatch.int8`) — every branch of a quantized-tier engine.
+    pub dispatch_int8: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -79,6 +92,9 @@ impl EngineMetrics {
             batch_size: registry.histogram("engine.batch.size"),
             batches: registry.counter("engine.batches"),
             scratch_resident: registry.gauge("scratch.resident_bytes"),
+            dispatch_dense: registry.counter("engine.dispatch.dense"),
+            dispatch_sparse: registry.counter("engine.dispatch.sparse"),
+            dispatch_int8: registry.counter("engine.dispatch.int8"),
         })
     }
 

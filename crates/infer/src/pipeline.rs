@@ -718,6 +718,46 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_matches_sequential_bitwise_with_int8_engine() {
+        // The quantized tier rides the same scratch rails: pipelined and
+        // sequential execution of an int8 engine must agree bitwise (integer
+        // accumulation is exact, so there is no ordering slack to hide in).
+        let n = 60;
+        let adj = ring(n);
+        let x = gcnp_tensor::Matrix::rand_uniform(n, 6, -1.0, 1.0, &mut seeded_rng(3));
+        let model = zoo::graphsage(6, 8, 4, 7);
+        let batches: Vec<Vec<usize>> = (0..12)
+            .map(|b| vec![(b * 5) % n, (b * 5 + 2) % n])
+            .collect();
+
+        let run = |mode: PipelineMode| {
+            let mut engine = crate::BatchedEngine::new_with_precision(
+                &model,
+                &adj,
+                &x,
+                vec![],
+                None,
+                StorePolicy::None,
+                0,
+                crate::Precision::Int8,
+            );
+            run_batches(&mut engine, &batches, mode).unwrap()
+        };
+        let seq = run(PipelineMode::Sequential);
+        let pip = run(PipelineMode::Pipelined);
+        assert_eq!(seq.len(), pip.len());
+        for (a, b) in seq.iter().zip(&pip) {
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(
+                a.logits.as_slice(),
+                b.logits.as_slice(),
+                "int8 logits must be bitwise identical across executors"
+            );
+            assert_eq!(a.mem_bytes, b.mem_bytes);
+        }
+    }
+
+    #[test]
     fn both_modes_surface_the_same_earliest_error() {
         let n = 30;
         let adj = ring(n);

@@ -7,9 +7,10 @@
 //! weight quantization. Pruning and quantization compose: 4× pruning × 4×
 //! weight compression ≈ 16× smaller weight memory.
 
+use crate::error::ServingResult;
 use gcnp_models::{Activation, CombineMode, GnnModel};
 use gcnp_sparse::CsrMatrix;
-use gcnp_tensor::{qmatmul, Matrix, QuantMatrix};
+use gcnp_tensor::{qgemm_packed_into, Matrix, QuantMatrix, QuantPackedB};
 use serde::{Deserialize, Serialize};
 
 /// One quantized branch: the kept-channel list plus int8 weights.
@@ -38,6 +39,9 @@ pub struct QuantizedGnn {
 impl QuantizedGnn {
     /// Quantize a trained model's weights (biases stay f32 — they are tiny
     /// and added post-accumulation, as on real int8 accelerators).
+    ///
+    /// Panics on NaN/inf weights under `strict-invariants`; see
+    /// [`QuantizedGnn::try_from_model`] for the fallible form.
     pub fn from_model(model: &GnnModel) -> Self {
         assert!(!model.jk, "QuantizedGnn: JK models not supported");
         let layers = model
@@ -61,6 +65,33 @@ impl QuantizedGnn {
         Self { layers }
     }
 
+    /// [`QuantizedGnn::from_model`], netting NaN/inf weights into a typed
+    /// [`crate::ServingError::InvariantViolation`] instead of silently
+    /// folding garbage into the quantization scales (a single NaN weight
+    /// poisons its whole column's scale). No-op check without
+    /// `strict-invariants`.
+    pub fn try_from_model(model: &GnnModel) -> ServingResult<Self> {
+        assert!(!model.jk, "QuantizedGnn: JK models not supported");
+        let mut layers = Vec::with_capacity(model.layers.len());
+        for l in &model.layers {
+            let mut branches = Vec::with_capacity(l.branches.len());
+            for b in &l.branches {
+                branches.push(QuantBranch {
+                    k: b.k,
+                    weight: QuantMatrix::try_quantize(&b.weight)?,
+                    keep: b.keep.clone(),
+                });
+            }
+            layers.push(QuantLayer {
+                branches,
+                bias: l.bias.clone(),
+                combine: l.combine,
+                activation: l.activation,
+            });
+        }
+        Ok(Self { layers })
+    }
+
     /// Number of layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
@@ -77,7 +108,11 @@ impl QuantizedGnn {
             .sum()
     }
 
-    /// Full inference with int8 GEMMs.
+    /// Full inference with blocked int8 GEMMs: each branch's stored
+    /// [`QuantMatrix`] is repacked into the panel layout once per call and
+    /// run through [`qgemm_packed_into`] (bitwise identical to the naive
+    /// `qmatmul` reference — same quantization grid, exact integer
+    /// accumulation, shared dequant).
     pub fn forward_full(&self, adj: Option<&CsrMatrix>, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         for layer in &self.layers {
@@ -92,11 +127,15 @@ impl QuantizedGnn {
                 .branches
                 .iter()
                 .map(|b| {
+                    let pb = QuantPackedB::from_quant(&b.weight);
                     let z = &powers[b.k];
-                    match &b.keep {
-                        Some(keep) => qmatmul(&z.select_cols(keep), &b.weight),
-                        None => qmatmul(z, &b.weight),
-                    }
+                    let zin = match &b.keep {
+                        Some(keep) => z.select_cols(keep),
+                        None => z.clone(),
+                    };
+                    let mut out = Matrix::zeros(zin.rows(), pb.n());
+                    qgemm_packed_into(&zin, &pb, &mut out);
+                    out
                 })
                 .collect();
             let refs: Vec<&Matrix> = parts.iter().collect();
@@ -176,6 +215,30 @@ mod tests {
             q.weight_bytes(),
             f32_bytes
         );
+    }
+
+    #[test]
+    fn try_from_model_accepts_finite_weights() {
+        let (adj, x, model) = setup();
+        let q = QuantizedGnn::try_from_model(&model).unwrap();
+        // The fallible path quantizes onto the same grid as `from_model`.
+        let a = QuantizedGnn::from_model(&model).forward_full(Some(&adj), &x);
+        let b = q.forward_full(Some(&adj), &x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    #[test]
+    fn try_from_model_traps_nan_weights() {
+        let (_, _, mut model) = setup();
+        model.layers[0].branches[0].weight.set(1, 2, f32::NAN);
+        let err = QuantizedGnn::try_from_model(&model).unwrap_err();
+        match err {
+            crate::ServingError::InvariantViolation { check, .. } => {
+                assert_eq!(check, "quant.weights.finite");
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -459,6 +459,18 @@ pub fn simulate_tiered(
         .iter()
         .find_map(|t| t.metrics())
         .map(|m| ServingMetrics::new(m.registry()));
+    // Per-tier served counters (`serving.tier{i}.served`): the rung-level
+    // view of the degradation ladder, so operators can see how much traffic
+    // ran pruned or quantized without parsing a report.
+    let tier_served_ctrs: Vec<_> = tiers
+        .iter()
+        .find_map(|t| t.metrics())
+        .map(|m| {
+            (0..tiers.len())
+                .map(|i| m.registry().counter(&format!("serving.tier{i}.served")))
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
     let arrivals = cfg.arrivals(pool);
     let n = arrivals.len();
     let n_tiers = tiers.len();
@@ -546,6 +558,9 @@ pub fn simulate_tiered(
         dwell += 1;
         served += batch.len();
         tier_served[tier] += batch.len(); // audit: allow(no-fail-stop) — the ladder steps keep tier within 0..n_tiers
+        if let Some(c) = tier_served_ctrs.get(tier) {
+            c.add(batch.len() as u64);
+        }
         if let Some(o) = &obs {
             o.batches.inc();
             o.batch_size.observe(batch.len() as f64);
@@ -2050,6 +2065,75 @@ mod tests {
             "overload serves on the cheapest tier, the drained tail one tier up"
         );
         assert_eq!(rep.tier_switches, 2, "one multi-step down, one step up");
+    }
+
+    #[test]
+    fn quantized_rung_engages_under_overload() {
+        // Same pre-arrived overload as above, but the ladder now bottoms out
+        // in the int8 tier (full → … → quantized). The first ladder check
+        // multi-steps straight onto the quantized rung, which absorbs the
+        // overload; the drained tail serves one rung up. Per-tier serving
+        // counters and the engine's int8 dispatch counter must both see it.
+        let (adj, x) = setup();
+        let model = zoo::graphsage(8, 8, 3, 2);
+        let pool: Vec<usize> = (0..100).collect();
+        let cfg = ServingConfig {
+            arrival_rate: 1e6,
+            max_batch: 64,
+            n_requests: 520,
+            seed: 1,
+            ..Default::default()
+        };
+        let ladder = LadderPolicy {
+            step_down_depth: 64,
+            step_up_depth: 8,
+            min_dwell: 4,
+        };
+        let registry = std::sync::Arc::new(gcnp_obs::MetricsRegistry::new());
+        let mut tiers: Vec<BatchedEngine<'_>> = (0..4)
+            .map(|w| {
+                let precision = if w == 3 {
+                    crate::Precision::Int8
+                } else {
+                    crate::Precision::F32
+                };
+                let mut e = BatchedEngine::new_with_precision(
+                    &model,
+                    &adj,
+                    &x,
+                    vec![],
+                    None,
+                    StorePolicy::None,
+                    w as u64,
+                    precision,
+                );
+                e.set_metrics(crate::EngineMetrics::new(&registry));
+                e
+            })
+            .collect();
+        assert_eq!(tiers[3].precision(), crate::Precision::Int8);
+        let rep = simulate_tiered(&mut tiers, &pool, &cfg, Some(&ladder)).unwrap();
+        assert_eq!(rep.served, 520);
+        assert_eq!(
+            rep.tier_served,
+            vec![0, 0, 8, 512],
+            "the quantized rung absorbs the overload, the tail drains one rung up"
+        );
+        assert_eq!(rep.tier_switches, 2);
+        if gcnp_obs::enabled() {
+            let snap = registry.snapshot();
+            for (i, &served) in rep.tier_served.iter().enumerate() {
+                assert_eq!(
+                    snap.counters[&format!("serving.tier{i}.served")] as usize,
+                    served,
+                    "per-tier counter {i} must match the report"
+                );
+            }
+            assert!(
+                snap.counters["engine.dispatch.int8"] > 0,
+                "int8 kernel dispatch must be visible in metrics"
+            );
+        }
     }
 
     #[test]

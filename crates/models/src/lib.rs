@@ -31,6 +31,6 @@ pub mod zoo;
 pub use layer::{Activation, Branch, BranchLayer, CombineMode};
 pub use metrics::Metrics;
 pub use model::GnnModel;
-pub use packed::PackedModel;
+pub use packed::{PackedModel, QuantPackedModel};
 pub use train::{LossKind, TrainConfig, TrainStats, Trainer};
 pub use zoo::{AppnpModel, GatModel, PprgoModel};

@@ -13,10 +13,33 @@
 //! the serving layer already has (engines are rebuilt per deployed tier).
 
 use gcnp_sparse::CsrMatrix;
-use gcnp_tensor::{Matrix, PackedB};
+use gcnp_tensor::{Matrix, PackedB, QuantPackedB};
 
-use crate::layer::{Activation, BranchLayer, CombineMode};
+use crate::layer::{Activation, Branch, BranchLayer, CombineMode};
 use crate::model::GnnModel;
+
+/// Pack one branch weight, folding the channel-pruning mask into the pack
+/// step: a branch whose `keep` list is shorter than its stored weight holds
+/// the **full-width masked** weight (`W` with dead input channels still
+/// present), and only the kept rows are packed — pruned channels are never
+/// packed, so the GEMM never multiplies them. Compacted branches (weight
+/// already `keep.len()` rows, the `prune_model` output) pack as-is.
+fn pack_branch(b: &Branch) -> PackedB {
+    match &b.keep {
+        Some(keep) if b.weight.rows() != keep.len() => PackedB::pack_rows(&b.weight, keep),
+        _ => PackedB::pack(&b.weight),
+    }
+}
+
+/// Int8 sibling of [`pack_branch`]: quantization scales are computed over
+/// the kept rows only, so a mask-folded pack is bit-identical to packing the
+/// compacted weight.
+fn qpack_branch(b: &Branch) -> QuantPackedB {
+    match &b.keep {
+        Some(keep) if b.weight.rows() != keep.len() => QuantPackedB::pack_rows(&b.weight, keep),
+        _ => QuantPackedB::pack(&b.weight),
+    }
+}
 
 /// A [`GnnModel`] with every branch weight pre-packed for the GEMM fast
 /// path. Forward results are identical to the plain model's (the packed
@@ -33,12 +56,7 @@ impl<'m> PackedModel<'m> {
         let packs = model
             .layers
             .iter()
-            .map(|l| {
-                l.branches
-                    .iter()
-                    .map(|b| PackedB::pack(&b.weight))
-                    .collect()
-            })
+            .map(|l| l.branches.iter().map(pack_branch).collect())
             .collect();
         Self { model, packs }
     }
@@ -90,6 +108,46 @@ impl<'m> PackedModel<'m> {
             outputs.push(layer_forward_packed(layer, packs, adj, &input));
         }
         outputs
+    }
+}
+
+/// A [`GnnModel`] with every branch weight quantized to int8 and packed for
+/// the blocked quantized GEMM — the weight cache behind the serving ladder's
+/// `quantized` tier. Pruning masks fold into the pack exactly as in
+/// [`PackedModel`]; weights occupy ≈¼ of the f32 pack.
+pub struct QuantPackedModel<'m> {
+    model: &'m GnnModel,
+    /// `packs[layer][branch]`, parallel to `model.layers[..].branches[..]`.
+    packs: Vec<Vec<QuantPackedB>>,
+}
+
+impl<'m> QuantPackedModel<'m> {
+    /// Quantize and pack every branch weight of `model`.
+    pub fn new(model: &'m GnnModel) -> Self {
+        let packs = model
+            .layers
+            .iter()
+            .map(|l| l.branches.iter().map(qpack_branch).collect())
+            .collect();
+        Self { model, packs }
+    }
+
+    /// The source model.
+    pub fn model(&self) -> &'m GnnModel {
+        self.model
+    }
+
+    /// Quantized packed weights for one layer (parallel to its `branches`).
+    pub fn branch_packs(&self, layer: usize) -> &[QuantPackedB] {
+        &self.packs[layer]
+    }
+
+    /// Bytes held by all quantized panels and scales.
+    pub fn packed_bytes(&self) -> usize {
+        self.packs
+            .iter()
+            .flat_map(|l| l.iter().map(QuantPackedB::packed_bytes))
+            .sum()
     }
 }
 
@@ -224,6 +282,55 @@ mod tests {
         assert!(
             compact.approx_eq(&masked_first, 1e-5),
             "compacted pruned GEMM must equal the masked full-width GEMM"
+        );
+    }
+
+    #[test]
+    fn masked_branch_folds_into_pack() {
+        // A branch holding the full-width masked weight (dead channels still
+        // present) with a keep list must pack only the kept rows — identical
+        // panels, identical forward pass, smaller pack than the full weight.
+        let mut compact_model = zoo::graphsage(6, 8, 3, 33);
+        let mut masked_model = zoo::graphsage(6, 8, 3, 33);
+        let keep = vec![1, 3, 4];
+        for (cm, mm) in compact_model
+            .layers
+            .iter_mut()
+            .zip(&mut masked_model.layers)
+        {
+            for (cb, mb) in cm.branches.iter_mut().zip(mm.branches.iter_mut()) {
+                if cb.in_dim() == 6 {
+                    cb.weight = cb.weight.select_rows(&keep);
+                    cb.keep = Some(keep.clone());
+                    // The masked twin keeps the full-width weight.
+                    mb.keep = Some(keep.clone());
+                }
+            }
+        }
+        let a = adj();
+        let x = Matrix::rand_uniform(5, 6, -1.0, 1.0, &mut seeded_rng(34));
+        let compact = PackedModel::new(&compact_model);
+        let masked = PackedModel::new(&masked_model);
+        assert_eq!(
+            compact.packed_bytes(),
+            masked.packed_bytes(),
+            "mask-folded pack must not pack pruned channels"
+        );
+        assert_eq!(
+            masked.forward_full(Some(&a), &x),
+            compact.forward_full(Some(&a), &x),
+            "masked and compacted models must agree bitwise through the pack"
+        );
+        // Int8 twin: scales over kept rows only ⇒ identical quantized packs.
+        let qc = QuantPackedModel::new(&compact_model);
+        let qm = QuantPackedModel::new(&masked_model);
+        assert_eq!(qc.packed_bytes(), qm.packed_bytes());
+        // At these toy widths the per-column scales and pair padding eat
+        // into the 4x; the int8 pack must still be strictly smaller.
+        assert!(qc.packed_bytes() < compact.packed_bytes());
+        assert_eq!(
+            qc.branch_packs(0).len(),
+            compact_model.layers[0].branches.len()
         );
     }
 

@@ -9,7 +9,11 @@
 //!   required by backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`), with packed
 //!   operands, a runtime-dispatched AVX2/FMA microkernel, and a
 //!   [`PackedB`] weight-pack cache for products repeated against a constant
-//!   right-hand side,
+//!   right-hand side (channel-pruning masks fold into the pack via
+//!   `PackedB::pack_rows`, so pruned channels are never packed),
+//! * a blocked int8 GEMM ([`quant`]) against a [`QuantPackedB`] weight pack
+//!   with a runtime-dispatched AVX2 `pmaddwd` microkernel, overflow-safe
+//!   i32→i64 accumulation, and a bitwise-identical scalar fallback,
 //! * a [`ScratchPool`] recycling hot-path intermediate buffers,
 //! * elementwise and row/column-wise operations,
 //! * seeded random initializers (uniform, normal, Glorot),
@@ -36,5 +40,5 @@ pub use matrix::Matrix;
 pub use parallel::{
     num_threads, parallel_row_chunks, parallel_row_chunks_aligned, set_num_threads,
 };
-pub use quant::{qmatmul, QuantMatrix};
+pub use quant::{activation_scale, qgemm_packed_into, qmatmul, QuantMatrix, QuantPackedB};
 pub use scratch::ScratchPool;

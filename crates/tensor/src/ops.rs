@@ -133,11 +133,15 @@ impl Matrix {
         );
     }
 
-    /// `self · other` skipping zero entries of `self` — the explicit
-    /// pruned/sparse-row path. The main [`Matrix::matmul`] no longer branches
-    /// on `a[i][k] == 0`; use this variant when `self` is channel-masked
-    /// (`H ⊙ β` with many zeroed columns) or otherwise mostly zero, where the
-    /// skip wins back more than the lost vectorization.
+    /// `self · other` skipping zero entries of `self` — a reference kernel,
+    /// not a serving path. The main [`Matrix::matmul`] no longer branches
+    /// on `a[i][k] == 0`, and the serving engines get their pruned-model
+    /// speedup from mask-folded packing (`PackedB::pack_rows` — dead
+    /// channels are never packed or multiplied) plus the runtime
+    /// sparse-operand dispatch to CSR SpMM, never from this kernel. It
+    /// survives for the pin test and for explicit channel-masked (`H ⊙ β`)
+    /// experiments where the skip wins back more than the lost
+    /// vectorization.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -178,6 +182,31 @@ impl Matrix {
             out.as_slice(),
         );
         out
+    }
+
+    /// Fraction of exactly-zero entries among up to `max_samples` elements
+    /// read at a fixed stride — the cheap density probe behind runtime
+    /// sparsity-aware kernel dispatch. The scan is sequential over fixed
+    /// positions, so the estimate is deterministic for a given matrix and
+    /// invariant across thread counts. Empty matrices report 0.0 (dense:
+    /// nothing to skip).
+    ///
+    /// Shapes: `self` is any matrix; the result is a scalar in `[0, 1]`.
+    pub fn zero_fraction_sampled(&self, max_samples: usize) -> f32 {
+        let data = self.as_slice();
+        if data.is_empty() || max_samples == 0 {
+            return 0.0;
+        }
+        let step = (data.len() / max_samples).max(1);
+        let mut seen = 0usize;
+        let mut zeros = 0usize;
+        let mut i = 0;
+        while i < data.len() {
+            seen += 1;
+            zeros += (data[i] == 0.0) as usize;
+            i += step;
+        }
+        zeros as f32 / seen as f32
     }
 
     /// Elementwise sum into a new matrix.
