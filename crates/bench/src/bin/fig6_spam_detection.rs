@@ -13,7 +13,7 @@
 use gcnp_bench::harness::{fnum, print_table};
 use gcnp_bench::{pipeline, Ctx};
 use gcnp_core::{PruneMethod, Scheme};
-use gcnp_datasets::{oversample, DatasetKind, SpamStream};
+use gcnp_datasets::{oversample, spam_factor_from_env, DatasetKind, SpamStream};
 use gcnp_infer::{BatchedEngine, FeatureStore, StorePolicy};
 use gcnp_models::{GnnModel, Metrics};
 use serde::Serialize;
@@ -33,10 +33,12 @@ struct DayRow {
 
 fn main() {
     let ctx = Ctx::new("fig6_spam_detection");
-    let factor: usize = std::env::var("GCNP_SPAM_FACTOR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+    // Typed: a typo like `GCNP_SPAM_FACTOR=1O0` must abort with a message,
+    // not silently bench the default 20× graph while claiming 100×.
+    let factor = spam_factor_from_env().unwrap_or_else(|e| {
+        eprintln!("fig6_spam_detection: {e}");
+        std::process::exit(2);
+    });
     let kind = DatasetKind::YelpChiSim;
     let base = pipeline::dataset(&ctx, kind);
     println!("over-sampling yelpchi-sim x{factor} ...");

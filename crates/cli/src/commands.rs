@@ -3,11 +3,11 @@
 
 use crate::args::Args;
 use gcnp_core::{prune_model, PruneMethod, PrunerConfig, Scheme};
-use gcnp_datasets::{Dataset, DatasetKind};
+use gcnp_datasets::{oversample, parse_spam_factor, Dataset, DatasetKind, Partition};
 use gcnp_infer::{
-    format_stage_table, serve_multi, simulate_tiered, stage_breakdown, BatchedEngine,
-    EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, PipelineMode, Precision,
-    QuantizedGnn, ServingConfig, StorePolicy,
+    format_stage_table, serve_multi, serve_sharded, simulate_tiered, stage_breakdown,
+    BatchedEngine, EngineMetrics, FaultPlan, FeatureStore, FullEngine, LadderPolicy, PipelineMode,
+    Precision, QuantizedGnn, ServingConfig, ShardedStore, StorePolicy,
 };
 use gcnp_models::{zoo, GnnModel, Metrics, TrainConfig, Trainer};
 use gcnp_obs::MetricsRegistry;
@@ -43,13 +43,22 @@ fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
         })
 }
 
-/// `gcnp generate --dataset <name> [--scale f] [--seed n] --out file`
+/// `gcnp generate --dataset <name> [--scale f] [--seed n] [--spam-factor n]
+///  --out file`
+///
+/// `--spam-factor n` over-samples the generated graph n× with fresh
+/// timestamps (the fig6 spam-stream scaling knob) and shares its parser —
+/// and therefore its error messages — with `GCNP_SPAM_FACTOR`.
 pub fn generate(args: &Args) -> Result<String, String> {
     let kind = dataset_kind(args.require("dataset")?)?;
     let scale: f64 = args.get_or("scale", 1.0)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let out = args.require("out")?;
-    let data = kind.generate_scaled(scale, seed);
+    let mut data = kind.generate_scaled(scale, seed);
+    if let Some(spec) = args.get("spam-factor") {
+        let factor = parse_spam_factor(spec).map_err(|e| format!("--spam-factor: {e}"))?;
+        data = oversample(&data, factor, seed);
+    }
     save(out, &data)?;
     Ok(format!(
         "wrote {} ({} nodes, {} edges, {} attrs, {} classes) to {out}",
@@ -248,7 +257,7 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// `gcnp serve --data file --model file [--rate f] [--requests n]
 ///  [--max-batch n] [--max-wait-ms f] [--store] [--workers n]
 ///  [--deadline-ms f] [--queue-cap n] [--retry-cap n] [--faults spec]
-///  [--watchdog-ms f] [--hedge k] [--ladder]
+///  [--watchdog-ms f] [--hedge k] [--ladder] [--shards n]
 ///  [--pipeline sequential|pipelined] [--pace] [--metrics-out file]`
 ///
 /// With `--workers n` (n > 1) the request trace is drained by `n` engine
@@ -271,6 +280,15 @@ fn write_metrics(path: &str, registry: &Arc<MetricsRegistry>) -> Result<String, 
 /// compute estimate is speculatively duplicated; first completion wins) —
 /// both are multi-worker features and ignored by single-worker simulation.
 ///
+/// `--shards n` (n > 1, mutually exclusive with `--workers`) hash-partitions
+/// the graph into `n` shards (plus two greedy edge-cut refinement passes),
+/// gives each shard its own striped feature-store slice and serving worker,
+/// and routes every request to its target's owner shard via `serve_sharded`.
+/// With `--store` the offline pre-warm rows are routed to their owner
+/// shards; with `--metrics-out` the snapshot includes the shard-router
+/// traffic (`shard.remote.*`) and per-shard residency gauges
+/// (`store.shard{i}.resident_rows`).
+///
 /// Multi-worker runs default to the two-stage **pipelined** executor
 /// (per-worker gather/GEMM overlap); `--pipeline sequential` selects the
 /// one-thread-per-worker escape hatch for A/B comparison, and `--pace`
@@ -289,12 +307,13 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let data = load_dataset(args.require("data")?)?;
     let model = load_model(args.require("model")?)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let shards: usize = args.get_or("shards", 1)?;
     // One registry shared by every engine replica / tier and the store.
     let metrics = args
         .get("metrics-out")
         .map(|p| (p.to_string(), Arc::new(MetricsRegistry::new())));
     let store_holder;
-    let store = if args.has("store") {
+    let store = if args.has("store") && shards <= 1 {
         let adj = data.adj.normalized(Normalization::Row);
         let engine = FullEngine::new(&model, Some(&adj));
         let hs = engine.hidden(&data.features);
@@ -343,6 +362,85 @@ pub fn serve(args: &Args) -> Result<String, String> {
         StorePolicy::None
     };
     let workers: usize = args.get_or("workers", 1)?;
+    if shards > 1 {
+        if workers > 1 {
+            return Err(
+                "--shards and --workers are mutually exclusive: each shard owns one worker".into(),
+            );
+        }
+        let mut part = Partition::hash(data.n_nodes(), shards, seed);
+        let moved = part.refine_greedy(&data.adj, 2);
+        let sharded = ShardedStore::new(&part.assign, shards, model.n_layers() - 1);
+        if let Some((_, reg)) = &metrics {
+            sharded.attach_metrics(reg);
+        }
+        let policy = if args.has("store") {
+            // Same offline pre-warm as the single-store path, routed to
+            // each row's owner shard.
+            let adj = data.adj.normalized(Normalization::Row);
+            let engine = FullEngine::new(&model, Some(&adj));
+            let hs = engine.hidden(&data.features);
+            let mut offline: Vec<usize> = data.train.iter().chain(&data.val).copied().collect();
+            offline.sort_unstable();
+            for level in 1..model.n_layers() {
+                for &v in &offline {
+                    sharded
+                        .put(level, v, hs[level - 1].row(v))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            StorePolicy::Roots
+        } else {
+            StorePolicy::None
+        };
+        let mut engines: Vec<BatchedEngine<'_>> = (0..shards)
+            .map(|k| {
+                let mut e = BatchedEngine::new_sharded(
+                    &model,
+                    &data.adj,
+                    &data.features,
+                    vec![None, Some(32)],
+                    &sharded,
+                    k,
+                    policy,
+                    seed ^ k as u64,
+                );
+                if let Some(inj) = &faults {
+                    e.set_faults(Arc::clone(inj));
+                }
+                if let Some((_, reg)) = &metrics {
+                    e.set_metrics(EngineMetrics::new(reg));
+                }
+                e
+            })
+            .collect();
+        let rep = serve_sharded(&mut engines, &part.assign, &data.test, &cfg)
+            .map_err(|e| e.to_string())?;
+        let mut msg = format!(
+            "served {}/{} requests in {} batches (mean size {:.1}) on {} shards ({} nodes moved by refinement, edge cut {}): {:.0} req/s wall-clock, p99 {:.1} ms, occupancy {:.2}",
+            rep.served,
+            rep.n_requests,
+            rep.n_batches,
+            rep.mean_batch_size,
+            shards,
+            moved,
+            part.edge_cut(&data.adj),
+            rep.throughput,
+            rep.p99_ms,
+            rep.pipeline_occupancy,
+        );
+        if rep.shed + rep.recoveries + rep.failures + rep.retries > 0 {
+            msg.push_str(&format!(
+                "; shed {}, recovered {} panics ({} workers lost), {} clean failures, {} retries",
+                rep.shed, rep.recoveries, rep.workers_lost, rep.failures, rep.retries
+            ));
+        }
+        if let Some((path, reg)) = &metrics {
+            sharded.refresh_gauges();
+            msg.push_str(&write_metrics(path, reg)?);
+        }
+        return Ok(msg);
+    }
     if workers > 1 {
         let mut engines: Vec<BatchedEngine<'_>> = (0..workers)
             .map(|w| {
@@ -626,6 +724,50 @@ mod tests {
         )))
         .unwrap();
         assert!(msg.contains("ladder traffic"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_serve_and_spam_factor_flags() {
+        let dir = std::env::temp_dir().join("gcnp_cli_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.join("d.json").display().to_string();
+        let m = dir.join("m.json").display().to_string();
+        let msg = run(&parse(&format!(
+            "generate --dataset yelpchi-sim --scale 0.05 --spam-factor 2 --seed 3 --out {d}"
+        )))
+        .unwrap();
+        assert!(msg.contains("400 nodes"), "oversampled 2x: {msg}");
+        run(&parse(&format!(
+            "train --data {d} --hidden 16 --steps 20 --eval-every 10 --out {m}"
+        )))
+        .unwrap();
+
+        let mx = dir.join("metrics_sharded.json").display().to_string();
+        let msg = run(&parse(&format!(
+            "serve --data {d} --model {m} --requests 60 --rate 20000 --max-batch 8 \
+             --shards 2 --store --metrics-out {mx}"
+        )))
+        .unwrap();
+        assert!(msg.contains("served 60/60"), "{msg}");
+        assert!(msg.contains("on 2 shards"), "{msg}");
+        if gcnp_obs::enabled() {
+            let json = std::fs::read_to_string(&mx).unwrap();
+            assert!(json.contains("\"shard.remote.requests\""), "{json}");
+            assert!(json.contains("\"store.shard0.resident_rows\""), "{json}");
+            assert!(json.contains("\"store.shard1.resident_rows\""), "{json}");
+        }
+
+        // Typed flag errors: a spam-factor typo aborts instead of silently
+        // generating the un-scaled graph, and shards/workers don't compose.
+        assert!(run(&parse(&format!(
+            "generate --dataset yelpchi-sim --spam-factor 1O0 --out {d}"
+        )))
+        .is_err());
+        assert!(run(&parse(&format!(
+            "serve --data {d} --model {m} --requests 10 --shards 2 --workers 2"
+        )))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,10 +15,14 @@
 //! corrupts a fraction of nodes' features so that neighbor aggregation
 //! (i.e. an actual GNN) beats a plain MLP, as in the real benchmarks.
 
+pub mod partition;
 pub mod registry;
 pub mod stream;
 pub mod synth;
 
+pub use partition::Partition;
 pub use registry::{Dataset, DatasetKind, Labels};
-pub use stream::SpamStream;
+pub use stream::{
+    parse_spam_factor, spam_factor_from_env, GrowingGraph, SpamStream, DEFAULT_SPAM_FACTOR,
+};
 pub use synth::{oversample, SynthConfig};

@@ -1,0 +1,194 @@
+//! Graph partitioning for sharded serving.
+//!
+//! The sharded feature store (`gcnp-infer::shard`) needs a node → shard
+//! assignment. The baseline is a seeded multiplicative **hash partition** —
+//! balanced by construction and independent of graph structure, so any
+//! worker can compute a node's owner without a directory. An optional
+//! **greedy edge-cut refinement** pass then moves nodes toward the shard
+//! holding most of their neighbors (subject to a balance cap), trading a
+//! little balance for locality: every cut edge is a potential remote-row
+//! fetch through the shard router at serving time.
+
+use gcnp_sparse::CsrMatrix;
+
+/// Slack factor of the refinement balance cap: a shard may grow to
+/// `ceil(n / n_shards * BALANCE_SLACK)` nodes before refinement refuses to
+/// move more nodes into it.
+const BALANCE_SLACK: f64 = 1.10;
+
+/// A node → shard assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Shard id of every node (`assign.len()` == number of nodes).
+    pub assign: Vec<u32>,
+    pub n_shards: usize,
+}
+
+/// SplitMix64 finalizer — decorrelates shard choice from node-id locality
+/// (consecutive ids land on different shards, so block-replicated graphs
+/// like `oversample`'s don't pile whole replicas onto one shard).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Partition {
+    /// Hash-partition `n_nodes` ids into `n_shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `n_shards` is zero (a partition into no shards is a
+    /// caller bug, not a degradable condition).
+    pub fn hash(n_nodes: usize, n_shards: usize, seed: u64) -> Self {
+        assert!(n_shards > 0, "Partition::hash: zero shards");
+        let assign = (0..n_nodes)
+            .map(|v| (mix(v as u64 ^ seed) % n_shards as u64) as u32)
+            .collect();
+        Self { assign, n_shards }
+    }
+
+    /// Greedy edge-cut refinement: for `passes` sweeps over the nodes, move
+    /// each node to the shard where most of its neighbors live, unless that
+    /// shard is already at the balance cap. Monotonically non-increasing in
+    /// [`Partition::edge_cut`]; a pass that moves nothing ends refinement
+    /// early. Returns the number of nodes moved.
+    pub fn refine_greedy(&mut self, adj: &CsrMatrix, passes: usize) -> usize {
+        let n = self.assign.len();
+        assert_eq!(adj.n_rows(), n, "refine_greedy: adjacency/assign arity");
+        if self.n_shards < 2 || n == 0 {
+            return 0;
+        }
+        let cap = ((n as f64 / self.n_shards as f64) * BALANCE_SLACK).ceil() as usize;
+        let mut sizes = vec![0usize; self.n_shards];
+        for &s in &self.assign {
+            sizes[s as usize] += 1;
+        }
+        let mut moved_total = 0usize;
+        let mut tally = vec![0usize; self.n_shards];
+        for _ in 0..passes {
+            let mut moved = 0usize;
+            for v in 0..n {
+                let nbrs = adj.row_indices(v);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                tally.fill(0);
+                for &u in nbrs {
+                    tally[self.assign[u as usize] as usize] += 1;
+                }
+                let cur = self.assign[v] as usize;
+                // Best destination: most neighbors, ties broken toward the
+                // current shard (no gratuitous churn), then lowest id
+                // (deterministic across runs).
+                let mut best = cur;
+                for (s, &t) in tally.iter().enumerate() {
+                    if t > tally[best] && sizes[s] < cap {
+                        best = s;
+                    }
+                }
+                if best != cur && tally[best] > tally[cur] {
+                    sizes[cur] -= 1;
+                    sizes[best] += 1;
+                    self.assign[v] = best as u32;
+                    moved += 1;
+                }
+            }
+            moved_total += moved;
+            if moved == 0 {
+                break;
+            }
+        }
+        moved_total
+    }
+
+    /// Number of directed adjacency entries whose endpoints live on
+    /// different shards — each is a remote-row fetch candidate at serving
+    /// time.
+    pub fn edge_cut(&self, adj: &CsrMatrix) -> usize {
+        let n = adj.n_rows().min(self.assign.len());
+        (0..n)
+            .map(|v| {
+                adj.row_indices(v)
+                    .iter()
+                    .filter(|&&u| {
+                        (u as usize) < self.assign.len()
+                            && self.assign[u as usize] != self.assign[v]
+                    })
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Nodes per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_shards];
+        for &s in &self.assign {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn graph() -> CsrMatrix {
+        SynthConfig {
+            nodes: 600,
+            classes: 4,
+            communities: 4,
+            attr_dim: 8,
+            ..Default::default()
+        }
+        .generate(3)
+        .adj
+    }
+
+    #[test]
+    fn hash_partition_is_balanced_and_deterministic() {
+        let p = Partition::hash(10_000, 4, 7);
+        assert_eq!(p, Partition::hash(10_000, 4, 7));
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10_000);
+        for &s in &sizes {
+            // A decent hash keeps shards within ~10% of ideal at this n.
+            assert!((2250..=2750).contains(&s), "skewed shard: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_assigns_everything_to_zero() {
+        let p = Partition::hash(100, 1, 0);
+        assert!(p.assign.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn refinement_never_increases_cut_and_respects_balance() {
+        let adj = graph();
+        let mut p = Partition::hash(adj.n_rows(), 4, 1);
+        let before = p.edge_cut(&adj);
+        let moved = p.refine_greedy(&adj, 4);
+        let after = p.edge_cut(&adj);
+        assert!(after <= before, "cut grew: {before} -> {after}");
+        assert!(moved > 0, "community graph should admit improving moves");
+        let cap = ((adj.n_rows() as f64 / 4.0) * BALANCE_SLACK).ceil() as usize;
+        assert!(p.shard_sizes().iter().all(|&s| s <= cap));
+    }
+
+    #[test]
+    fn refinement_is_a_noop_for_one_shard() {
+        let adj = graph();
+        let mut p = Partition::hash(adj.n_rows(), 1, 0);
+        assert_eq!(p.refine_greedy(&adj, 3), 0);
+        assert_eq!(p.edge_cut(&adj), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn zero_shards_panics() {
+        Partition::hash(10, 0, 0);
+    }
+}

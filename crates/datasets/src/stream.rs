@@ -7,6 +7,38 @@
 //! already-arrived reviews exist.
 
 use crate::registry::Dataset;
+use gcnp_sparse::CsrMatrix;
+
+/// Default YelpCHI oversampling factor when `GCNP_SPAM_FACTOR` is unset
+/// (the paper uses 400 on a 64-core machine).
+pub const DEFAULT_SPAM_FACTOR: usize = 20;
+
+/// Parse an oversampling factor: a positive integer. The typed error path
+/// exists because the fig6 bench used to fall back to the default on *any*
+/// unparsable value — a typo like `GCNP_SPAM_FACTOR=1O0` silently benched
+/// a 20× graph while claiming 100×.
+pub fn parse_spam_factor(s: &str) -> Result<usize, String> {
+    let v: usize = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid spam factor {s:?}: expected a positive integer"))?;
+    if v == 0 {
+        return Err(
+            "invalid spam factor 0: the oversampled graph needs at least one replica".into(),
+        );
+    }
+    Ok(v)
+}
+
+/// Read the oversampling factor from `GCNP_SPAM_FACTOR`: unset means
+/// [`DEFAULT_SPAM_FACTOR`], set-but-unparsable is a typed error (shared by
+/// the fig6/sharded-scaling benches and the CLI `--spam-factor` flag).
+pub fn spam_factor_from_env() -> Result<usize, String> {
+    match std::env::var("GCNP_SPAM_FACTOR") {
+        Err(_) => Ok(DEFAULT_SPAM_FACTOR),
+        Ok(s) => parse_spam_factor(&s).map_err(|e| format!("GCNP_SPAM_FACTOR: {e}")),
+    }
+}
 
 /// One inference window of the stream.
 #[derive(Debug, Clone)]
@@ -69,6 +101,76 @@ impl<'a> SpamStream<'a> {
             .copied()
             .take_while(|&v| ts[v] < cutoff)
             .collect()
+    }
+
+    /// Directed adjacency entries that become visible during window `w`: an
+    /// edge exists once **both** endpoints have arrived, so it materializes
+    /// in the window of the later endpoint. Feeding these deltas to
+    /// [`GrowingGraph::accrete`] (or the sharded store's `accrete`) window
+    /// by window reconstructs exactly the "graph known so far" that
+    /// [`SpamStream::arrived_before`] describes.
+    pub fn edge_delta(&self, w: usize) -> Vec<(u32, u32)> {
+        let ts = self.dataset.timestamps.as_ref().unwrap();
+        let start = w as u32 * self.window_minutes;
+        let end = start.saturating_add(self.window_minutes);
+        let mut out = Vec::new();
+        for v in 0..self.dataset.n_nodes() {
+            for &u in self.dataset.adj.row_indices(v) {
+                let born = ts[v].max(ts[u as usize]);
+                if born >= start && born < end {
+                    out.push((v as u32, u));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A graph that accretes edges over time — the serving-side counterpart of
+/// the spam stream. Holds the accumulated (directed) edge list and rebuilds
+/// its CSR snapshot on each accretion; the *incremental* part of accretion
+/// lives in the feature store's dirty-set invalidation, not here (a CSR
+/// rebuild is O(E) and happens once per window, off the request path).
+pub struct GrowingGraph {
+    n_nodes: usize,
+    edges: Vec<(u32, u32)>,
+    adj: CsrMatrix,
+}
+
+impl GrowingGraph {
+    /// An edgeless graph over `n_nodes` (all nodes exist up front; only
+    /// edges accrete, matching the store's fixed node capacity).
+    pub fn new(n_nodes: usize) -> Self {
+        Self {
+            n_nodes,
+            edges: Vec::new(),
+            adj: CsrMatrix::empty(n_nodes, n_nodes),
+        }
+    }
+
+    /// Append directed adjacency entries (pass both directions for an
+    /// undirected edge) and rebuild the snapshot. Returns the new CSR.
+    pub fn accrete(&mut self, new_edges: &[(u32, u32)]) -> &CsrMatrix {
+        for &(u, v) in new_edges {
+            debug_assert!((u as usize) < self.n_nodes && (v as usize) < self.n_nodes);
+            self.edges.push((u, v));
+        }
+        self.adj = CsrMatrix::adjacency(self.n_nodes, &self.edges);
+        &self.adj
+    }
+
+    /// The current snapshot.
+    pub fn adj(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Directed edges accreted so far.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
     }
 }
 

@@ -36,6 +36,7 @@ use std::time::Instant;
 use crate::error::{ServingError, ServingResult};
 use crate::faults::{Fault, FaultInjector};
 use crate::metrics::EngineMetrics;
+use crate::shard::ShardedStore;
 use crate::store::FeatureStore;
 
 /// Sentinel in the dense relabel table: node not present at this level.
@@ -99,6 +100,88 @@ impl WeightPacks<'_> {
     }
 }
 
+/// The engine's store binding: none, one [`FeatureStore`], or one shard of a
+/// [`ShardedStore`] (the engine serves targets owned by `shard`; reads and
+/// write-backs route to each row's owner, and cross-shard fetches are
+/// accounted through the router counters).
+///
+/// All methods treat `None` as an always-empty, write-discarding store, so
+/// the hot paths need no `if let` at every site — a `put` against `None` is
+/// a silent no-op `Ok(())`, exactly matching the previous
+/// `Option<&FeatureStore>` semantics under store bypass.
+#[derive(Clone, Copy)]
+pub(crate) enum StoreView<'a> {
+    None,
+    Single(&'a FeatureStore),
+    Shard {
+        store: &'a ShardedStore,
+        shard: usize,
+    },
+}
+
+impl<'a> StoreView<'a> {
+    fn from_option(store: Option<&'a FeatureStore>) -> Self {
+        match store {
+            None => StoreView::None,
+            Some(s) => StoreView::Single(s),
+        }
+    }
+
+    /// True when some store backs this view.
+    fn active(&self) -> bool {
+        !matches!(self, StoreView::None)
+    }
+
+    fn has(&self, level: usize, node: usize) -> bool {
+        match self {
+            StoreView::None => false,
+            StoreView::Single(s) => s.has(level, node),
+            StoreView::Shard { store, .. } => store.has(level, node),
+        }
+    }
+
+    fn with_row<R>(&self, level: usize, node: usize, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        match self {
+            StoreView::None => None,
+            StoreView::Single(s) => s.with_row(level, node, f),
+            StoreView::Shard { store, .. } => store.with_row(level, node, f),
+        }
+    }
+
+    fn put(&self, level: usize, node: usize, row: &[f32]) -> ServingResult<()> {
+        match self {
+            StoreView::None => Ok(()),
+            StoreView::Single(s) => s.put(level, node, row),
+            StoreView::Shard { store, .. } => store.put(level, node, row),
+        }
+    }
+
+    fn tick(&self) {
+        match self {
+            StoreView::None => {}
+            StoreView::Single(s) => s.tick(),
+            StoreView::Shard { store, .. } => store.tick(),
+        }
+    }
+
+    fn inject_bit_flip(&self, seed: u64) -> Option<(usize, usize)> {
+        match self {
+            StoreView::None => None,
+            StoreView::Single(s) => s.inject_bit_flip(seed),
+            StoreView::Shard { store, .. } => store.inject_bit_flip(seed),
+        }
+    }
+
+    /// Account one per-level batched fetch of stored rows against the shard
+    /// router's counters (no-op for unsharded views: a single store has no
+    /// remote rows).
+    fn note_remote(&self, nodes: &[usize], width: usize) {
+        if let StoreView::Shard { store, shard } = self {
+            store.note_remote_fetch(*shard, nodes, width);
+        }
+    }
+}
+
 /// What the engine writes back to the store after each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StorePolicy {
@@ -144,7 +227,7 @@ pub struct BatchedEngine<'a> {
     features: &'a Matrix,
     /// Per-hop fan-out caps (`[None, Some(32)]` = the paper's setting).
     pub caps: Vec<Option<usize>>,
-    store: Option<&'a FeatureStore>,
+    store: StoreView<'a>,
     pub policy: StorePolicy,
     seed: u64,
     batch_counter: u64,
@@ -329,7 +412,7 @@ pub(crate) struct EngineCore<'e, 'a> {
     adj: &'a CsrMatrix,
     features: &'a Matrix,
     caps: &'e [Option<usize>],
-    store: Option<&'a FeatureStore>,
+    store: StoreView<'a>,
     policy: StorePolicy,
     seed: u64,
     faults: Option<&'e Arc<FaultInjector>>,
@@ -375,6 +458,41 @@ impl<'a> BatchedEngine<'a> {
         )
     }
 
+    /// Create an engine pinned to one shard of a [`ShardedStore`]: reads
+    /// and write-backs route to each row's owner shard, and per-level
+    /// cross-shard fetches are accounted on the `shard.remote.*` counters.
+    /// Because every shard's rows are reachable through the router, the
+    /// logits are bitwise-identical to an unsharded engine over the union
+    /// store (pinned in `tests/shard_equivalence.rs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        model: &'a GnnModel,
+        adj: &'a CsrMatrix,
+        features: &'a Matrix,
+        caps: Vec<Option<usize>>,
+        store: &'a ShardedStore,
+        shard: usize,
+        policy: StorePolicy,
+        seed: u64,
+    ) -> Self {
+        // audit: allow(no-fail-stop) — constructor misuse is a programmer error; engines are built once at startup, not per request
+        assert!(
+            shard < store.n_shards(),
+            "BatchedEngine::new_sharded: shard {shard} of {}",
+            store.n_shards()
+        );
+        Self::with_view(
+            model,
+            adj,
+            features,
+            caps,
+            StoreView::Shard { store, shard },
+            policy,
+            seed,
+            Precision::F32,
+        )
+    }
+
     /// Create an engine whose branch transforms run in the given
     /// [`Precision`]: `F32` packs the weights for the blocked f32 GEMM (with
     /// runtime sparsity dispatch), `Int8` quantizes them per column and
@@ -387,6 +505,29 @@ impl<'a> BatchedEngine<'a> {
         features: &'a Matrix,
         caps: Vec<Option<usize>>,
         store: Option<&'a FeatureStore>,
+        policy: StorePolicy,
+        seed: u64,
+        precision: Precision,
+    ) -> Self {
+        Self::with_view(
+            model,
+            adj,
+            features,
+            caps,
+            StoreView::from_option(store),
+            policy,
+            seed,
+            precision,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_view(
+        model: &'a GnnModel,
+        adj: &'a CsrMatrix,
+        features: &'a Matrix,
+        caps: Vec<Option<usize>>,
+        store: StoreView<'a>,
         policy: StorePolicy,
         seed: u64,
         precision: Precision,
@@ -538,7 +679,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
     /// serialize batch N+1's store probes (prepare) behind batch N's
     /// write-backs (execute) to keep outputs identical to sequential.
     pub(crate) fn needs_store_barrier(&self) -> bool {
-        self.store.is_some() && !matches!(self.policy, StorePolicy::None)
+        self.store.active() && !matches!(self.policy, StorePolicy::None)
     }
 
     /// Front-end stage: draw the attempt's fault, validate targets, expand
@@ -582,7 +723,11 @@ impl<'e, 'a> EngineCore<'e, 'a> {
         // A store-miss storm serves the batch as if the store were cold:
         // every probe misses, reads and write-backs are skipped.
         let bypass_store = matches!(fault, Fault::StoreMiss);
-        let store = if bypass_store { None } else { self.store };
+        let store = if bypass_store {
+            StoreView::None
+        } else {
+            self.store
+        };
         *front.counter += 1;
         let batch_seed = self.seed ^ *front.counter;
         if matches!(fault, Fault::RowFlip) {
@@ -591,9 +736,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             // read of it; the checksum inside `with_row` then quarantines
             // the row and the attempt fails typed-retryable — the retry
             // re-gathers from level 0 and serves uncorrupted data.
-            if let Some(s) = self.store {
-                s.inject_bit_flip(batch_seed);
-            }
+            self.store.inject_bit_flip(batch_seed);
         }
         // Stage clock: only when a bundle is attached AND `obs` is compiled
         // in (the `enabled()` check const-folds the whole thing away in
@@ -610,7 +753,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             &graph_flags,
             self.caps,
             batch_seed,
-            |level, node| store.is_some_and(|s| s.has(level, node)),
+            |level, node| store.has(level, node),
         );
         lap(&mut clock, Stage::Expand);
 
@@ -650,9 +793,8 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             let width = self.model.layers[li - 1].out_dim(); // audit: allow(no-fail-stop) — same loop bound
             let mut rows = front.pool.take_matrix(ls.stored.len(), width);
             for (j, &v) in ls.stored.iter().enumerate() {
-                let s = store.ok_or(ServingError::MissingStoredRow { level: li, node: v })?;
                 let mut wrong_width = None;
-                let copied = s.with_row(li, v, |row| {
+                let copied = store.with_row(li, v, |row| {
                     if row.len() == width {
                         rows.row_mut(j).copy_from_slice(row);
                     } else {
@@ -674,6 +816,9 @@ impl<'e, 'a> EngineCore<'e, 'a> {
                 store_hits += 1;
                 mem_bytes += width * 4;
             }
+            // Router accounting: the rows of this level owned by other
+            // shards traveled as one batched fetch per remote owner.
+            store.note_remote(&ls.stored, width);
             staged.push(Some(rows));
         }
         lap(&mut clock, Stage::StoreProbe);
@@ -714,7 +859,11 @@ impl<'e, 'a> EngineCore<'e, 'a> {
             t0,
             mut clock,
         } = prep;
-        let store = if bypass_store { None } else { self.store };
+        let store = if bypass_store {
+            StoreView::None
+        } else {
+            self.store
+        };
         // Latch the EWMA-observation skew for the serving layer before any
         // early return: ClockSkew perturbs only the compute-estimate
         // observation, never the batch's latency accounting.
@@ -894,21 +1043,19 @@ impl<'e, 'a> EngineCore<'e, 'a> {
 
             // --- write-back policy (middle levels only) -------------------
             if li < n_layers {
-                if let Some(s) = store {
-                    match self.policy {
-                        StorePolicy::None => {}
-                        StorePolicy::Roots => {
-                            for &v in &support.targets {
-                                let r = relabel[v]; // audit: allow(no-fail-stop) — targets were range-checked in prepare
-                                if r != ABSENT && (r as usize) < ls.compute.len() {
-                                    s.put(li, v, mat.row(r as usize))?;
-                                }
+                match self.policy {
+                    StorePolicy::None => {}
+                    StorePolicy::Roots => {
+                        for &v in &support.targets {
+                            let r = relabel[v]; // audit: allow(no-fail-stop) — targets were range-checked in prepare
+                            if r != ABSENT && (r as usize) < ls.compute.len() {
+                                store.put(li, v, mat.row(r as usize))?;
                             }
                         }
-                        StorePolicy::AllVisited => {
-                            for (i, &v) in ls.compute.iter().enumerate() {
-                                s.put(li, v, mat.row(i))?;
-                            }
+                    }
+                    StorePolicy::AllVisited => {
+                        for (i, &v) in ls.compute.iter().enumerate() {
+                            store.put(li, v, mat.row(i))?;
                         }
                     }
                 }
@@ -922,9 +1069,7 @@ impl<'e, 'a> EngineCore<'e, 'a> {
                 pool.recycle(prev);
             }
         }
-        if let Some(s) = store {
-            s.tick();
-        }
+        store.tick();
 
         // --- extract target logits ---------------------------------------
         let rows: Vec<usize> = support

@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod quantized;
 pub mod serving;
+pub mod shard;
 pub mod store;
 pub(crate) mod supervisor;
 pub mod timing;
@@ -39,14 +40,15 @@ pub use error::{ServingError, ServingResult};
 pub use faults::{Fault, FaultInjector, FaultPlan};
 pub use full::{FullEngine, FullResult};
 pub use metrics::{
-    format_stage_table, stage_breakdown, EngineMetrics, ServingMetrics, StageRow, StoreMetrics,
-    STAGES,
+    format_stage_table, stage_breakdown, EngineMetrics, ServingMetrics, ShardMetrics, StageRow,
+    StoreMetrics, STAGES,
 };
 pub use pipeline::{run_batches, PipelineMode};
 pub use quantized::QuantizedGnn;
 pub use serving::{
-    serve_multi, simulate, simulate_tiered, LadderPolicy, MultiServingReport, ServingConfig,
-    ServingReport,
+    serve_multi, serve_sharded, simulate, simulate_tiered, LadderPolicy, MultiServingReport,
+    ServingConfig, ServingReport,
 };
+pub use shard::{AccretionReport, ShardedStore};
 pub use store::FeatureStore;
 pub use timing::time_it;

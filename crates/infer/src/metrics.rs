@@ -261,6 +261,59 @@ impl StoreMetrics {
     }
 }
 
+/// Pre-resolved metrics of one [`crate::shard::ShardedStore`]:
+///
+/// * `shard.remote.{requests,rows,bytes}` — router traffic. One *request*
+///   per (engine shard → owner shard) pair per level per batch (the unit a
+///   real deployment would send as one batched RPC), with the rows and
+///   payload bytes it carried;
+/// * `store.shard{i}.{hits,misses}` — per-shard probe outcomes, so a shard
+///   with poor locality is visible next to its peers;
+/// * `store.shard{i}.resident_rows` — rows resident per shard (capacity
+///   skew), refreshed by [`crate::shard::ShardedStore::refresh_gauges`].
+pub struct ShardMetrics {
+    pub remote_requests: Arc<Counter>,
+    pub remote_rows: Arc<Counter>,
+    pub remote_bytes: Arc<Counter>,
+    hits: Vec<Arc<Counter>>,
+    misses: Vec<Arc<Counter>>,
+    resident: Vec<Arc<Gauge>>,
+}
+
+impl ShardMetrics {
+    pub fn new(registry: &Arc<MetricsRegistry>, n_shards: usize) -> Self {
+        Self {
+            remote_requests: registry.counter("shard.remote.requests"),
+            remote_rows: registry.counter("shard.remote.rows"),
+            remote_bytes: registry.counter("shard.remote.bytes"),
+            hits: (0..n_shards)
+                .map(|i| registry.counter(&format!("store.shard{i}.hits")))
+                .collect(),
+            misses: (0..n_shards)
+                .map(|i| registry.counter(&format!("store.shard{i}.misses")))
+                .collect(),
+            resident: (0..n_shards)
+                .map(|i| registry.gauge(&format!("store.shard{i}.resident_rows")))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    pub fn probe(&self, shard: usize, hit: bool) {
+        let slots = if hit { &self.hits } else { &self.misses };
+        if let Some(c) = slots.get(shard) {
+            c.inc();
+        }
+    }
+
+    #[inline]
+    pub fn set_resident(&self, shard: usize, rows: usize) {
+        if let Some(g) = self.resident.get(shard) {
+            g.set(rows as f64);
+        }
+    }
+}
+
 /// One row of the per-stage latency breakdown derived from a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageRow {

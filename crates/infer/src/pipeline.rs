@@ -13,7 +13,13 @@
 //!   store ([`EngineCore::needs_store_barrier`]), batch N+1's store probes
 //!   must observe batch N's write-backs, so the gate serializes prepare(N+1)
 //!   behind execute(N). Store-less and read-only-store configurations skip
-//!   the gate and overlap fully.
+//!   the gate and overlap fully. The barrier is *per worker*: it covers an
+//!   engine's own probe-after-write ordering, including a sharded engine's
+//!   cross-shard write-backs (the write lands in the owner shard's striped
+//!   store before execute returns, so the same gate suffices). Cross-worker
+//!   visibility between shard replicas is the sharded store's own concern —
+//!   its stripe locks make rows atomically visible, and `serve_sharded`
+//!   routes each target to exactly one shard's worker.
 //! * [`DispatchQueue`] — the condvar work queue behind `serve_multi`'s
 //!   event loop (admission, retries, abort on fleet death); replaces the
 //!   old 100 µs sleep-polling loop.

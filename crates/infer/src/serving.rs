@@ -1669,6 +1669,282 @@ pub fn serve_multi(
     })
 }
 
+/// Sharded fleet executor: engine `s` is pinned to shard `s` of a
+/// [`crate::ShardedStore`] (built via [`crate::BatchedEngine::new_sharded`]),
+/// `assign` maps every node to its owner, and the dispatcher routes each
+/// sealed window's requests *by target-node shard* — one sub-batch per
+/// shard per window, each through its own bounded dispatch queue, so a
+/// shard's backlog never blocks its siblings.
+///
+/// What is shared and what is per-shard:
+/// * **shared** — the [`BatchFormer`] (windows are anchored and sealed
+///   exactly as in [`serve_multi`], so `S = 1` degenerates to the
+///   single-queue executor), the compute-estimate EWMA, and every
+///   accounting cell of the report;
+/// * **per-shard** — the dispatch queue, the worker (sequential or
+///   pipelined per [`ServingConfig::pipeline`]), and its liveness: a panic
+///   storm that kills shard `s`'s replica aborts only queue `s`, its
+///   requests are shed as routed, and the surviving shards keep serving.
+///
+/// Retries stay on-shard: a failed sub-batch re-enters its own shard's
+/// queue, so write-backs and store probes keep their owner-routing.
+///
+/// Not yet supported with `S > 1`: [`ServingConfig::watchdog`] and
+/// [`ServingConfig::hedge`] (the supervisor assumes one dispatch queue);
+/// setting either is a typed [`ServingError::InvalidConfig`].
+pub fn serve_sharded(
+    engines: &mut [BatchedEngine<'_>],
+    assign: &[u32],
+    pool: &[usize],
+    cfg: &ServingConfig,
+) -> ServingResult<MultiServingReport> {
+    if engines.is_empty() {
+        return Err(ServingError::NoEngines);
+    }
+    cfg.validate(pool)?;
+    if cfg.watchdog.is_some() || cfg.hedge.is_some() {
+        return Err(ServingError::InvalidConfig(
+            "watchdog/hedge supervision is not yet supported by serve_sharded".into(),
+        ));
+    }
+    let n_shards = engines.len();
+    for &v in pool {
+        if assign.get(v).is_none_or(|&s| (s as usize) >= n_shards) {
+            return Err(ServingError::InvalidConfig(format!(
+                "pool node {v} has no shard assignment below {n_shards}"
+            )));
+        }
+    }
+    let obs = engines
+        .iter()
+        .find_map(|e| e.metrics())
+        .map(|m| ServingMetrics::new(m.registry()));
+    let arrivals = cfg.arrivals(pool);
+
+    // Per-shard bounded queues (same per-worker depth as serve_multi's
+    // fleet-wide formula at one worker per queue).
+    let dispatches: Vec<DispatchQueue<QueuedBatch>> =
+        (0..n_shards).map(|_| DispatchQueue::new(4)).collect();
+    // lock: fleet.est
+    let est = Mutex::new(
+        engines
+            .first()
+            .map_or(0.0, |e| e.cold_compute_estimate(cfg.max_batch)),
+    );
+    let est_warm = AtomicBool::new(false);
+    let compute_seconds = Mutex::new(0.0f64); // lock: fleet.compute
+    let busy_seconds = Mutex::new(0.0f64); // lock: fleet.busy
+    let latencies = Mutex::new(Vec::<f64>::new()); // lock: fleet.latencies
+    let served = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let recoveries = AtomicUsize::new(0);
+    let failures = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let workers_lost = AtomicUsize::new(0);
+    // One liveness cell per shard: `retire_worker` then aborts only that
+    // shard's queue (the `== 1` fast path holds — each fleet copy sees a
+    // single-worker fleet over the shared counters).
+    let live: Vec<AtomicUsize> = (0..n_shards).map(|_| AtomicUsize::new(1)).collect();
+    let hedges_won = AtomicUsize::new(0);
+    let hedges_wasted = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let fleets: Vec<Fleet<'_>> = (0..n_shards)
+        .map(|s| Fleet {
+            // audit: allow(no-fail-stop) — s < n_shards == dispatches.len() by the map's range
+            dispatch: &dispatches[s],
+            cfg,
+            obs: obs.as_ref(),
+            est: &est,
+            compute_seconds: &compute_seconds,
+            busy_seconds: &busy_seconds,
+            latencies: &latencies,
+            served: &served,
+            shed: &shed,
+            recoveries: &recoveries,
+            failures: &failures,
+            retries: &retries,
+            workers_lost: &workers_lost,
+            // audit: allow(no-fail-stop) — s < n_shards == live.len() by the map's range
+            workers_live: &live[s],
+            est_warm: &est_warm,
+            hedges_won: &hedges_won,
+            hedges_wasted: &hedges_wasted,
+            t0,
+        })
+        .collect();
+    let fleet0 = fleets[0]; // audit: allow(no-fail-stop) — n_shards >= 1 was checked at entry
+    let links: Vec<WorkerLink> = (0..n_shards).map(|_| WorkerLink::new()).collect();
+
+    let (n_batches, shed_queue, shed_deadline) = std::thread::scope(|scope| {
+        for ((engine, link), &fleet) in engines.iter_mut().zip(&links).zip(&fleets) {
+            match cfg.pipeline {
+                PipelineMode::Sequential => {
+                    scope.spawn(move || sequential_worker(engine, link, fleet));
+                }
+                PipelineMode::Pipelined => {
+                    scope.spawn(move || pipelined_worker(engine, link, fleet));
+                }
+            }
+        }
+
+        // Dispatcher (this thread): one shared former, windows anchored on
+        // the earliest-free shard's virtual clock, sealed batches split by
+        // target-node owner and routed per shard.
+        let mut former = BatchFormer::new(&arrivals, cfg);
+        let mut free = vec![0.0f64; n_shards];
+        let mut n_batches = 0usize;
+        loop {
+            let free_at = free.iter().copied().fold(f64::INFINITY, f64::min);
+            if free_at.is_infinite() {
+                break; // every shard's replica is gone
+            }
+            let Some(w) = former.admit(free_at, obs.as_ref()) else {
+                break; // trace exhausted and queue drained
+            };
+            let est_c = {
+                let _order = gcnp_tensor::lockcheck::acquire("fleet.est");
+                let e = *relock(est.lock());
+                if e.is_finite() && e > 0.0 {
+                    e
+                } else {
+                    0.0
+                }
+            };
+            let (nodes, when) = former.seal(&w, est_c * DEADLINE_EST_SAFETY, obs.as_ref());
+            if nodes.is_empty() {
+                continue; // whole window shed; re-anchor on the next survivor
+            }
+            let fill = when.iter().fold(w.open, |acc, &t| acc.max(t));
+            let start = if nodes.len() == cfg.max_batch {
+                fill
+            } else {
+                w.close
+            };
+            if cfg.pace {
+                let wait = start - t0.elapsed().as_secs_f64();
+                if wait.is_finite() && wait > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(wait));
+                }
+            }
+            // Route by owner shard, preserving arrival order within each
+            // sub-batch (the split is a stable partition of the window).
+            let mut split: Vec<(Vec<usize>, Vec<f64>)> =
+                (0..n_shards).map(|_| (Vec::new(), Vec::new())).collect();
+            for (i, &v) in nodes.iter().enumerate() {
+                // audit: allow(no-fail-stop) — every pool node's assignment was validated at entry, and the former only emits pool nodes
+                let s = assign[v] as usize;
+                // audit: allow(no-fail-stop) — s < n_shards == split.len(): validated at entry
+                split[s].0.push(v);
+                // audit: allow(no-fail-stop) — s < n_shards == split.len(): validated at entry
+                split[s].1.push(when[i]);
+            }
+            for (s, (sub, when)) in split.into_iter().enumerate() {
+                if sub.is_empty() {
+                    continue;
+                }
+                if let Some(f) = free.get_mut(s) {
+                    if f.is_finite() {
+                        *f = start + est_c;
+                    }
+                }
+                // audit: allow(no-fail-stop) — s enumerates split, whose len is n_shards == dispatches.len()
+                match dispatches[s].push(QueuedBatch {
+                    nodes: sub,
+                    arrivals: when,
+                    attempt: 0,
+                    claim: None,
+                }) {
+                    Ok(()) => n_batches += 1,
+                    Err(b) => {
+                        // Shard s's replica died and aborted its queue:
+                        // shed what was routed there, park its clock, and
+                        // keep serving the surviving shards.
+                        fleet0.shed_requests(b.nodes.len());
+                        if let Some(f) = free.get_mut(s) {
+                            *f = f64::INFINITY;
+                        }
+                    }
+                }
+            }
+        }
+        let rest = former.shed_rest();
+        if rest > 0 {
+            fleet0.shed_requests(rest);
+        }
+        for d in &dispatches {
+            d.close();
+        }
+        (n_batches, former.shed_queue, former.shed_deadline)
+    });
+
+    // Queued batches of dead shards are shed — accounted, not lost. (No
+    // hedge ghosts here: serve_sharded rejects hedging at entry.)
+    for d in &dispatches {
+        for b in d.drain() {
+            fleet0.shed_requests(b.nodes.len());
+        }
+    }
+
+    let wall = t0.elapsed().as_secs_f64().max(f64::EPSILON);
+    let busy = busy_seconds
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let stage_threads = match cfg.pipeline {
+        PipelineMode::Sequential => 1.0,
+        PipelineMode::Pipelined => 2.0,
+    };
+    let pipeline_occupancy = (busy / (stage_threads * n_shards as f64 * wall)).clamp(0.0, 1.0);
+    if let Some(o) = &obs {
+        o.pipeline_occupancy.set(pipeline_occupancy);
+        o.dispatch_wakeups
+            .add(dispatches.iter().map(|d| d.wakeups()).sum());
+    }
+    let compute = compute_seconds
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .max(f64::EPSILON);
+    let mut latencies_ms = latencies
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    latencies_ms.sort_by(f64::total_cmp);
+    let served = served.into_inner();
+    let shed = shed.into_inner();
+    debug_assert_eq!(
+        served + shed + shed_queue + shed_deadline,
+        cfg.n_requests,
+        "request accounting"
+    );
+    let dispatched = cfg.n_requests.saturating_sub(shed_queue + shed_deadline);
+
+    Ok(MultiServingReport {
+        n_workers: n_shards,
+        n_requests: cfg.n_requests,
+        n_batches,
+        mean_batch_size: dispatched as f64 / n_batches.max(1) as f64,
+        served,
+        shed,
+        shed_queue,
+        shed_deadline,
+        recoveries: recoveries.into_inner(),
+        failures: failures.into_inner(),
+        retries: retries.into_inner(),
+        workers_lost: workers_lost.into_inner(),
+        wall_seconds: wall,
+        compute_seconds: compute,
+        throughput: served as f64 / wall,
+        compute_throughput: served as f64 / compute,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        pipeline_occupancy,
+        watchdog_restarts: 0,
+        hedges_fired: 0,
+        hedges_won: hedges_won.into_inner(),
+        hedges_wasted: hedges_wasted.into_inner(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -427,6 +427,40 @@ impl FeatureStore {
         Ok(())
     }
 
+    /// Invalidate one node's stored row at `level`, returning whether a row
+    /// was actually removed. This is the incremental-invalidation primitive
+    /// of graph accretion (see `crate::shard::ShardedStore::accrete`): a new
+    /// edge dirties only the affected L-hop reverse neighborhoods, and each
+    /// dirty `(level, node)` pair is dropped here instead of `clear()`ing
+    /// the store. Out-of-bounds coordinates are a no-op `false` — callers
+    /// walk dirty sets derived from a *newer* graph than the store was
+    /// sized for, and unknown nodes trivially have nothing to invalidate.
+    pub fn remove(&self, level: usize, node: usize) -> bool {
+        if node >= self.n_nodes || level == 0 || level > self.n_levels {
+            return false;
+        }
+        let removed = {
+            let mut stripe = self.write_stripe(stripe_of(node));
+            let l = &mut stripe.levels[level - 1]; // audit: allow(no-fail-stop) — level bounds validated above
+            let local = local_of(node);
+            // audit: allow(no-fail-stop) — every node < n_nodes has a local slot by construction
+            let slot = &mut l.rows[local];
+            if slot.is_some() {
+                *slot = None;
+                l.count -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        if removed {
+            if let Some(m) = self.metrics.get() {
+                m.evict(level, 1);
+            }
+        }
+        removed
+    }
+
     /// Number of stored rows at `level` (summed across stripes); 0 for a
     /// level the store does not cover.
     pub fn len(&self, level: usize) -> usize {

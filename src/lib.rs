@@ -54,12 +54,12 @@ pub mod prelude {
         lasso_prune, prune_model, prune_single_layer, LassoOutcome, PruneMethod, PruneReport,
         PrunerConfig, Scheme,
     };
-    pub use gcnp_datasets::{Dataset, DatasetKind, Labels, SpamStream};
+    pub use gcnp_datasets::{Dataset, DatasetKind, GrowingGraph, Labels, Partition, SpamStream};
     pub use gcnp_infer::{
-        run_batches, serve_multi, simulate, simulate_tiered, BatchResult, BatchedEngine, CostModel,
-        Fault, FaultInjector, FaultPlan, FeatureStore, FullEngine, LadderPolicy,
-        MultiServingReport, PipelineMode, QuantizedGnn, ServingConfig, ServingError, ServingReport,
-        ServingResult, StorePolicy,
+        run_batches, serve_multi, serve_sharded, simulate, simulate_tiered, AccretionReport,
+        BatchResult, BatchedEngine, CostModel, Fault, FaultInjector, FaultPlan, FeatureStore,
+        FullEngine, LadderPolicy, MultiServingReport, PipelineMode, QuantizedGnn, ServingConfig,
+        ServingError, ServingReport, ServingResult, ShardedStore, StorePolicy,
     };
     pub use gcnp_models::{
         zoo, Activation, Branch, BranchLayer, CombineMode, GnnModel, Metrics, TrainConfig, Trainer,
